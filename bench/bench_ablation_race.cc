@@ -1,0 +1,102 @@
+// Model-validation ablation: the continuous-time PoW race simulator
+// (sim/pow_race.h) vs the round-based model used by the paper-figure
+// benches. Three questions:
+//   1. With go-Ethereum's difficulty retargeting (as on the paper's
+//      testbed), does confirmation time stay flat as miners join?
+//      (Table I's phenomenon — and the round model's core assumption.)
+//   2. Without retargeting, the counterfactual: time ~ 1/miners.
+//   3. How much does propagation delay (stale forks) cost?
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/gossip.h"
+#include "sim/pow_race.h"
+
+int main() {
+  using namespace shardchain;
+  using bench::Banner;
+  using bench::Fmt;
+  using bench::Row;
+
+  Banner("Ablation — round model vs continuous PoW race",
+         "retargeting makes confirmation power-independent, which is "
+         "what the round model encodes");
+
+  const size_t kTxs = 100;  // 10 blocks of work.
+  const size_t kReps = 30;
+
+  std::printf("\nConfirmation time of %zu txs (s):\n", kTxs);
+  Row({"miners", "retarget ON", "retarget OFF", "round model"}, 15);
+  for (size_t miners : {1u, 2u, 4u, 8u, 16u}) {
+    RunningStats on, off;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      PowRaceConfig config;
+      config.num_miners = miners;
+      config.propagation_delay = 2.0;
+      config.retarget = true;
+      config.retarget_config.target_interval = 60.0;
+      config.warmup_blocks = 12000;
+      Rng r1(1000 + miners * 100 + rep);
+      on.Add(RunPowRace(kTxs, config, &r1).completion_time);
+
+      config.retarget = false;
+      config.warmup_blocks = 0;
+      Rng r2(2000 + miners * 100 + rep);
+      off.Add(RunPowRace(kTxs, config, &r2).completion_time);
+    }
+    // The round model's prediction: one useful block per 60 s round.
+    const double round_model = 10 * 60.0;
+    Row({std::to_string(miners), Fmt(on.mean(), 0), Fmt(off.mean(), 0),
+         Fmt(round_model, 0)},
+        15);
+  }
+
+  std::printf("\nStale-fork rate vs propagation delay (8 miners, no "
+              "retargeting, ~7.5 s intervals):\n");
+  Row({"delay (s)", "stale fraction"}, 16);
+  for (double delay : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    RunningStats stale_frac;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      PowRaceConfig config;
+      config.num_miners = 8;
+      config.retarget = false;
+      config.propagation_delay = delay;
+      Rng rng(3000 + static_cast<uint64_t>(delay * 10) * 100 + rep);
+      const PowRaceResult r = RunPowRace(500, config, &rng);
+      const double total =
+          static_cast<double>(r.chain_blocks + r.stale_blocks);
+      if (total > 0) {
+        stale_frac.Add(static_cast<double>(r.stale_blocks) / total);
+      }
+    }
+    Row({Fmt(delay, 1), Fmt(stale_frac.mean(), 3)}, 16);
+  }
+
+  std::printf("\nMeasured gossip propagation (what the delay above models):\n");
+  Row({"miners", "time-to-all (s)", "flood msgs"}, 17);
+  for (size_t nodes : {9u, 50u, 200u}) {
+    GossipConfig gconfig;
+    gconfig.degree = 4;
+    gconfig.link_latency = 0.25;  // WAN-ish links.
+    Rng grng(5000 + nodes);
+    GossipNetwork overlay(nodes, gconfig, &grng);
+    EventQueue queue;
+    const auto spread =
+        overlay.MeasureSpread(0, Bytes{0x42, 0x42}, &queue);
+    Row({std::to_string(nodes), Fmt(spread.time_to_all, 2),
+         std::to_string(spread.messages)},
+        17);
+  }
+
+  std::printf(
+      "\nReading: with retargeting the confirmation time is flat in the\n"
+      "miner count and close to the round model's 10-round prediction;\n"
+      "without it, time scales as 1/miners — the regime the paper's\n"
+      "fixed-difficulty narrative would naively suggest, which its own\n"
+      "Table I contradicts. Stale forks grow with propagation delay and\n"
+      "are the physical cost the conflict rule abstracts.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Storage-cost ablation (Related Work, last paragraph): per-miner
+// storage of our contract-centric sharding vs full replication
+// (Ethereum / Zilliqa-style validating peers) vs fully state-divided
+// sharding (Omniledger-style lower bound), as the shard count grows.
+//
+// Workload: total state of 10,000 units; the MaxShard holds 20% of the
+// state (multi-contract senders and direct transfers), the rest is
+// spread evenly over the contract shards; miners are assigned by the
+// fraction weighting of Sec. III-B.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/storage.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace shardchain;
+  using bench::Banner;
+  using bench::Fmt;
+  using bench::Row;
+
+  Banner("Ablation — per-miner storage vs sharding scheme",
+         "contract sharding stores full state only on MaxShard miners; "
+         "\"the storage cost is significantly reduced\"");
+
+  const double kTotalState = 10000.0;
+  const double kMaxShardFraction = 0.20;
+  const uint64_t kTotalMiners = 100;
+
+  Row({"shards", "ours/miner", "full-repl", "state-div", "ours/full"}, 13);
+  for (size_t contract_shards : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::vector<double> state;
+    std::vector<uint64_t> miners;
+    state.push_back(kTotalState * kMaxShardFraction);
+    const double per_contract =
+        kTotalState * (1.0 - kMaxShardFraction) /
+        static_cast<double>(contract_shards);
+    for (size_t s = 0; s < contract_shards; ++s) {
+      state.push_back(per_contract);
+    }
+    // Miners proportional to shard transaction fractions (Sec. III-B),
+    // with at least one per shard.
+    uint64_t assigned = 0;
+    miners.resize(state.size());
+    for (size_t s = 0; s < state.size(); ++s) {
+      miners[s] = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(
+                 static_cast<double>(kTotalMiners) * state[s] / kTotalState)));
+      assigned += miners[s];
+    }
+    // Absorb rounding drift in the MaxShard.
+    if (assigned < kTotalMiners) miners[0] += kTotalMiners - assigned;
+
+    const auto ours = storage::ContractSharding(state, miners);
+    const auto full = storage::FullReplication(state, miners);
+    const auto divided = storage::StateDivided(state, miners);
+    Row({std::to_string(contract_shards), Fmt(ours.per_miner, 0),
+         Fmt(full.per_miner, 0), Fmt(divided.per_miner, 0),
+         Fmt(ours.per_miner / full.per_miner, 2)},
+        13);
+  }
+
+  std::printf(
+      "\nReading: with enough contract shards, per-miner storage drops\n"
+      "toward the MaxShard-dominated floor — a large constant-factor\n"
+      "saving over full replication, approaching the state-divided\n"
+      "lower bound without that design's cross-shard protocols.\n");
+  return 0;
+}

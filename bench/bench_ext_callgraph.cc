@@ -1,0 +1,92 @@
+// Extension bench (the paper's stated future work, Sec. III-C /
+// Conclusion): the query cost of sender classification. Compares the
+// local call graph (incremental index, O(1) lookups) against the
+// trivial baseline the paper warns about — scanning the MaxShard's
+// full transaction history per query.
+
+#include <chrono>
+#include <functional>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "contract/callgraph.h"
+#include "contract/naive_classifier.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace shardchain;
+using bench::Banner;
+using bench::Fmt;
+using bench::Row;
+
+double MicrosPerQuery(const std::function<void()>& fn, size_t queries) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         static_cast<double>(queries);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Extension — sender-classification query cost",
+         "the call graph replaces an O(history) scan per incoming "
+         "transaction with an O(1) lookup (Sec. III-C future work)");
+
+  Row({"history", "callgraph us/q", "naive scan us/q", "speedup"}, 17);
+  for (size_t history : {1000u, 10000u, 50000u, 200000u}) {
+    Rng rng(40000 + history);
+    WorkloadConfig wl;
+    wl.num_transactions = history;
+    wl.num_contracts = 16;
+    wl.maxshard_fraction = 0.1;
+    const Workload w = GenerateWorkload(wl, &rng);
+
+    CallGraph graph;
+    NaiveHistoryClassifier naive;
+    for (const Transaction& tx : w.transactions) {
+      graph.Record(tx);
+      naive.Record(tx);
+    }
+
+    // Query workload: re-classify a sample of the senders.
+    std::vector<Transaction> probes(w.transactions.begin(),
+                                    w.transactions.begin() + 200);
+
+    volatile size_t sink = 0;
+    const double graph_us = MicrosPerQuery(
+        [&] {
+          for (int rep = 0; rep < 50; ++rep) {
+            for (const Transaction& tx : probes) {
+              Address contract;
+              sink += graph.IsShardable(tx, &contract) ? 1 : 0;
+            }
+          }
+        },
+        probes.size() * 50);
+    // The scan is so slow at scale that one pass over the probes is
+    // plenty.
+    const double naive_us = MicrosPerQuery(
+        [&] {
+          for (const Transaction& tx : probes) {
+            Address contract;
+            sink += naive.IsShardable(tx, &contract) ? 1 : 0;
+          }
+        },
+        probes.size());
+    (void)sink;
+
+    Row({std::to_string(history), Fmt(graph_us, 3), Fmt(naive_us, 1),
+         Fmt(naive_us / graph_us, 0) + "x"},
+        17);
+  }
+  std::printf(
+      "\nReading: the naive per-query cost grows linearly with the\n"
+      "history while the call graph stays flat — the gap is why the\n"
+      "paper proposes maintaining the call graph locally.\n");
+  return 0;
+}

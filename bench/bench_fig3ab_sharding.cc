@@ -1,0 +1,94 @@
+// Reproduces Fig. 3(a)/(b): throughput improvement and empty blocks of
+// contract-based sharding vs Ethereum with 1..9 shards (Sec. VI-B1).
+// 200 transactions spread uniformly over the shards, one miner per
+// shard, one block (<= 10 txs) per minute per shard.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/ethereum.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/mining_sim.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace shardchain;
+using bench::Banner;
+using bench::Fmt;
+using bench::Row;
+
+/// Distributes the workload's 200 txs uniformly at random over k shards
+/// (the paper's "numbers of transactions in these shards obey a uniform
+/// distribution").
+std::vector<ShardSpec> SplitUniform(const std::vector<Amount>& fees, size_t k,
+                                    Rng* rng) {
+  std::vector<ShardSpec> shards(k);
+  for (size_t s = 0; s < k; ++s) shards[s].id = static_cast<ShardId>(s);
+  for (Amount fee : fees) {
+    shards[rng->UniformInt(k)].tx_fees.push_back(fee);
+  }
+  return shards;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Fig. 3(a)/(b) — Sharding vs Ethereum, 1..9 shards",
+         "throughput improves near-linearly, 7.2x at 9 shards; empty "
+         "blocks comparable to Ethereum");
+
+  MiningSimConfig config;
+  config.round_seconds = 60.0;
+  config.txs_per_block = 10;
+  config.policy = SelectionPolicy::kGreedy;
+
+  WorkloadConfig wl;
+  wl.num_transactions = 200;
+  wl.fee_model = FeeModel::kBinomial;
+
+  const size_t kReps = 20;
+  Row({"shards", "improvement", "empty(sharded)", "empty(eth)"}, 16);
+
+  for (size_t k = 1; k <= 9; ++k) {
+    RunningStats improvement;
+    RunningStats empty_sharded;
+    RunningStats empty_eth;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      Rng rng(7000 + k * 100 + rep);
+      Workload w = GenerateWorkload(wl, &rng);
+      std::vector<Amount> fees;
+      for (const auto& tx : w.transactions) fees.push_back(tx.fee);
+
+      // Ethereum baseline: 9 miners, one pool.
+      Rng eth_rng = rng.Fork();
+      const SimResult eth = RunEthereumBaseline(fees, 9, config, &eth_rng);
+
+      // Sharded run; count empty blocks over the same window as the
+      // sharded makespan (miners keep mining until all txs confirm).
+      std::vector<ShardSpec> shards = SplitUniform(fees, k, &rng);
+      for (auto& s : shards) s.num_miners = 1;
+      Rng probe_rng = rng.Fork();
+      const SimResult probe = RunMiningSim(shards, config, &probe_rng);
+      MiningSimConfig windowed = config;
+      windowed.window_seconds = probe.makespan;
+      Rng shard_rng = rng.Fork();
+      const SimResult sharded = RunMiningSim(shards, windowed, &shard_rng);
+
+      improvement.Add(ThroughputImprovement(eth, sharded));
+      empty_sharded.Add(static_cast<double>(sharded.TotalEmptyBlocks()));
+      empty_eth.Add(static_cast<double>(eth.TotalEmptyBlocks()));
+    }
+    Row({std::to_string(k), Fmt(improvement.mean()),
+         Fmt(empty_sharded.mean(), 1), Fmt(empty_eth.mean(), 1)},
+        16);
+  }
+
+  std::printf(
+      "\nShape check: improvement grows near-linearly in the shard count\n"
+      "(paper: 7.2x at 9 shards) and neither design produces a\n"
+      "meaningful number of empty blocks when shards are balanced.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Fig. 4(a): throughput improvement of our sharding vs
+// ChainSpace with 1..9 shards, 24,000 injected transactions, and the
+// intra-shard confirmation speed unified at 76 tx/s per miner
+// (Sec. VI-B2, difficulty 0xd79). Both schemes parallelize equally;
+// they differ in communication (Fig. 4b), not raw throughput.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/chainspace.h"
+#include "baseline/ethereum.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "consensus/pow.h"
+#include "sim/mining_sim.h"
+
+namespace {
+
+using namespace shardchain;
+using bench::Banner;
+using bench::Fmt;
+using bench::Row;
+
+}  // namespace
+
+int main() {
+  Banner("Fig. 4(a) — Our sharding vs ChainSpace, 1..9 shards",
+         "both improve throughput near-linearly; ours is not worse");
+
+  // 76 tx/s with 10-tx blocks -> one block every 10/76 s.
+  MiningSimConfig config;
+  config.txs_per_block = 10;
+  config.round_seconds =
+      pow::MeanBlockInterval(pow::DifficultyForThroughput(76.0, 10.0), 1.0);
+  config.policy = SelectionPolicy::kGreedy;
+
+  const size_t kTxs = 24000;
+  const size_t kReps = 5;
+  const std::vector<Amount> fees(kTxs, 10);
+
+  Row({"shards", "ours", "chainspace"});
+  for (size_t k = 1; k <= 9; ++k) {
+    RunningStats ours_impr, cs_impr;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      Rng rng(71000 + k * 100 + rep);
+      Rng eth_rng = rng.Fork();
+      const SimResult eth = RunEthereumBaseline(fees, 9, config, &eth_rng);
+
+      // Our sharding: contract-based shards; the paper's injection
+      // spreads transactions uniformly over the contracts, so the shard
+      // loads are a uniform multinomial split — identical in shape to
+      // ChainSpace's random placement. One miner per shard.
+      std::vector<ShardSpec> shards(k);
+      for (size_t s = 0; s < k; ++s) shards[s].id = static_cast<ShardId>(s);
+      for (size_t t = 0; t < kTxs; ++t) {
+        shards[rng.UniformInt(k)].tx_fees.push_back(10);
+      }
+      Rng ours_rng = rng.Fork();
+      const SimResult ours = RunMiningSim(shards, config, &ours_rng);
+      ours_impr.Add(ThroughputImprovement(eth, ours));
+
+      // ChainSpace: random tx placement, same mining model.
+      ChainSpaceConfig cs;
+      cs.num_shards = k;
+      cs.miners_per_shard = 1;
+      cs.mining = config;
+      std::vector<Transaction> txs;
+      txs.reserve(kTxs);
+      for (size_t t = 0; t < kTxs; ++t) {
+        Transaction tx;
+        tx.fee = 10;
+        txs.push_back(tx);
+      }
+      Rng cs_rng = rng.Fork();
+      const ChainSpaceResult csr = RunChainSpace(txs, cs, &cs_rng);
+      cs_impr.Add(ThroughputImprovement(eth, csr.sim));
+    }
+    Row({std::to_string(k), Fmt(ours_impr.mean()), Fmt(cs_impr.mean())});
+  }
+  std::printf("\nShape check: both curves grow near-linearly and overlap "
+              "(the paper finds no throughput penalty either way).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Fig. 5(b): large-scale simulation of the intra-shard
+// transaction-selection algorithm — number of distinct transaction
+// sets vs the optimal (= number of miners), for up to 1000 miners
+// (Sec. VI-E2). Paper: ~50% of the optimal on average, because fee
+// outliers occasionally collapse the equilibrium onto one set.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/selection_game.h"
+
+int main() {
+  using namespace shardchain;
+  using bench::Banner;
+  using bench::Fmt;
+  using bench::Row;
+
+  Banner("Fig. 5(b) — Selection at scale: distinct tx sets vs optimal",
+         "the selection game reaches ~50% of the optimal set diversity");
+
+  SelectionGameConfig game;
+  game.capacity = 1;  // One resource per miner isolates set diversity.
+
+  Row({"miners", "distinct-sets", "optimal", "ratio"}, 15);
+  RunningStats ratio;
+  for (size_t miners : {50u, 100u, 200u, 400u, 600u, 800u, 1000u}) {
+    Rng rng(97000 + miners);
+    // Randomly generated transaction fees, heavy-tailed as in real fee
+    // markets: a few far-more-profitable transactions attract several
+    // miners each (the paper's "transaction set with much higher
+    // transaction fees than others"), so the equilibrium only reaches
+    // part of the optimal diversity. As many transactions as miners,
+    // so the optimal is one distinct set per miner.
+    std::vector<Amount> fees;
+    fees.reserve(miners);
+    for (size_t i = 0; i < miners; ++i) {
+      fees.push_back(static_cast<Amount>(rng.Exponential(50.0)) + 1);
+    }
+    const SelectionResult r = RunSelectionGame(fees, miners, game, &rng);
+    const double ratio_n = static_cast<double>(r.DistinctSets()) /
+                           static_cast<double>(miners);
+    ratio.Add(ratio_n);
+    Row({std::to_string(miners), std::to_string(r.DistinctSets()),
+         std::to_string(miners), Fmt(ratio_n)},
+        15);
+  }
+  std::printf("\nHeadline: %.0f%% of optimal on average (paper: ~50%%).\n",
+              100.0 * ratio.mean());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces the closed-form security numbers of Sec. IV-D:
+//   - Eq. 3 (merging): with a 25% adversary the failure probability of
+//     the inter-shard merging algorithm is ~8e-6 as l -> infinity.
+//   - Eq. 4-6 (selection): with a 25% adversary and 200 total
+//     transaction fees the corruption probability is ~7e-7.
+
+#include <cstdio>
+
+#include "analysis/security.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace shardchain;
+  using bench::Banner;
+  using bench::FmtSci;
+  using bench::Row;
+
+  Banner("Sec. IV-D — Corruption probabilities (Eq. 3-6)",
+         "merge failure ~8e-6 and selection corruption ~7e-7 at a 25% "
+         "adversary");
+
+  const double f = 0.25;
+
+  std::printf("\nEq. 3 — merge corruption limit vs shard size:\n");
+  Row({"shard size", "1-Ps", "limit (l->inf)"}, 16);
+  for (uint64_t n = 30; n <= 90; n += 10) {
+    const double ps = security::ShardSafety(n, f);
+    Row({std::to_string(n), FmtSci(1.0 - ps),
+         FmtSci(security::MergeCorruptionLimit(f, ps))},
+        16);
+  }
+  const uint64_t n_star = security::MinShardSizeForSafety(f, 1.0 - 6e-6, 300);
+  std::printf(
+      "Smallest shard size with merge-corruption <= 8e-6: %llu miners "
+      "(limit %.2e; paper quotes 8e-6).\n",
+      static_cast<unsigned long long>(n_star),
+      security::MergeCorruptionLimit(f, security::ShardSafety(n_star, f)));
+
+  std::printf("\nEq. 4-6 — selection corruption vs miners per transaction "
+              "(200 total fees):\n");
+  Row({"miners/tx", "Pi (Eq.5)", "limit (Eq.6)"}, 16);
+  for (uint64_t m = 10; m <= 90; m += 10) {
+    Row({std::to_string(m), FmtSci(security::TxCorruption(m, f)),
+         FmtSci(security::SelectionCorruptionLimit(f, 200, m))},
+        16);
+  }
+  for (uint64_t m = 10; m <= 200; ++m) {
+    const double p = security::SelectionCorruptionLimit(f, 200, m);
+    if (p <= 7e-7) {
+      std::printf(
+          "Smallest per-transaction validator count with corruption <= "
+          "7e-7: %llu miners (limit %.2e; paper quotes 7e-7).\n",
+          static_cast<unsigned long long>(m), p);
+      break;
+    }
+  }
+
+  std::printf("\n33%% resilience check: shard safety at the paper's "
+              "operating point (n=30, f=0.33) is %.4f.\n",
+              security::ShardSafety(30, 0.33));
+  return 0;
+}

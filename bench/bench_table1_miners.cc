@@ -1,0 +1,58 @@
+// Reproduces Table I: confirmation time of 20 injected transactions in
+// non-sharded go-Ethereum with 2..7 miners (Sec. II-B, settings of
+// Sec. VI-B1: difficulty 0x40000 ~ one block per minute, <= 10 txs per
+// block). The paper's observation: the time stops improving beyond
+// four miners because every miner validates the same top-fee set.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/ethereum.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace shardchain;
+using bench::Banner;
+using bench::Fmt;
+using bench::Row;
+
+constexpr double kPaperSeconds[] = {218, 194, 113, 120, 103, 121};
+
+}  // namespace
+
+int main() {
+  Banner("Table I — Confirmation time vs number of miners",
+         "more miners do not reduce confirmation time beyond ~4 "
+         "(2..7 miners: 218/194/113/120/103/121 s)");
+
+  MiningSimConfig config;
+  config.round_seconds = 60.0;
+  config.txs_per_block = 10;
+  // Genesis difficulty 0x40000 was tuned to roughly four c5.large
+  // machines; under-powered networks mine slower until retargeting
+  // would catch up (see EXPERIMENTS.md).
+  config.calibration_power = 4.0;
+  config.policy = SelectionPolicy::kGreedy;
+
+  const std::vector<Amount> fees(20, 10);
+  const size_t kReps = 20;
+
+  Row({"miners", "sim (s)", "paper (s)"});
+  for (size_t miners = 2; miners <= 7; ++miners) {
+    RunningStats stats;
+    for (size_t rep = 0; rep < kReps; ++rep) {
+      Rng rng(1000 + miners * 100 + rep);
+      stats.Add(EthereumConfirmationTime(fees, miners, config, &rng));
+    }
+    Row({std::to_string(miners), Fmt(stats.mean(), 0),
+         Fmt(kPaperSeconds[miners - 2], 0)});
+  }
+  std::printf(
+      "\nShape check: time decreases up to the calibration power (4) and\n"
+      "is flat afterwards — adding miners does not speed up greedy,\n"
+      "serialized confirmation.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef SHARDCHAIN_BENCH_BENCH_UTIL_H_
+#define SHARDCHAIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace shardchain::bench {
+
+/// Prints a banner naming the reproduced table/figure.
+inline void Banner(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one row of a fixed-width table.
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+}  // namespace shardchain::bench
+
+#endif  // SHARDCHAIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Attack simulation: how the design detects and rejects misbehaviour.
+//
+//   $ ./example_attack_simulation
+//
+// Plays out the adversarial scenarios of Sec. III-C and IV-C/D:
+//   1. a miner lies about her ShardID in a block header;
+//   2. a candidate forges a VRF output to win leader election;
+//   3. a miner packs transactions outside her unified assignment;
+//   4. the closed-form corruption probabilities for these attacks.
+
+#include <cstdio>
+
+#include "analysis/security.h"
+#include "core/miner_assignment.h"
+#include "core/unification.h"
+#include "crypto/keys.h"
+#include "crypto/vrf.h"
+
+using namespace shardchain;
+
+int main() {
+  std::printf("== shardchain attack simulation ==\n\n");
+
+  // --- 1. Lying about shard membership -------------------------------
+  const Hash256 randomness = Sha256Digest("epoch-randomness");
+  const std::vector<double> fractions{40.0, 35.0, 25.0};
+  const Hash256 honest_id = Sha256Digest("honest-miner");
+  const ShardId real_shard = AssignShard(randomness, honest_id, fractions);
+  std::printf("[1] miner derives to shard %u from public data\n", real_shard);
+  const ShardId fake_shard = (real_shard + 1) % 3;
+  const Status membership =
+      VerifyShardMembership(randomness, honest_id, fractions, fake_shard);
+  std::printf("    claiming shard %u instead -> %s\n", fake_shard,
+              membership.ToString().c_str());
+
+  // --- 2. Forging a VRF to steal leadership ---------------------------
+  const Hash256 seed = Sha256Digest("leader-seed");
+  KeyPair honest = KeyPair::FromSeed(1);
+  KeyPair attacker = KeyPair::FromSeed(666);
+  VrfOutput forged = VrfEvaluate(attacker, seed);
+  forged.value = Hash256::Zero();  // Claim the minimal (winning) ticket.
+  std::vector<LeaderCandidate> candidates{
+      {honest.public_key(), VrfEvaluate(honest, seed)},
+      {attacker.public_key(), forged},
+  };
+  const Result<size_t> leader = ElectLeader(candidates, seed);
+  std::printf("\n[2] attacker claims VRF ticket 0.0 with a forged proof\n");
+  std::printf("    elected leader: candidate %zu (the honest one; the "
+              "forged proof failed verification)\n",
+              *leader);
+
+  // --- 3. Packing transactions outside the unified assignment ---------
+  UnifiedParameters params;
+  params.randomness = randomness;
+  params.tx_fees = {90, 70, 60, 50, 40, 30, 20, 10};
+  params.num_miners = 3;
+  params.select_config.capacity = 2;
+  const SelectionResult plan = ComputeSelectionPlan(params);
+  std::printf("\n[3] unified assignment (every miner derives the same):\n");
+  for (size_t m = 0; m < plan.assignment.size(); ++m) {
+    std::printf("    miner %zu -> txs {", m);
+    for (size_t j : plan.assignment[m]) std::printf(" %zu", j);
+    std::printf(" }\n");
+  }
+  // Miner 2 greedily grabs miner 0's transactions instead.
+  const Status cheat = VerifySelection(params, 2, plan.assignment[0]);
+  std::printf("    miner 2 packs miner 0's set -> %s\n",
+              cheat.ToString().c_str());
+  const Status honest_check = VerifySelection(params, 2, plan.assignment[2]);
+  std::printf("    miner 2 packs her own set   -> %s\n",
+              honest_check.ToString().c_str());
+
+  // --- 4. Why 33% adversaries fail ------------------------------------
+  std::printf("\n[4] closed-form corruption probabilities (Sec. IV-D):\n");
+  for (double f : {0.25, 0.33}) {
+    const double safety = security::ShardSafety(60, f);
+    std::printf("    f=%.0f%%: shard(60) safety %.6f, merge corruption "
+                "%.2e, selection corruption %.2e\n",
+                100 * f, safety, security::MergeCorruptionLimit(f, safety),
+                security::SelectionCorruptionLimit(f, 200, 60));
+  }
+  std::printf("\nAll four attacks are rejected or made negligible without "
+              "any cross-shard consensus protocol.\n");
+  return 0;
+}

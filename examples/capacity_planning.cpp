@@ -1,0 +1,78 @@
+// Capacity planning under sustained load (open-system extension).
+//
+//   $ ./example_capacity_planning
+//
+// The paper evaluates closed runs (inject N transactions, wait). A
+// deployment faces continuous arrivals instead. This example uses the
+// Poisson-arrival model (sim/arrival.h) to answer two operator
+// questions:
+//   1. what confirmation latency should users expect at a given load?
+//   2. at what arrival rate does a shard saturate — and how far does
+//      the intra-shard selection game (Sec. IV-B) push that point?
+
+#include <cstdio>
+
+#include "sim/arrival.h"
+
+using namespace shardchain;
+
+int main() {
+  std::printf("== shardchain capacity planning ==\n\n");
+
+  // --- 1. Latency vs load, single-miner shard -------------------------
+  std::printf("single miner, greedy packing (10 tx/min ceiling):\n");
+  std::printf("%12s %12s %12s %12s %10s\n", "load (tx/s)", "throughput",
+              "mean lat(s)", "p95 lat(s)", "backlog");
+  for (double rate : {0.02, 0.05, 0.10, 0.15, 0.20}) {
+    ArrivalConfig config;
+    config.arrival_rate = rate;
+    config.duration_seconds = 60000.0;
+    Rng rng(1);
+    const ArrivalResult r = RunArrivalSim(config, &rng);
+    std::printf("%12.2f %12.3f %12.0f %12.0f %10zu%s\n", rate, r.throughput,
+                r.mean_latency, r.p95_latency, r.backlog,
+                r.Saturated(config) ? "  << saturated" : "");
+  }
+
+  // --- 2. The selection game raises capacity under pressure ------------
+  std::printf("\n5 miners in one shard, overloaded at 0.6 tx/s (36 tx/min):\n");
+  std::printf("%18s %12s %12s\n", "policy", "throughput", "tx/min");
+  for (SelectionPolicy policy :
+       {SelectionPolicy::kGreedy, SelectionPolicy::kCongestionGame,
+        SelectionPolicy::kRoundRobin}) {
+    ArrivalConfig config;
+    config.num_miners = 5;
+    config.policy = policy;
+    config.arrival_rate = 0.6;
+    config.duration_seconds = 12000.0;
+    Rng rng(2);
+    const ArrivalResult r = RunArrivalSim(config, &rng);
+    std::printf("%18s %12.3f %12.1f\n", SelectionPolicyName(policy),
+                r.throughput, r.throughput * 60.0);
+  }
+
+  // Stability thresholds (keep-up rate with a bounded backlog).
+  std::printf("\nkeep-up rate (bounded backlog), 5 miners:\n");
+  for (SelectionPolicy policy :
+       {SelectionPolicy::kGreedy, SelectionPolicy::kCongestionGame,
+        SelectionPolicy::kRoundRobin}) {
+    ArrivalConfig base;
+    base.num_miners = 5;
+    base.policy = policy;
+    base.duration_seconds = 12000.0;
+    Rng rng(3);
+    const double rate = FindSaturationRate(base, 0.01, 1.2, 10, &rng);
+    std::printf("  %-16s : %.3f tx/s (%.0f tx/min)\n",
+                SelectionPolicyName(policy), rate, rate * 60.0);
+  }
+
+  std::printf(
+      "\nReading: greedy selection caps a shard at one block per round\n"
+      "(10 tx/min) regardless of miner count. The congestion game's\n"
+      "diversity grows with the queue, so it sustains roughly twice\n"
+      "greedy's throughput under overload — at the cost of a standing\n"
+      "backlog (its keep-up threshold sits near greedy's because a short\n"
+      "queue gives the equilibrium little room to spread, Fig. 5b's 50%%\n"
+      "diversity effect). The disjoint oracle shows the ceiling.\n");
+  return 0;
+}

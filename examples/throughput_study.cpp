@@ -1,0 +1,92 @@
+// Throughput study: a self-contained tour of the paper's evaluation on
+// the round-based mining model.
+//
+//   $ ./example_throughput_study
+//
+// Compares four designs on the same 200-transaction workload:
+//   1. Ethereum       — one network, greedy fee-ordered packing;
+//   2. Sharding       — contract-centric shards (Sec. III);
+//   3. Sharding+game  — plus intra-shard selection (Sec. IV-B);
+//   4. Oracle         — disjoint round-robin sets (upper bound).
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/ethereum.h"
+#include "common/rng.h"
+#include "sim/mining_sim.h"
+#include "sim/workload.h"
+
+using namespace shardchain;
+
+namespace {
+
+std::vector<ShardSpec> MakeShards(const Workload& w, size_t num_miners) {
+  std::vector<ShardSpec> shards(w.contracts.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    shards[s].id = static_cast<ShardId>(s);
+    shards[s].num_miners = num_miners;
+  }
+  for (size_t i = 0; i < w.transactions.size(); ++i) {
+    if (w.contract_of[i] >= 0) {
+      shards[static_cast<size_t>(w.contract_of[i])].tx_fees.push_back(
+          w.transactions[i].fee);
+    }
+  }
+  return shards;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== shardchain throughput study ==\n\n");
+
+  Rng rng(7);
+  WorkloadConfig wl;
+  wl.num_transactions = 200;
+  wl.num_contracts = 8;
+  wl.fee_model = FeeModel::kBinomial;
+  const Workload w = GenerateWorkload(wl, &rng);
+  std::vector<Amount> fees;
+  for (const auto& tx : w.transactions) fees.push_back(tx.fee);
+
+  MiningSimConfig config;
+  config.round_seconds = 60.0;
+  config.txs_per_block = 10;
+
+  // 1. Ethereum: 9 miners, serialized confirmation.
+  Rng r1 = rng.Fork();
+  const SimResult eth = RunEthereumBaseline(fees, 9, config, &r1);
+  std::printf("Ethereum (9 miners, greedy)        : %6.0f s  (%zu stale "
+              "forks wasted)\n",
+              eth.makespan, eth.TotalWastedBlocks());
+
+  // 2. Contract sharding, one miner per shard.
+  Rng r2 = rng.Fork();
+  const SimResult sharded = RunMiningSim(MakeShards(w, 1), config, &r2);
+  std::printf("Sharding (8 shards, 1 miner each)  : %6.0f s  (%.2fx)\n",
+              sharded.makespan, ThroughputImprovement(eth, sharded));
+
+  // 3. Sharding + intra-shard congestion game, 3 miners per shard.
+  MiningSimConfig game = config;
+  game.policy = SelectionPolicy::kCongestionGame;
+  Rng r3 = rng.Fork();
+  const SimResult with_game = RunMiningSim(MakeShards(w, 3), game, &r3);
+  std::printf("Sharding + selection game (3/shard): %6.0f s  (%.2fx)\n",
+              with_game.makespan, ThroughputImprovement(eth, with_game));
+
+  // 4. Oracle upper bound: perfectly disjoint sets.
+  MiningSimConfig oracle = config;
+  oracle.policy = SelectionPolicy::kRoundRobin;
+  Rng r4 = rng.Fork();
+  const SimResult best = RunMiningSim(MakeShards(w, 3), oracle, &r4);
+  std::printf("Oracle (disjoint round-robin)      : %6.0f s  (%.2fx)\n",
+              best.makespan, ThroughputImprovement(eth, best));
+
+  std::printf(
+      "\nReading: sharding parallelizes across contracts; the selection\n"
+      "game additionally parallelizes within a shard by steering miners\n"
+      "to different transaction sets; the oracle shows the headroom left\n"
+      "by residual equilibrium overlap.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "analysis/security.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace shardchain {
+namespace security {
+
+double LogBinomialCoefficient(uint64_t n, uint64_t k) {
+  if (k > n) return -INFINITY;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double BinomialPmf(uint64_t n, uint64_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogBinomialCoefficient(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialTail(uint64_t n, uint64_t k0, double p) {
+  double tail = 0.0;
+  for (uint64_t k = k0; k <= n; ++k) tail += BinomialPmf(n, k, p);
+  return tail > 1.0 ? 1.0 : tail;
+}
+
+double ShardSafety(uint64_t n, double f, double threshold) {
+  if (n == 0) return 0.0;
+  const uint64_t k0 = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(n) * threshold));
+  return 1.0 - BinomialTail(n, k0, f);
+}
+
+double MergeCorruption(double f, double shard_safety, uint64_t l) {
+  // Eq. 3: sum_{k=0}^{l} f^k * (1 - Ps).
+  double geom = 0.0;
+  double fk = 1.0;
+  for (uint64_t k = 0; k <= l; ++k) {
+    geom += fk;
+    fk *= f;
+  }
+  return geom * (1.0 - shard_safety);
+}
+
+double MergeCorruptionLimit(double f, double shard_safety) {
+  assert(f < 1.0);
+  return (1.0 - shard_safety) / (1.0 - f);
+}
+
+double FeeProbability(uint64_t t, uint64_t total_fees) {
+  // Eq. 4: C(N, t) * (1/2)^N.
+  return BinomialPmf(total_fees, t, 0.5);
+}
+
+double TxCorruption(uint64_t n, double f) {
+  if (n == 0) return 0.0;
+  // Eq. 5: P(c > floor(n/2)).
+  const uint64_t k0 = n / 2 + 1;
+  return BinomialTail(n, k0, f);
+}
+
+double SelectionCorruption(double f, uint64_t l, uint64_t total_fees,
+                           uint64_t miners_per_tx) {
+  // Eq. 6: (sum_k f^k) * sum_t Pi * Pt. Pt sums to ~1 over t, so the
+  // inner sum is Pi weighted by the fee distribution.
+  double inner = 0.0;
+  const double pi = TxCorruption(miners_per_tx, f);
+  for (uint64_t t = 1; t <= total_fees; ++t) {
+    inner += pi * FeeProbability(t, total_fees);
+  }
+  double geom = 0.0;
+  double fk = 1.0;
+  for (uint64_t k = 0; k <= l; ++k) {
+    geom += fk;
+    fk *= f;
+  }
+  return geom * inner;
+}
+
+double SelectionCorruptionLimit(double f, uint64_t total_fees,
+                                uint64_t miners_per_tx) {
+  assert(f < 1.0);
+  double inner = 0.0;
+  const double pi = TxCorruption(miners_per_tx, f);
+  for (uint64_t t = 1; t <= total_fees; ++t) {
+    inner += pi * FeeProbability(t, total_fees);
+  }
+  return inner / (1.0 - f);
+}
+
+uint64_t MinShardSizeForSafety(double f, double target, uint64_t max_n) {
+  for (uint64_t n = 1; n <= max_n; ++n) {
+    if (ShardSafety(n, f) >= target) return n;
+  }
+  return 0;
+}
+
+}  // namespace security
+}  // namespace shardchain

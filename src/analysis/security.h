@@ -1,0 +1,65 @@
+#ifndef SHARDCHAIN_ANALYSIS_SECURITY_H_
+#define SHARDCHAIN_ANALYSIS_SECURITY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shardchain {
+
+/// \brief Closed-form security analysis of the sharding design
+/// (Sec. III-B, Sec. IV-D). Malicious-node counts per shard are
+/// modelled with the binomial distribution over an infinite adversary
+/// pool, as the paper assumes.
+namespace security {
+
+/// log of the binomial coefficient C(n, k), numerically stable.
+double LogBinomialCoefficient(uint64_t n, uint64_t k);
+
+/// P(X = k) for X ~ Binomial(n, p).
+double BinomialPmf(uint64_t n, uint64_t k, double p);
+
+/// P(X >= k0) for X ~ Binomial(n, p).
+double BinomialTail(uint64_t n, uint64_t k0, double p);
+
+/// Probability that a shard of `n` miners sampled against adversary
+/// fraction `f` is SAFE, i.e. fewer than ceil(n * threshold) malicious
+/// members (Fig. 1d; threshold 1/2 under PoW as in Eq. 5).
+double ShardSafety(uint64_t n, double f, double threshold = 0.5);
+
+/// Eq. 3: probability the newly formed shard is corrupted during the
+/// merging process — the adversary (computation fraction `f`) must
+/// control the leader for consecutive rounds until the merged shard has
+/// a malicious majority: sum_{k=0}^{l} f^k * (1 - Ps).
+double MergeCorruption(double f, double shard_safety, uint64_t l);
+
+/// Eq. 3 with l -> infinity: (1 - Ps) / (1 - f).
+double MergeCorruptionLimit(double f, double shard_safety);
+
+/// Eq. 4: probability of a transaction fee of t coins under
+/// Binomial(N, 1/2) fees: C(N, t) * (1/2)^N.
+double FeeProbability(uint64_t t, uint64_t total_fees);
+
+/// Eq. 5: probability of corrupting a single transaction validated by
+/// `n` miners: P(malicious > floor(n/2)) = sum_{k=ceil(n/2)}^{n} ...
+double TxCorruption(uint64_t n, double f);
+
+/// Eq. 6: probability the system is corrupted under the intra-shard
+/// selection algorithm: sum_{k=0}^{l} f^k * sum_{t=1}^{N} Pi * Pt,
+/// with Pi evaluated at `miners_per_tx` miners.
+double SelectionCorruption(double f, uint64_t l, uint64_t total_fees,
+                           uint64_t miners_per_tx);
+
+/// Eq. 6 with l -> infinity.
+double SelectionCorruptionLimit(double f, uint64_t total_fees,
+                                uint64_t miners_per_tx);
+
+/// Smallest shard size whose safety (at threshold 1/2) is at least
+/// `target` against adversary fraction `f`; scans up to `max_n`.
+/// Returns 0 if no size up to max_n suffices.
+uint64_t MinShardSizeForSafety(double f, double target, uint64_t max_n);
+
+}  // namespace security
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_ANALYSIS_SECURITY_H_

@@ -1,0 +1,78 @@
+#include "analysis/storage.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shardchain {
+namespace storage {
+
+namespace {
+
+double TotalState(const std::vector<double>& shard_state) {
+  double total = 0.0;
+  for (double s : shard_state) total += s;
+  return total;
+}
+
+uint64_t TotalMiners(const std::vector<uint64_t>& shard_miners) {
+  uint64_t total = 0;
+  for (uint64_t m : shard_miners) total += m;
+  return total;
+}
+
+StorageProfile Finalize(double total, double max_miner, uint64_t miners) {
+  StorageProfile p;
+  p.total = total;
+  p.per_miner = miners == 0 ? 0.0 : total / static_cast<double>(miners);
+  p.max_miner = max_miner;
+  return p;
+}
+
+}  // namespace
+
+StorageProfile ContractSharding(const std::vector<double>& shard_state,
+                                const std::vector<uint64_t>& shard_miners) {
+  assert(shard_state.size() == shard_miners.size());
+  const double full = TotalState(shard_state);
+  double total = 0.0;
+  double max_miner = 0.0;
+  for (size_t s = 0; s < shard_state.size(); ++s) {
+    // Shard 0 is the MaxShard: its miners store the whole system state.
+    const double per = (s == 0) ? full : shard_state[s];
+    total += per * static_cast<double>(shard_miners[s]);
+    if (shard_miners[s] > 0) max_miner = std::max(max_miner, per);
+  }
+  return Finalize(total, max_miner, TotalMiners(shard_miners));
+}
+
+StorageProfile FullReplication(const std::vector<double>& shard_state,
+                               const std::vector<uint64_t>& shard_miners) {
+  assert(shard_state.size() == shard_miners.size());
+  const double full = TotalState(shard_state);
+  const uint64_t miners = TotalMiners(shard_miners);
+  return Finalize(full * static_cast<double>(miners), miners > 0 ? full : 0.0,
+                  miners);
+}
+
+StorageProfile StateDivided(const std::vector<double>& shard_state,
+                            const std::vector<uint64_t>& shard_miners) {
+  assert(shard_state.size() == shard_miners.size());
+  double total = 0.0;
+  double max_miner = 0.0;
+  for (size_t s = 0; s < shard_state.size(); ++s) {
+    total += shard_state[s] * static_cast<double>(shard_miners[s]);
+    if (shard_miners[s] > 0) max_miner = std::max(max_miner, shard_state[s]);
+  }
+  return Finalize(total, max_miner, TotalMiners(shard_miners));
+}
+
+double SavingsVsFullReplication(const std::vector<double>& shard_state,
+                                const std::vector<uint64_t>& shard_miners) {
+  const StorageProfile ours = ContractSharding(shard_state, shard_miners);
+  const StorageProfile full = FullReplication(shard_state, shard_miners);
+  if (full.per_miner <= 0.0) return 1.0;
+  return ours.per_miner / full.per_miner;
+}
+
+}  // namespace storage
+}  // namespace shardchain

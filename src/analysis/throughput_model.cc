@@ -1,0 +1,79 @@
+#include "analysis/throughput_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace shardchain {
+namespace model {
+
+namespace {
+
+double RoundLength(size_t miners, const RoundModelParams& params) {
+  if (miners == 0) return 0.0;
+  const double factor = std::max(
+      1.0, params.calibration_power / static_cast<double>(miners));
+  return params.round_seconds * factor;
+}
+
+size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+double GreedyConfirmationTime(size_t txs, size_t miners,
+                              const RoundModelParams& params) {
+  if (txs == 0 || miners == 0) return 0.0;
+  // One useful block (txs_per_block transactions) per round.
+  const size_t rounds = CeilDiv(txs, params.txs_per_block);
+  return static_cast<double>(rounds) * RoundLength(miners, params);
+}
+
+double DisjointConfirmationTime(size_t txs, size_t miners,
+                                const RoundModelParams& params) {
+  if (txs == 0 || miners == 0) return 0.0;
+  // Every miner commits a disjoint block each round.
+  const size_t per_round = params.txs_per_block * miners;
+  const size_t rounds = CeilDiv(txs, per_round);
+  return static_cast<double>(rounds) * RoundLength(miners, params);
+}
+
+double ShardedMakespan(const std::vector<size_t>& shard_txs,
+                       const std::vector<size_t>& shard_miners,
+                       const RoundModelParams& params) {
+  assert(shard_txs.size() == shard_miners.size());
+  double makespan = 0.0;
+  for (size_t s = 0; s < shard_txs.size(); ++s) {
+    makespan = std::max(
+        makespan, GreedyConfirmationTime(shard_txs[s], shard_miners[s],
+                                         params));
+  }
+  return makespan;
+}
+
+double PredictedImprovement(const std::vector<size_t>& shard_txs,
+                            const std::vector<size_t>& shard_miners,
+                            size_t eth_miners,
+                            const RoundModelParams& params) {
+  size_t total = 0;
+  for (size_t t : shard_txs) total += t;
+  const double eth = GreedyConfirmationTime(total, eth_miners, params);
+  const double sharded = ShardedMakespan(shard_txs, shard_miners, params);
+  if (sharded <= 0.0) return 0.0;
+  return eth / sharded;
+}
+
+size_t PredictedEmptyBlocks(size_t txs, size_t miners,
+                            double window_seconds,
+                            const RoundModelParams& params) {
+  if (miners == 0) return 0;
+  const double round_len = RoundLength(miners, params);
+  const size_t busy_rounds = CeilDiv(txs, params.txs_per_block);
+  const size_t window_rounds =
+      static_cast<size_t>(window_seconds / round_len);
+  if (window_rounds <= busy_rounds) return 0;
+  // Each idle round, every miner packs one empty block.
+  return (window_rounds - busy_rounds) * miners;
+}
+
+}  // namespace model
+}  // namespace shardchain

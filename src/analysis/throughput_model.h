@@ -1,0 +1,55 @@
+#ifndef SHARDCHAIN_ANALYSIS_THROUGHPUT_MODEL_H_
+#define SHARDCHAIN_ANALYSIS_THROUGHPUT_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shardchain {
+namespace model {
+
+/// \brief Closed-form predictions of the round-based mining model —
+/// an independent cross-check on the simulator (the tests assert the
+/// two agree exactly in the deterministic regimes).
+struct RoundModelParams {
+  double round_seconds = 60.0;
+  size_t txs_per_block = 10;
+  double calibration_power = 1.0;
+};
+
+/// Confirmation time of `txs` transactions in one shard of `miners`
+/// greedy miners: one useful block per round, slowed by the
+/// genesis-difficulty factor when under-powered (Table I).
+double GreedyConfirmationTime(size_t txs, size_t miners,
+                              const RoundModelParams& params);
+
+/// Confirmation time with perfectly disjoint per-miner sets (the
+/// round-robin oracle; the congestion game approaches this when fees
+/// disperse miners).
+double DisjointConfirmationTime(size_t txs, size_t miners,
+                                const RoundModelParams& params);
+
+/// Makespan over parallel shards, each greedy (Fig. 3a): the slowest
+/// shard dominates.
+double ShardedMakespan(const std::vector<size_t>& shard_txs,
+                       const std::vector<size_t>& shard_miners,
+                       const RoundModelParams& params);
+
+/// Predicted throughput improvement of sharding `shard_txs` over one
+/// Ethereum network of `eth_miners` holding all the transactions.
+double PredictedImprovement(const std::vector<size_t>& shard_txs,
+                            const std::vector<size_t>& shard_miners,
+                            size_t eth_miners,
+                            const RoundModelParams& params);
+
+/// Empty blocks a shard mines between finishing its own work and the
+/// end of the observation window (per Fig. 3b/3c accounting: one per
+/// miner per idle round).
+size_t PredictedEmptyBlocks(size_t txs, size_t miners,
+                            double window_seconds,
+                            const RoundModelParams& params);
+
+}  // namespace model
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_ANALYSIS_THROUGHPUT_MODEL_H_

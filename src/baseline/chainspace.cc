@@ -1,0 +1,67 @@
+#include "baseline/chainspace.h"
+
+#include <cassert>
+#include <set>
+
+#include "crypto/sha256.h"
+
+namespace shardchain {
+
+ShardId ChainSpaceShardOfAccount(const Address& account, size_t num_shards) {
+  assert(num_shards > 0);
+  Sha256 h;
+  h.Update("chainspace.state.v1");
+  h.Update(account.bytes.data(), account.bytes.size());
+  return static_cast<ShardId>(h.Finalize().Prefix64() % num_shards);
+}
+
+uint64_t ChainSpaceMessagesForTx(ShardId home,
+                                 const std::vector<ShardId>& input_shards) {
+  std::set<ShardId> foreign(input_shards.begin(), input_shards.end());
+  foreign.erase(home);
+  // Query + vote per distinct foreign input shard (2PC between the
+  // shard leaders).
+  return 2 * static_cast<uint64_t>(foreign.size());
+}
+
+ChainSpaceResult RunChainSpace(const std::vector<Transaction>& txs,
+                               const ChainSpaceConfig& config, Rng* rng) {
+  assert(rng != nullptr);
+  assert(config.num_shards > 0);
+  ChainSpaceResult result;
+  result.num_shards = config.num_shards;
+
+  // Random, even transaction placement plus 2PC accounting.
+  std::vector<std::vector<Amount>> shard_fees(config.num_shards);
+  for (const Transaction& tx : txs) {
+    const ShardId home =
+        static_cast<ShardId>(rng->UniformInt(config.num_shards));
+    shard_fees[home].push_back(tx.fee);
+
+    std::vector<ShardId> input_shards;
+    input_shards.reserve(tx.input_accounts.size() + 1);
+    input_shards.push_back(
+        ChainSpaceShardOfAccount(tx.sender, config.num_shards));
+    for (const Address& input : tx.input_accounts) {
+      input_shards.push_back(
+          ChainSpaceShardOfAccount(input, config.num_shards));
+    }
+    result.cross_shard_messages += ChainSpaceMessagesForTx(home, input_shards);
+  }
+
+  std::vector<ShardSpec> specs;
+  specs.reserve(config.num_shards);
+  for (size_t s = 0; s < config.num_shards; ++s) {
+    ShardSpec spec;
+    spec.id = static_cast<ShardId>(s);
+    spec.num_miners = config.miners_per_shard;
+    spec.tx_fees = std::move(shard_fees[s]);
+    specs.push_back(std::move(spec));
+  }
+  MiningSimConfig mining = config.mining;
+  mining.policy = SelectionPolicy::kGreedy;
+  result.sim = RunMiningSim(specs, mining, rng);
+  return result;
+}
+
+}  // namespace shardchain

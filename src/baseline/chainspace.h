@@ -1,0 +1,64 @@
+#ifndef SHARDCHAIN_BASELINE_CHAINSPACE_H_
+#define SHARDCHAIN_BASELINE_CHAINSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/mining_sim.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief ChainSpace-model baseline (Sec. VI-A, Related Work):
+/// a sharded smart-contract platform that "separates miners and
+/// transactions into shards randomly, incurring new cross-shard
+/// consensus protocols and heavy cross-shard communications".
+///
+/// SUBSTITUTION NOTE (DESIGN.md §2): we model ChainSpace's S-BAC as a
+/// two-phase commit among the shards holding a transaction's inputs:
+/// the home shard queries every foreign input shard and collects a
+/// vote from each (2 messages per foreign input shard). Account-to-
+/// shard placement is random (hash-based), as is transaction-to-shard
+/// placement. Mining inside each shard uses the same round model as
+/// everything else, so throughput comparisons isolate the scheme.
+struct ChainSpaceConfig {
+  size_t num_shards = 9;
+  size_t miners_per_shard = 1;
+  MiningSimConfig mining;
+};
+
+struct ChainSpaceResult {
+  SimResult sim;
+  /// Total cross-shard coordination messages exchanged to validate the
+  /// injected transactions.
+  uint64_t cross_shard_messages = 0;
+  size_t num_shards = 0;
+
+  /// "Communication times per shard" (Fig. 4b).
+  double CommunicationTimesPerShard() const {
+    if (num_shards == 0) return 0.0;
+    return static_cast<double>(cross_shard_messages) /
+           static_cast<double>(num_shards);
+  }
+};
+
+/// Shard an account hashes to under random state placement.
+ShardId ChainSpaceShardOfAccount(const Address& account, size_t num_shards);
+
+/// Runs the ChainSpace model over `txs`: random tx placement, random
+/// state placement, 2PC message counting for every foreign input, and
+/// per-shard greedy mining.
+ChainSpaceResult RunChainSpace(const std::vector<Transaction>& txs,
+                               const ChainSpaceConfig& config, Rng* rng);
+
+/// Message cost of validating one transaction whose home shard is
+/// `home` given its input accounts' shards: 2 per distinct foreign
+/// input shard (query + vote).
+uint64_t ChainSpaceMessagesForTx(ShardId home,
+                                 const std::vector<ShardId>& input_shards);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_BASELINE_CHAINSPACE_H_

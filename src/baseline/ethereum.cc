@@ -1,0 +1,23 @@
+#include "baseline/ethereum.h"
+
+namespace shardchain {
+
+SimResult RunEthereumBaseline(const std::vector<Amount>& fees,
+                              size_t num_miners,
+                              const MiningSimConfig& config, Rng* rng) {
+  MiningSimConfig eth = config;
+  eth.policy = SelectionPolicy::kGreedy;
+  ShardSpec spec;
+  spec.id = 0;
+  spec.num_miners = num_miners;
+  spec.tx_fees = fees;
+  return RunMiningSim({spec}, eth, rng);
+}
+
+SimTime EthereumConfirmationTime(const std::vector<Amount>& fees,
+                                 size_t num_miners,
+                                 const MiningSimConfig& config, Rng* rng) {
+  return RunEthereumBaseline(fees, num_miners, config, rng).makespan;
+}
+
+}  // namespace shardchain

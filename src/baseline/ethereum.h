@@ -1,0 +1,29 @@
+#ifndef SHARDCHAIN_BASELINE_ETHEREUM_H_
+#define SHARDCHAIN_BASELINE_ETHEREUM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/mining_sim.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief The non-sharded Ethereum baseline (Sec. VI-A): one network,
+/// every miner tracks the same pool and greedily packs the top-fee
+/// transactions, so confirmation is serialized (Sec. II-B).
+///
+/// This is the benchmark denominator W_E in every throughput-
+/// improvement figure.
+SimResult RunEthereumBaseline(const std::vector<Amount>& fees,
+                              size_t num_miners,
+                              const MiningSimConfig& config, Rng* rng);
+
+/// Convenience: the makespan W_E of the baseline.
+SimTime EthereumConfirmationTime(const std::vector<Amount>& fees,
+                                 size_t num_miners,
+                                 const MiningSimConfig& config, Rng* rng);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_BASELINE_ETHEREUM_H_

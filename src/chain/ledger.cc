@@ -1,0 +1,203 @@
+#include "chain/ledger.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shardchain {
+
+namespace {
+
+/// PoW validity: the header hash, read as a 64-bit big-endian prefix,
+/// must be below UINT64_MAX / difficulty.
+bool PowValid(const BlockHeader& header) {
+  if (header.difficulty <= 1) return true;
+  const uint64_t target = ~uint64_t{0} / header.difficulty;
+  return header.Hash().Prefix64() <= target;
+}
+
+}  // namespace
+
+Ledger::Ledger(ShardId shard_id, StateDB genesis_state, ChainConfig config)
+    : shard_id_(shard_id), config_(config) {
+  Node genesis;
+  genesis.block.header.shard_id = shard_id;
+  genesis.block.header.state_root = genesis_state.StateRoot();
+  genesis.post_state = std::move(genesis_state);
+  genesis.height = 0;
+  genesis_hash_ = genesis.block.header.Hash();
+  tip_hash_ = genesis_hash_;
+  nodes_.emplace(genesis_hash_, std::move(genesis));
+}
+
+uint64_t Ledger::tip_number() const { return nodes_.at(tip_hash_).height; }
+
+const StateDB& Ledger::tip_state() const {
+  return nodes_.at(tip_hash_).post_state;
+}
+
+Status Ledger::ExecuteTransactions(const std::vector<Transaction>& txs,
+                                   const Address& miner,
+                                   const ChainConfig& config, StateDB* state) {
+  assert(state != nullptr);
+  for (const Transaction& tx : txs) {
+    if (config.strict_nonces && tx.nonce != state->NonceOf(tx.sender)) {
+      return Status::FailedPrecondition("nonce mismatch for sender " +
+                                        tx.sender.ToHex());
+    }
+    if (state->BalanceOf(tx.sender) < tx.fee + tx.value) {
+      return Status::FailedPrecondition("sender cannot cover fee + value");
+    }
+    // Fee first, then the action.
+    SHARDCHAIN_RETURN_IF_ERROR(state->Transfer(tx.sender, miner, tx.fee));
+    switch (tx.kind) {
+      case TxKind::kDirectTransfer:
+        SHARDCHAIN_RETURN_IF_ERROR(
+            state->Transfer(tx.sender, tx.recipient, tx.value));
+        break;
+      case TxKind::kContractCall: {
+        Result<ExecReceipt> receipt = ContractRegistry::Call(state, tx);
+        if (!receipt.ok()) return receipt.status();
+        break;
+      }
+      case TxKind::kContractDeploy: {
+        Result<ContractProgram> program =
+            ContractProgram::Deserialize(tx.payload);
+        if (!program.ok()) return program.status();
+        const Address addr =
+            Address::ForContract(tx.sender, state->NonceOf(tx.sender));
+        SHARDCHAIN_RETURN_IF_ERROR(
+            state->DeployContract(addr, program->Serialize()));
+        break;
+      }
+    }
+    state->GetOrCreate(tx.sender).nonce += 1;
+  }
+  state->Mint(miner, config.block_reward);
+  return Status::OK();
+}
+
+Status Ledger::Validate(const Block& block, const Node& parent) const {
+  const BlockHeader& h = block.header;
+  if (h.shard_id != shard_id_) {
+    return Status::Unauthorized("block carries foreign ShardID " +
+                                std::to_string(h.shard_id));
+  }
+  if (h.number != parent.height + 1) {
+    return Status::InvalidArgument("block number does not extend parent");
+  }
+  if (h.tx_root != block.ComputeTxRoot()) {
+    return Status::Corruption("tx root does not match block body");
+  }
+  if (block.transactions.size() > config_.max_txs_per_block) {
+    return Status::InvalidArgument("block exceeds transaction limit");
+  }
+  if (config_.check_pow && !PowValid(h)) {
+    return Status::Unauthorized("proof-of-work below difficulty");
+  }
+  return Status::OK();
+}
+
+Result<Hash256> Ledger::Append(const Block& block) {
+  const Hash256 hash = block.header.Hash();
+  if (nodes_.count(hash) > 0) {
+    return Status::AlreadyExists("block already recorded");
+  }
+  auto parent_it = nodes_.find(block.header.parent_hash);
+  if (parent_it == nodes_.end()) {
+    return Status::NotFound("unknown parent block");
+  }
+  const Node& parent = parent_it->second;
+  SHARDCHAIN_RETURN_IF_ERROR(Validate(block, parent));
+
+  Node node;
+  node.post_state = parent.post_state;
+  SHARDCHAIN_RETURN_IF_ERROR(ExecuteTransactions(
+      block.transactions, block.header.miner, config_, &node.post_state));
+  if (block.header.state_root != node.post_state.StateRoot()) {
+    return Status::Corruption("state root mismatch after execution");
+  }
+  node.block = block;
+  node.height = parent.height + 1;
+
+  const uint64_t height = node.height;
+  nodes_.emplace(hash, std::move(node));
+  // Longest-chain rule; strictly longer chains win so the earlier tip
+  // is kept on ties (every miner breaks ties identically by arrival).
+  if (height > nodes_.at(tip_hash_).height) tip_hash_ = hash;
+  return hash;
+}
+
+Block Ledger::BuildBlock(const Address& miner, std::vector<Transaction> txs,
+                         uint64_t timestamp) const {
+  const Node& tip = nodes_.at(tip_hash_);
+  Block block;
+  block.header.parent_hash = tip_hash_;
+  block.header.number = tip.height + 1;
+  block.header.shard_id = shard_id_;
+  block.header.miner = miner;
+  block.header.timestamp = timestamp;
+
+  // Greedily include executable transactions up to the block limit.
+  StateDB scratch = tip.post_state;
+  ChainConfig no_reward = config_;
+  no_reward.block_reward = 0;
+  for (Transaction& tx : txs) {
+    if (block.transactions.size() >= config_.max_txs_per_block) break;
+    StateDB trial = scratch;
+    const std::vector<Transaction> single{tx};
+    if (ExecuteTransactions(single, miner, no_reward, &trial).ok()) {
+      scratch = std::move(trial);
+      block.transactions.push_back(std::move(tx));
+    }
+  }
+  scratch.Mint(miner, config_.block_reward);
+
+  block.header.tx_root = block.ComputeTxRoot();
+  block.header.state_root = scratch.StateRoot();
+  return block;
+}
+
+bool Ledger::Contains(const Hash256& block_hash) const {
+  return nodes_.count(block_hash) > 0;
+}
+
+const Block* Ledger::Find(const Hash256& block_hash) const {
+  auto it = nodes_.find(block_hash);
+  return it == nodes_.end() ? nullptr : &it->second.block;
+}
+
+size_t Ledger::CanonicalLength() const {
+  return nodes_.at(tip_hash_).height + 1;
+}
+
+std::vector<Hash256> Ledger::CanonicalChain() const {
+  std::vector<Hash256> chain;
+  Hash256 cursor = tip_hash_;
+  for (;;) {
+    chain.push_back(cursor);
+    const Node& node = nodes_.at(cursor);
+    if (node.height == 0) break;
+    cursor = node.block.header.parent_hash;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+size_t Ledger::CanonicalEmptyBlocks() const {
+  size_t empty = 0;
+  for (const Hash256& hash : CanonicalChain()) {
+    const Node& node = nodes_.at(hash);
+    if (node.height > 0 && node.block.IsEmpty()) ++empty;
+  }
+  return empty;
+}
+
+size_t Ledger::CanonicalTxCount() const {
+  size_t count = 0;
+  for (const Hash256& hash : CanonicalChain()) {
+    count += nodes_.at(hash).block.transactions.size();
+  }
+  return count;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,111 @@
+#ifndef SHARDCHAIN_CHAIN_LEDGER_H_
+#define SHARDCHAIN_CHAIN_LEDGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "contract/registry.h"
+#include "state/statedb.h"
+#include "types/block.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief Chain-level parameters.
+struct ChainConfig {
+  Amount block_reward = 2'000'000'000;  ///< Paid per block, empty or not.
+  uint64_t max_txs_per_block = 10;      ///< Paper: gas limit 0x300000 ≈ 10 txs.
+  bool check_pow = false;               ///< Verify header hash vs difficulty.
+  bool strict_nonces = true;            ///< Enforce per-sender nonce order.
+};
+
+/// \brief Per-shard ledger: a block tree with longest-chain fork choice,
+/// full transaction execution, and per-block post-state tracking.
+///
+/// "Blocks are recorded by all the miners locally in the form of linked
+/// lists, called ledgers" (Sec. II-A). Each miner in a shard owns a
+/// Ledger restricted to that shard's transactions; MaxShard miners'
+/// ledgers cover everything.
+class Ledger {
+ public:
+  /// Creates the ledger with an implicit genesis block over
+  /// `genesis_state`.
+  Ledger(ShardId shard_id, StateDB genesis_state, ChainConfig config = {});
+
+  ShardId shard_id() const { return shard_id_; }
+  const ChainConfig& config() const { return config_; }
+
+  /// Hash of the genesis block.
+  const Hash256& genesis_hash() const { return genesis_hash_; }
+
+  /// Current canonical tip (longest chain; ties keep the earlier tip).
+  const Hash256& tip_hash() const { return tip_hash_; }
+  uint64_t tip_number() const;
+
+  /// State after executing the canonical chain.
+  const StateDB& tip_state() const;
+
+  /// Validates and stores `block`:
+  ///  - parent must be known; number must be parent.number + 1;
+  ///  - header.shard_id must equal this ledger's shard (Sec. III-C);
+  ///  - tx_root must match the body; optional PoW check;
+  ///  - every transaction must execute successfully on the parent state
+  ///    (fees + block reward credited to the miner).
+  /// On success the block joins the tree and fork choice may advance
+  /// the tip. Returns the block hash.
+  Result<Hash256> Append(const Block& block);
+
+  /// Convenience: builds a valid block on the current tip from `txs`
+  /// (truncated to max_txs_per_block), executing them to fill in the
+  /// roots. Transactions that fail execution are skipped, mirroring a
+  /// miner dropping invalid txs while packing. Does not append.
+  Block BuildBlock(const Address& miner, std::vector<Transaction> txs,
+                   uint64_t timestamp) const;
+
+  bool Contains(const Hash256& block_hash) const;
+  const Block* Find(const Hash256& block_hash) const;
+
+  /// Number of blocks on the canonical chain, genesis included.
+  size_t CanonicalLength() const;
+
+  /// Canonical chain from genesis to tip.
+  std::vector<Hash256> CanonicalChain() const;
+
+  /// Count of empty (transaction-free) blocks on the canonical chain,
+  /// genesis excluded — the waste metric of Fig. 3b/3c.
+  size_t CanonicalEmptyBlocks() const;
+
+  /// Total number of transactions confirmed on the canonical chain.
+  size_t CanonicalTxCount() const;
+
+  /// Executes `txs` in order against `state`: nonce check, fee charge,
+  /// value transfer / contract call / deploy. Stops with an error on
+  /// the first invalid transaction (states are not rolled back by this
+  /// helper; callers pass a scratch copy). Fees and `block_reward` go
+  /// to `miner`.
+  static Status ExecuteTransactions(const std::vector<Transaction>& txs,
+                                    const Address& miner,
+                                    const ChainConfig& config, StateDB* state);
+
+ private:
+  struct Node {
+    Block block;
+    StateDB post_state;
+    uint64_t height = 0;
+  };
+
+  Status Validate(const Block& block, const Node& parent) const;
+
+  ShardId shard_id_;
+  ChainConfig config_;
+  Hash256 genesis_hash_;
+  Hash256 tip_hash_;
+  std::unordered_map<Hash256, Node> nodes_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CHAIN_LEDGER_H_

@@ -1,0 +1,73 @@
+#include "common/hex.h"
+
+#include <cassert>
+
+namespace shardchain {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(const uint8_t* data, size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0x0f]);
+  }
+  return out;
+}
+
+std::string HexEncode(const Bytes& data) {
+  return HexEncode(data.data(), data.size());
+}
+
+Result<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in input");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void AppendUint64(Bytes* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void AppendUint32(Bytes* out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+uint64_t ReadUint64(const Bytes& data, size_t offset) {
+  assert(offset + 8 <= data.size());
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data[offset + i];
+  return v;
+}
+
+}  // namespace shardchain

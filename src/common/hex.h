@@ -1,0 +1,36 @@
+#ifndef SHARDCHAIN_COMMON_HEX_H_
+#define SHARDCHAIN_COMMON_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace shardchain {
+
+/// Byte buffer alias used across the codebase.
+using Bytes = std::vector<uint8_t>;
+
+/// Encodes `data` as lowercase hex (no 0x prefix).
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const Bytes& data);
+
+/// Decodes a hex string (optionally 0x-prefixed, case-insensitive).
+/// Fails on odd length or non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// Appends a 64-bit integer to `out` in big-endian byte order.
+void AppendUint64(Bytes* out, uint64_t v);
+
+/// Appends a 32-bit integer to `out` in big-endian byte order.
+void AppendUint32(Bytes* out, uint32_t v);
+
+/// Reads a big-endian 64-bit integer from `data` (must have >= 8 bytes
+/// available at `offset`).
+uint64_t ReadUint64(const Bytes& data, size_t offset);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_COMMON_HEX_H_

@@ -1,0 +1,81 @@
+#ifndef SHARDCHAIN_COMMON_RESULT_H_
+#define SHARDCHAIN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace shardchain {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// The return type for fallible functions that produce a value, so that
+/// error handling stays exception-free (see status.h). A `Result` is
+/// contextually convertible to bool: `if (auto r = Parse(s)) use(*r);`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing
+  /// from an OK status is a programming error.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result built from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  /// The failure status; Status::OK() when the result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  /// Value accessors. Calling these on a failed Result is a programming
+  /// error (asserted in debug builds).
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Assign a Result's value to `lhs`, or return its status to the caller.
+#define SHARDCHAIN_ASSIGN_OR_RETURN(lhs, expr)      \
+  do {                                              \
+    auto _res = (expr);                             \
+    if (!_res.ok()) return _res.status();           \
+    lhs = std::move(_res).value();                  \
+  } while (false)
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_COMMON_RESULT_H_

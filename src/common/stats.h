@@ -1,0 +1,43 @@
+#ifndef SHARDCHAIN_COMMON_STATS_H_
+#define SHARDCHAIN_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace shardchain {
+
+/// \brief Streaming summary statistics (Welford's algorithm).
+///
+/// Used by the benchmark harnesses to aggregate repeated simulation runs
+/// (the paper repeats injections "20 times ... to make the results more
+/// valid").
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) of `values` by linear
+/// interpolation. `values` is copied and sorted; empty input yields 0.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_COMMON_STATS_H_

@@ -1,0 +1,107 @@
+#ifndef SHARDCHAIN_COMMON_STATUS_H_
+#define SHARDCHAIN_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace shardchain {
+
+/// \brief Lightweight error-reporting type used instead of exceptions.
+///
+/// Mirrors the RocksDB / Arrow `Status` idiom: functions that can fail
+/// return a `Status` (or a `Result<T>`, see result.h) and callers branch
+/// on `ok()`. A default-constructed `Status` is OK and carries no
+/// allocation.
+class Status {
+ public:
+  /// Machine-readable failure category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kCorruption,
+    kUnauthorized,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status Unauthorized(std::string_view msg) {
+    return Status(Code::kUnauthorized, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnauthorized() const { return code_ == Code::kUnauthorized; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Returns the symbolic name of a status code ("OK", "NotFound", ...).
+const char* StatusCodeName(Status::Code code);
+
+/// Propagate a non-OK status to the caller. Use inside functions that
+/// themselves return Status.
+#define SHARDCHAIN_RETURN_IF_ERROR(expr)            \
+  do {                                              \
+    ::shardchain::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_COMMON_STATUS_H_

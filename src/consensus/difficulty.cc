@@ -1,0 +1,67 @@
+#include "consensus/difficulty.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace shardchain {
+namespace pow {
+
+uint64_t NextDifficulty(uint64_t parent_difficulty, double interval,
+                        const RetargetConfig& config) {
+  assert(interval >= 0.0);
+  const int64_t step =
+      1 - static_cast<int64_t>(interval / config.target_interval);
+  const int64_t clamped =
+      std::max<int64_t>(config.max_downward, std::min<int64_t>(step, 1));
+  const int64_t delta =
+      static_cast<int64_t>(parent_difficulty / config.adjustment_divisor) *
+      clamped;
+  int64_t next = static_cast<int64_t>(parent_difficulty) + delta;
+  if (next < static_cast<int64_t>(config.min_difficulty)) {
+    next = static_cast<int64_t>(config.min_difficulty);
+  }
+  return static_cast<uint64_t>(next);
+}
+
+double RetargetTrace::EquilibriumInterval(size_t tail) const {
+  if (intervals.empty()) return 0.0;
+  const size_t n = std::min(tail, intervals.size());
+  double sum = 0.0;
+  for (size_t i = intervals.size() - n; i < intervals.size(); ++i) {
+    sum += intervals[i];
+  }
+  return sum / static_cast<double>(n);
+}
+
+RetargetTrace SimulateRetargeting(uint64_t initial_difficulty,
+                                  double hashrate, size_t blocks,
+                                  const RetargetConfig& config, Rng* rng) {
+  assert(hashrate > 0.0 && rng != nullptr);
+  RetargetTrace trace;
+  trace.intervals.reserve(blocks);
+  trace.difficulties.reserve(blocks);
+  uint64_t difficulty = std::max(initial_difficulty, config.min_difficulty);
+  for (size_t b = 0; b < blocks; ++b) {
+    const double mean = static_cast<double>(difficulty) / hashrate;
+    const double interval = rng->Exponential(mean);
+    difficulty = NextDifficulty(difficulty, interval, config);
+    trace.intervals.push_back(interval);
+    trace.difficulties.push_back(difficulty);
+  }
+  return trace;
+}
+
+uint64_t EquilibriumDifficulty(double hashrate, const RetargetConfig& config) {
+  assert(hashrate > 0.0);
+  // The retarget rule is (in expectation) stationary when the expected
+  // clamp term is zero; for exponential intervals that is close to
+  // interval == target, i.e. difficulty == hashrate * target.
+  const double d = hashrate * config.target_interval;
+  return d < static_cast<double>(config.min_difficulty)
+             ? config.min_difficulty
+             : static_cast<uint64_t>(std::llround(d));
+}
+
+}  // namespace pow
+}  // namespace shardchain

@@ -1,0 +1,56 @@
+#ifndef SHARDCHAIN_CONSENSUS_DIFFICULTY_H_
+#define SHARDCHAIN_CONSENSUS_DIFFICULTY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "types/block.h"
+
+namespace shardchain {
+namespace pow {
+
+/// \brief Ethereum-style per-block difficulty retargeting.
+///
+/// go-Ethereum 1.8.0 (the paper's base system) adjusts difficulty every
+/// block so the network's block interval tracks a target regardless of
+/// how much mining power joins. This is what makes "more miners" stop
+/// helping in Table I: the chain produces blocks at the target rate no
+/// matter how many miners race. The rule (Homestead, bomb omitted):
+///
+///   d' = d + (d / 2048) * clamp(1 - (t - t_parent) / target, -99, 1)
+struct RetargetConfig {
+  double target_interval = 60.0;  ///< Seconds between blocks at equilibrium.
+  uint64_t min_difficulty = 16;   ///< Floor, as in go-Ethereum.
+  uint64_t adjustment_divisor = 2048;
+  int64_t max_downward = -99;
+};
+
+/// One retargeting step given the parent difficulty and the observed
+/// block interval.
+uint64_t NextDifficulty(uint64_t parent_difficulty, double interval,
+                        const RetargetConfig& config);
+
+/// \brief Trace of a simulated retargeting run.
+struct RetargetTrace {
+  std::vector<double> intervals;      ///< Observed block intervals.
+  std::vector<uint64_t> difficulties; ///< Difficulty after each block.
+  double EquilibriumInterval(size_t tail = 20) const;
+};
+
+/// Simulates `blocks` blocks mined by aggregate `hashrate` (hashes/s)
+/// under retargeting: each interval is exponential with mean
+/// difficulty / hashrate, then difficulty adjusts. Shows convergence of
+/// the interval to the target independent of hashrate.
+RetargetTrace SimulateRetargeting(uint64_t initial_difficulty,
+                                  double hashrate, size_t blocks,
+                                  const RetargetConfig& config, Rng* rng);
+
+/// The difficulty at which `hashrate` yields the target interval —
+/// the fixed point the simulation converges to.
+uint64_t EquilibriumDifficulty(double hashrate, const RetargetConfig& config);
+
+}  // namespace pow
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CONSENSUS_DIFFICULTY_H_

@@ -1,0 +1,51 @@
+#include "consensus/pow.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace shardchain {
+namespace pow {
+
+uint64_t TargetForDifficulty(uint64_t difficulty) {
+  if (difficulty <= 1) return ~uint64_t{0};
+  return ~uint64_t{0} / difficulty;
+}
+
+bool CheckPow(const BlockHeader& header) {
+  return header.Hash().Prefix64() <= TargetForDifficulty(header.difficulty);
+}
+
+std::optional<uint64_t> SolvePow(BlockHeader* header,
+                                 uint64_t max_iterations) {
+  assert(header != nullptr);
+  const uint64_t target = TargetForDifficulty(header->difficulty);
+  for (uint64_t i = 0; i < max_iterations; ++i) {
+    if (header->Hash().Prefix64() <= target) return i + 1;
+    ++header->nonce;
+  }
+  return std::nullopt;
+}
+
+double MeanBlockInterval(uint64_t difficulty, double relative_power) {
+  assert(relative_power > 0.0);
+  return static_cast<double>(difficulty) /
+         (kCalibratedHashRate * relative_power);
+}
+
+SimTime SampleBlockInterval(uint64_t difficulty, double relative_power,
+                            Rng* rng) {
+  assert(rng != nullptr);
+  return rng->Exponential(MeanBlockInterval(difficulty, relative_power));
+}
+
+uint64_t DifficultyForThroughput(double txs_per_second, double txs_per_block) {
+  assert(txs_per_second > 0.0 && txs_per_block > 0.0);
+  // blocks/s = txs_per_second / txs_per_block; mean interval is the
+  // inverse; difficulty = interval * hashrate.
+  const double interval = txs_per_block / txs_per_second;
+  const double difficulty = interval * kCalibratedHashRate;
+  return difficulty < 1.0 ? 1 : static_cast<uint64_t>(std::llround(difficulty));
+}
+
+}  // namespace pow
+}  // namespace shardchain

@@ -1,0 +1,269 @@
+#include "contract/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace shardchain {
+
+namespace {
+
+struct OpInfo {
+  Op op;
+  enum class Operand { kNone, kImm64, kImm8, kLabel } operand;
+};
+
+const std::map<std::string, OpInfo>& Mnemonics() {
+  using Operand = OpInfo::Operand;
+  static const auto* table = new std::map<std::string, OpInfo>{
+      {"STOP", {Op::kStop, Operand::kNone}},
+      {"PUSH", {Op::kPush, Operand::kImm64}},
+      {"POP", {Op::kPop, Operand::kNone}},
+      {"DUP", {Op::kDup, Operand::kNone}},
+      {"SWAP", {Op::kSwap, Operand::kNone}},
+      {"ADD", {Op::kAdd, Operand::kNone}},
+      {"SUB", {Op::kSub, Operand::kNone}},
+      {"MUL", {Op::kMul, Operand::kNone}},
+      {"DIV", {Op::kDiv, Operand::kNone}},
+      {"MOD", {Op::kMod, Operand::kNone}},
+      {"LT", {Op::kLt, Operand::kNone}},
+      {"GT", {Op::kGt, Operand::kNone}},
+      {"LE", {Op::kLe, Operand::kNone}},
+      {"GE", {Op::kGe, Operand::kNone}},
+      {"EQ", {Op::kEq, Operand::kNone}},
+      {"NEQ", {Op::kNeq, Operand::kNone}},
+      {"AND", {Op::kAnd, Operand::kNone}},
+      {"OR", {Op::kOr, Operand::kNone}},
+      {"NOT", {Op::kNot, Operand::kNone}},
+      {"JUMP", {Op::kJump, Operand::kLabel}},
+      {"JUMPI", {Op::kJumpI, Operand::kLabel}},
+      {"REQUIRE", {Op::kRequire, Operand::kNone}},
+      {"REVERT", {Op::kRevert, Operand::kNone}},
+      {"ARG", {Op::kArg, Operand::kImm8}},
+      {"CALLVALUE", {Op::kCallValue, Operand::kNone}},
+      {"CALLERBALANCE", {Op::kCallerBalance, Operand::kNone}},
+      {"PARTYBALANCE", {Op::kPartyBalance, Operand::kImm8}},
+      {"SELFBALANCE", {Op::kSelfBalance, Operand::kNone}},
+      {"SLOAD", {Op::kSLoad, Operand::kNone}},
+      {"SSTORE", {Op::kSStore, Operand::kNone}},
+      {"TRANSFER", {Op::kTransfer, Operand::kNone}},
+      {"TRANSFERCALLER", {Op::kTransferCaller, Operand::kNone}},
+  };
+  return *table;
+}
+
+struct Line {
+  std::string mnemonic;  // Empty for label-only lines.
+  std::string operand;
+  std::string label;     // Defined label, if the line is "name:".
+  int number = 0;
+};
+
+std::string Strip(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return std::string(s.substr(begin, end - begin));
+}
+
+Result<std::vector<Line>> Tokenize(std::string_view source) {
+  std::vector<Line> lines;
+  int number = 0;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    const size_t nl = source.find('\n', pos);
+    std::string_view raw = source.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = (nl == std::string_view::npos) ? source.size() + 1 : nl + 1;
+    ++number;
+
+    const size_t comment = raw.find(';');
+    if (comment != std::string_view::npos) raw = raw.substr(0, comment);
+    std::string text = Strip(raw);
+    if (text.empty()) continue;
+
+    Line line;
+    line.number = number;
+    if (text.back() == ':') {
+      line.label = Strip(std::string_view(text).substr(0, text.size() - 1));
+      if (line.label.empty()) {
+        return Status::InvalidArgument("empty label at line " +
+                                       std::to_string(number));
+      }
+      lines.push_back(std::move(line));
+      continue;
+    }
+    std::istringstream iss(text);
+    iss >> line.mnemonic;
+    iss >> line.operand;
+    std::string extra;
+    if (iss >> extra) {
+      return Status::InvalidArgument("trailing tokens at line " +
+                                     std::to_string(number));
+    }
+    for (char& c : line.mnemonic) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+size_t InstructionSize(const OpInfo& info) {
+  switch (info.operand) {
+    case OpInfo::Operand::kNone:
+      return 1;
+    case OpInfo::Operand::kImm8:
+      return 2;
+    case OpInfo::Operand::kLabel:
+      return 3;
+    case OpInfo::Operand::kImm64:
+      return 9;
+  }
+  return 1;
+}
+
+}  // namespace
+
+Result<Bytes> Assemble(std::string_view source) {
+  std::vector<Line> lines;
+  SHARDCHAIN_ASSIGN_OR_RETURN(lines, Tokenize(source));
+
+  // Pass 1: label offsets.
+  std::map<std::string, size_t> labels;
+  size_t offset = 0;
+  for (const Line& line : lines) {
+    if (!line.label.empty()) {
+      if (labels.count(line.label) > 0) {
+        return Status::InvalidArgument("duplicate label '" + line.label +
+                                       "' at line " +
+                                       std::to_string(line.number));
+      }
+      labels[line.label] = offset;
+      continue;
+    }
+    auto it = Mnemonics().find(line.mnemonic);
+    if (it == Mnemonics().end()) {
+      return Status::InvalidArgument("unknown mnemonic '" + line.mnemonic +
+                                     "' at line " + std::to_string(line.number));
+    }
+    offset += InstructionSize(it->second);
+  }
+  if (offset > 0xffff) {
+    return Status::OutOfRange("program exceeds 64 KiB jump-address space");
+  }
+
+  // Pass 2: emit.
+  Bytes code;
+  code.reserve(offset);
+  for (const Line& line : lines) {
+    if (!line.label.empty()) continue;
+    const OpInfo& info = Mnemonics().at(line.mnemonic);
+    code.push_back(static_cast<uint8_t>(info.op));
+    switch (info.operand) {
+      case OpInfo::Operand::kNone:
+        if (!line.operand.empty()) {
+          return Status::InvalidArgument("unexpected operand at line " +
+                                         std::to_string(line.number));
+        }
+        break;
+      case OpInfo::Operand::kImm64: {
+        if (line.operand.empty()) {
+          return Status::InvalidArgument("missing immediate at line " +
+                                         std::to_string(line.number));
+        }
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(line.operand.c_str(), &end, 10);
+        if (errno != 0 || end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("bad immediate '" + line.operand +
+                                         "' at line " +
+                                         std::to_string(line.number));
+        }
+        AppendUint64(&code, static_cast<uint64_t>(v));
+        break;
+      }
+      case OpInfo::Operand::kImm8: {
+        if (line.operand.empty()) {
+          return Status::InvalidArgument("missing index at line " +
+                                         std::to_string(line.number));
+        }
+        char* end = nullptr;
+        const long v = std::strtol(line.operand.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v < 0 || v > 255) {
+          return Status::InvalidArgument("bad 8-bit index at line " +
+                                         std::to_string(line.number));
+        }
+        code.push_back(static_cast<uint8_t>(v));
+        break;
+      }
+      case OpInfo::Operand::kLabel: {
+        auto it = labels.find(line.operand);
+        if (it == labels.end()) {
+          return Status::InvalidArgument("undefined label '" + line.operand +
+                                         "' at line " +
+                                         std::to_string(line.number));
+        }
+        code.push_back(static_cast<uint8_t>(it->second >> 8));
+        code.push_back(static_cast<uint8_t>(it->second & 0xff));
+        break;
+      }
+    }
+  }
+  return code;
+}
+
+Result<std::string> Disassemble(const Bytes& code) {
+  std::ostringstream out;
+  size_t pc = 0;
+  while (pc < code.size()) {
+    const Op op = static_cast<Op>(code[pc]);
+    bool known = false;
+    OpInfo info{op, OpInfo::Operand::kNone};
+    for (const auto& [name, i] : Mnemonics()) {
+      if (i.op == op) {
+        known = true;
+        info = i;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::Corruption("invalid opcode at offset " +
+                                std::to_string(pc));
+    }
+    out << pc << ": " << OpName(op);
+    const size_t size = InstructionSize(info);
+    if (pc + size > code.size()) {
+      return Status::Corruption("truncated instruction at offset " +
+                                std::to_string(pc));
+    }
+    switch (info.operand) {
+      case OpInfo::Operand::kNone:
+        break;
+      case OpInfo::Operand::kImm8:
+        out << " " << static_cast<int>(code[pc + 1]);
+        break;
+      case OpInfo::Operand::kLabel:
+        out << " " << ((code[pc + 1] << 8) | code[pc + 2]);
+        break;
+      case OpInfo::Operand::kImm64: {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v = (v << 8) | code[pc + 1 + i];
+        out << " " << static_cast<int64_t>(v);
+        break;
+      }
+    }
+    out << "\n";
+    pc += size;
+  }
+  return out.str();
+}
+
+}  // namespace shardchain

@@ -1,0 +1,30 @@
+#ifndef SHARDCHAIN_CONTRACT_ASSEMBLER_H_
+#define SHARDCHAIN_CONTRACT_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "contract/vm.h"
+
+namespace shardchain {
+
+/// \brief Assembles contract-VM text into bytecode.
+///
+/// Grammar (one instruction per line):
+///   - `MNEMONIC [operand]`, e.g. `PUSH 42`, `ARG 0`, `PARTYBALANCE 1`
+///   - labels: `name:` on their own line; `JUMP name` / `JUMPI name`
+///   - comments: `;` to end of line; blank lines ignored
+///
+/// Immediates are decimal (PUSH accepts negatives). Two passes: first
+/// collects label offsets, second emits code.
+Result<Bytes> Assemble(std::string_view source);
+
+/// \brief Disassembles bytecode back to one-instruction-per-line text
+/// (absolute jump targets; no label reconstruction). For debugging and
+/// round-trip tests.
+Result<std::string> Disassemble(const Bytes& code);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CONTRACT_ASSEMBLER_H_

@@ -1,0 +1,97 @@
+#include "contract/callgraph.h"
+
+namespace shardchain {
+
+const char* SenderClassName(SenderClass c) {
+  switch (c) {
+    case SenderClass::kNoHistory:
+      return "NoHistory";
+    case SenderClass::kSingleContract:
+      return "SingleContract";
+    case SenderClass::kMultiContract:
+      return "MultiContract";
+    case SenderClass::kDirect:
+      return "Direct";
+  }
+  return "Unknown";
+}
+
+void CallGraph::Record(const Transaction& tx) {
+  UserInfo& info = users_[tx.sender];
+  switch (tx.kind) {
+    case TxKind::kContractCall:
+      if (info.contracts.insert(tx.recipient).second) {
+        info.contract_order.push_back(tx.recipient);
+      }
+      break;
+    case TxKind::kDirectTransfer:
+      info.has_direct = true;
+      break;
+    case TxKind::kContractDeploy:
+      // Deploying does not make the deployer a *participant* in the
+      // contract's transaction flow; it leaves the class unchanged.
+      break;
+  }
+}
+
+SenderClass CallGraph::Classify(const Address& sender) const {
+  auto it = users_.find(sender);
+  if (it == users_.end()) return SenderClass::kNoHistory;
+  const UserInfo& info = it->second;
+  if (info.has_direct) return SenderClass::kDirect;
+  if (info.contracts.size() >= 2) return SenderClass::kMultiContract;
+  if (info.contracts.size() == 1) return SenderClass::kSingleContract;
+  return SenderClass::kNoHistory;
+}
+
+std::optional<Address> CallGraph::SingleContractOf(
+    const Address& sender) const {
+  auto it = users_.find(sender);
+  if (it == users_.end()) return std::nullopt;
+  const UserInfo& info = it->second;
+  if (info.has_direct || info.contracts.size() != 1) return std::nullopt;
+  return info.contract_order.front();
+}
+
+SenderClass CallGraph::ClassifyWith(const Address& sender,
+                                    const Transaction& tx) const {
+  const SenderClass base = Classify(sender);
+  if (base == SenderClass::kDirect) return base;
+  if (tx.kind == TxKind::kDirectTransfer) return SenderClass::kDirect;
+  if (tx.kind != TxKind::kContractCall) return base;
+  switch (base) {
+    case SenderClass::kNoHistory:
+      return SenderClass::kSingleContract;
+    case SenderClass::kSingleContract: {
+      std::optional<Address> contract = SingleContractOf(sender);
+      return (contract.has_value() && *contract == tx.recipient)
+                 ? SenderClass::kSingleContract
+                 : SenderClass::kMultiContract;
+    }
+    case SenderClass::kMultiContract:
+      return SenderClass::kMultiContract;
+    default:
+      return base;
+  }
+}
+
+bool CallGraph::IsShardable(const Transaction& tx, Address* contract) const {
+  if (tx.kind != TxKind::kContractCall) return false;
+  // Transactions needing extra account inputs require state outside the
+  // contract's shard (the paper routes multi-input txs to the MaxShard,
+  // Sec. VI-B2).
+  if (!tx.input_accounts.empty()) return false;
+  if (ClassifyWith(tx.sender, tx) != SenderClass::kSingleContract) {
+    return false;
+  }
+  if (contract != nullptr) *contract = tx.recipient;
+  return true;
+}
+
+std::vector<Address> CallGraph::ContractsOf(const Address& sender) const {
+  auto it = users_.find(sender);
+  if (it == users_.end()) return {};
+  return it->second.contract_order;
+}
+
+}  // namespace shardchain

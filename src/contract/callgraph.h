@@ -1,0 +1,76 @@
+#ifndef SHARDCHAIN_CONTRACT_CALLGRAPH_H_
+#define SHARDCHAIN_CONTRACT_CALLGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "types/address.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// How a sender relates to the contract universe (Sec. II-C, Fig. 1).
+enum class SenderClass : uint8_t {
+  kNoHistory = 0,      ///< Never sent a transaction.
+  kSingleContract = 1, ///< Only ever invoked one contract (Fig. 1a).
+  kMultiContract = 2,  ///< Invoked two or more contracts (Fig. 1b).
+  kDirect = 3,         ///< Has sent a direct user-to-user tx (Fig. 1c).
+};
+
+const char* SenderClassName(SenderClass c);
+
+/// \brief The user/contract call graph miners maintain locally
+/// (Sec. III-C) so that sender classification — "does this sender only
+/// incorporate the current smart contract?" — is a local lookup instead
+/// of a remote query over the whole history.
+///
+/// Edges: user → contract (contract call), user → user (direct
+/// transfer). A user that ever issues a direct transfer, or that
+/// touches a second contract, is permanently non-shardable and her
+/// transactions route to the MaxShard.
+class CallGraph {
+ public:
+  CallGraph() = default;
+
+  /// Records a transaction's edges. Call for every transaction the
+  /// miner accepts (the graph is append-only, like the history).
+  void Record(const Transaction& tx);
+
+  /// Classification from recorded history alone.
+  SenderClass Classify(const Address& sender) const;
+
+  /// The unique contract of a kSingleContract sender; nullopt for every
+  /// other class.
+  std::optional<Address> SingleContractOf(const Address& sender) const;
+
+  /// Classification of `sender` *as if* `tx` had also been recorded —
+  /// the check a miner runs on an incoming, not-yet-confirmed
+  /// transaction.
+  SenderClass ClassifyWith(const Address& sender, const Transaction& tx) const;
+
+  /// True if `tx` can be validated inside the shard of one contract
+  /// (sender remains single-contract after `tx`). On success,
+  /// `*contract` receives that contract's address.
+  bool IsShardable(const Transaction& tx, Address* contract) const;
+
+  size_t UserCount() const { return users_.size(); }
+
+  /// Contracts `sender` has invoked, in insertion order.
+  std::vector<Address> ContractsOf(const Address& sender) const;
+
+ private:
+  struct UserInfo {
+    std::unordered_set<Address> contracts;
+    std::vector<Address> contract_order;  // Insertion order for reporting.
+    bool has_direct = false;
+  };
+
+  std::unordered_map<Address, UserInfo> users_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CONTRACT_CALLGRAPH_H_

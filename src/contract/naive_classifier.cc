@@ -1,0 +1,56 @@
+#include "contract/naive_classifier.h"
+
+#include <set>
+
+namespace shardchain {
+
+SenderClass NaiveHistoryClassifier::Classify(const Address& sender) const {
+  bool any = false;
+  bool direct = false;
+  std::set<Address> contracts;
+  // The whole point of the baseline: every query walks the full
+  // history.
+  for (const Transaction& tx : history_) {
+    if (tx.sender != sender) continue;
+    any = true;
+    switch (tx.kind) {
+      case TxKind::kDirectTransfer:
+        direct = true;
+        break;
+      case TxKind::kContractCall:
+        contracts.insert(tx.recipient);
+        break;
+      case TxKind::kContractDeploy:
+        break;
+    }
+  }
+  if (!any) return SenderClass::kNoHistory;
+  if (direct) return SenderClass::kDirect;
+  if (contracts.size() >= 2) return SenderClass::kMultiContract;
+  if (contracts.size() == 1) return SenderClass::kSingleContract;
+  return SenderClass::kNoHistory;
+}
+
+bool NaiveHistoryClassifier::IsShardable(const Transaction& tx,
+                                         Address* contract) const {
+  if (tx.kind != TxKind::kContractCall || !tx.input_accounts.empty()) {
+    return false;
+  }
+  const SenderClass base = Classify(tx.sender);
+  if (base == SenderClass::kDirect || base == SenderClass::kMultiContract) {
+    return false;
+  }
+  if (base == SenderClass::kSingleContract) {
+    // One more scan to fetch the single contract.
+    for (const Transaction& h : history_) {
+      if (h.sender == tx.sender && h.kind == TxKind::kContractCall) {
+        if (h.recipient != tx.recipient) return false;
+        break;
+      }
+    }
+  }
+  if (contract != nullptr) *contract = tx.recipient;
+  return true;
+}
+
+}  // namespace shardchain

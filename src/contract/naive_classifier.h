@@ -1,0 +1,43 @@
+#ifndef SHARDCHAIN_CONTRACT_NAIVE_CLASSIFIER_H_
+#define SHARDCHAIN_CONTRACT_NAIVE_CLASSIFIER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "contract/callgraph.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief The baseline the call graph replaces (Sec. III-C).
+///
+/// "Trivially, since miners in the MaxShard record all the transactions
+/// in the system, they can get the answer through checking the local
+/// states of the system ... This will surely incur heavy query cost."
+/// This class implements that trivial approach — keep the full
+/// transaction history and scan it per query — so the call graph's
+/// O(1) lookups can be compared against the O(history) scan
+/// (bench_ext_callgraph; the paper leaves the call-graph design as
+/// future work, and this pair quantifies why it matters).
+class NaiveHistoryClassifier {
+ public:
+  NaiveHistoryClassifier() = default;
+
+  /// Appends to the full history (what MaxShard miners store anyway).
+  void Record(const Transaction& tx) { history_.push_back(tx); }
+
+  /// Classification by scanning the entire history.
+  SenderClass Classify(const Address& sender) const;
+
+  /// Same contract-or-not decision as CallGraph::IsShardable, by scan.
+  bool IsShardable(const Transaction& tx, Address* contract) const;
+
+  size_t HistorySize() const { return history_.size(); }
+
+ private:
+  std::vector<Transaction> history_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CONTRACT_NAIVE_CLASSIFIER_H_

@@ -1,0 +1,226 @@
+#include "contract/registry.h"
+
+#include <cassert>
+#include <string>
+
+#include "contract/analyzer.h"
+#include "contract/assembler.h"
+
+namespace shardchain {
+
+Result<Address> ContractRegistry::Deploy(StateDB* state,
+                                         const Address& creator,
+                                         const ContractProgram& program) {
+  assert(state != nullptr);
+  Account& creator_account = state->GetOrCreate(creator);
+  const Address addr = Address::ForContract(creator, creator_account.nonce);
+  ++creator_account.nonce;
+  SHARDCHAIN_RETURN_IF_ERROR(state->DeployContract(addr,
+                                                   program.Serialize()));
+  return addr;
+}
+
+Result<Address> ContractRegistry::DeployChecked(
+    StateDB* state, const Address& creator, const ContractProgram& program) {
+  SHARDCHAIN_RETURN_IF_ERROR(ValidateProgram(program));
+  return Deploy(state, creator, program);
+}
+
+Result<ContractProgram> ContractRegistry::Load(const StateDB& state,
+                                               const Address& contract) {
+  const Account* account = state.Find(contract);
+  if (account == nullptr || !account->IsContract()) {
+    return Status::NotFound("no contract at address " + contract.ToHex());
+  }
+  return ContractProgram::Deserialize(account->code);
+}
+
+Result<ExecReceipt> ContractRegistry::Call(StateDB* state,
+                                           const Transaction& tx) {
+  assert(state != nullptr);
+  if (tx.kind != TxKind::kContractCall) {
+    return Status::InvalidArgument("transaction is not a contract call");
+  }
+  ContractProgram program;
+  SHARDCHAIN_ASSIGN_OR_RETURN(program, Load(*state, tx.recipient));
+  CallContext ctx;
+  ctx.contract = tx.recipient;
+  ctx.caller = tx.sender;
+  ctx.call_value = tx.value;
+  ctx.gas_limit = tx.gas_limit;
+  SHARDCHAIN_ASSIGN_OR_RETURN(ctx.args, Vm::DecodeArgs(tx.payload));
+  return Vm::Execute(program, ctx, state);
+}
+
+namespace contracts {
+
+namespace {
+
+/// Assembles trusted template source; aborts on programming errors.
+Bytes MustAssemble(const std::string& source) {
+  Result<Bytes> code = Assemble(source);
+  assert(code.ok() && "template assembly failed");
+  return std::move(code).value();
+}
+
+}  // namespace
+
+ContractProgram UnconditionalTransfer(const Address& destination) {
+  ContractProgram program;
+  program.parties = {destination};
+  program.code = MustAssemble(
+      "CALLVALUE\n"   // amount = value sent with the call
+      "PUSH 0\n"      // party 0 = destination
+      "TRANSFER\n"
+      "STOP\n");
+  return program;
+}
+
+ContractProgram ConditionalTransfer(const Address& recipient,
+                                    Amount threshold) {
+  ContractProgram program;
+  program.parties = {recipient};
+  program.code = MustAssemble(
+      "PARTYBALANCE 0\n"
+      "PUSH " + std::to_string(threshold) + "\n"
+      "LT\n"
+      "REQUIRE\n"     // revert unless balance(recipient) < threshold
+      "CALLVALUE\n"
+      "PUSH 0\n"
+      "TRANSFER\n"
+      "STOP\n");
+  return program;
+}
+
+ContractProgram Escrow(const Address& beneficiary) {
+  ContractProgram program;
+  program.parties = {beneficiary};
+  program.code = MustAssemble(
+      "ARG 0\n"
+      "PUSH 1\n"
+      "EQ\n"
+      "JUMPI release\n"
+      // Deposit path: slot0 += call value.
+      "PUSH 0\n"
+      "SLOAD\n"
+      "CALLVALUE\n"
+      "ADD\n"
+      "PUSH 0\n"
+      "SSTORE\n"
+      "STOP\n"
+      "release:\n"
+      // Release path: pay out slot0 to the beneficiary, zero the slot.
+      "PUSH 0\n"
+      "SLOAD\n"
+      "PUSH 0\n"
+      "TRANSFER\n"
+      "PUSH 0\n"      // value 0
+      "PUSH 0\n"      // key 0
+      "SSTORE\n"
+      "STOP\n");
+  return program;
+}
+
+ContractProgram Token(const std::vector<Address>& parties) {
+  ContractProgram program;
+  program.parties = parties;
+  // Storage slot i = token balance of party i.
+  // arg0: 0 = buy (credit CALLVALUE tokens to party arg1)
+  //       1 = move arg1 tokens from party arg2 to party arg3
+  //       2 = redeem arg1 tokens of party arg2 for coins
+  program.code = MustAssemble(
+      "ARG 0\n"
+      "PUSH 1\n"
+      "EQ\n"
+      "JUMPI move\n"
+      "ARG 0\n"
+      "PUSH 2\n"
+      "EQ\n"
+      "JUMPI redeem\n"
+      // Buy: slot[arg1] += CALLVALUE.
+      "ARG 1\n"
+      "SLOAD\n"
+      "CALLVALUE\n"
+      "ADD\n"
+      "ARG 1\n"
+      "SSTORE\n"
+      "STOP\n"
+      "move:\n"
+      // Require slot[arg2] >= arg1.
+      "ARG 2\n"
+      "SLOAD\n"
+      "ARG 1\n"
+      "GE\n"
+      "REQUIRE\n"
+      // slot[arg2] -= arg1.
+      "ARG 2\n"
+      "SLOAD\n"
+      "ARG 1\n"
+      "SUB\n"
+      "ARG 2\n"
+      "SSTORE\n"
+      // slot[arg3] += arg1.
+      "ARG 3\n"
+      "SLOAD\n"
+      "ARG 1\n"
+      "ADD\n"
+      "ARG 3\n"
+      "SSTORE\n"
+      "STOP\n"
+      "redeem:\n"
+      // Require slot[arg2] >= arg1, burn, then pay coins to the party.
+      "ARG 2\n"
+      "SLOAD\n"
+      "ARG 1\n"
+      "GE\n"
+      "REQUIRE\n"
+      "ARG 2\n"
+      "SLOAD\n"
+      "ARG 1\n"
+      "SUB\n"
+      "ARG 2\n"
+      "SSTORE\n"
+      "ARG 1\n"
+      "ARG 2\n"
+      "TRANSFER\n"
+      "STOP\n");
+  return program;
+}
+
+ContractProgram Crowdfund(const Address& owner, Amount goal) {
+  ContractProgram program;
+  program.parties = {owner};
+  program.code = MustAssemble(
+      "ARG 0\n"
+      "PUSH 1\n"
+      "EQ\n"
+      "JUMPI claim\n"
+      // Pledge: slot0 += CALLVALUE.
+      "PUSH 0\n"
+      "SLOAD\n"
+      "CALLVALUE\n"
+      "ADD\n"
+      "PUSH 0\n"
+      "SSTORE\n"
+      "STOP\n"
+      "claim:\n"
+      // Require slot0 >= goal, pay the pot to the owner, reset.
+      "PUSH 0\n"
+      "SLOAD\n"
+      "PUSH " + std::to_string(goal) + "\n"
+      "GE\n"
+      "REQUIRE\n"
+      "PUSH 0\n"
+      "SLOAD\n"
+      "PUSH 0\n"
+      "TRANSFER\n"
+      "PUSH 0\n"
+      "PUSH 0\n"
+      "SSTORE\n"
+      "STOP\n");
+  return program;
+}
+
+}  // namespace contracts
+
+}  // namespace shardchain

@@ -1,0 +1,82 @@
+#ifndef SHARDCHAIN_CONTRACT_REGISTRY_H_
+#define SHARDCHAIN_CONTRACT_REGISTRY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "contract/vm.h"
+#include "state/statedb.h"
+#include "types/address.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief Deploys contracts into a StateDB and dispatches contract-call
+/// transactions to the VM.
+///
+/// Stateless utility API: the authoritative store is the StateDB's
+/// account code, so every miner sees the same contracts.
+class ContractRegistry {
+ public:
+  /// Deploys `program` from `creator` (consumes one creator nonce) and
+  /// returns the new contract's address.
+  static Result<Address> Deploy(StateDB* state, const Address& creator,
+                                const ContractProgram& program);
+
+  /// Deploy with static analysis first (contract/analyzer.h): rejects
+  /// structurally invalid or underflowing programs before they reach
+  /// the chain.
+  static Result<Address> DeployChecked(StateDB* state, const Address& creator,
+                                       const ContractProgram& program);
+
+  /// Executes a kContractCall transaction against the state. Loads the
+  /// program from the recipient account, decodes args from the payload,
+  /// transfers the call value in, and runs the code. Nonce bookkeeping
+  /// belongs to block execution, not here.
+  static Result<ExecReceipt> Call(StateDB* state, const Transaction& tx);
+
+  /// Loads and parses the program stored at `contract`.
+  static Result<ContractProgram> Load(const StateDB& state,
+                                      const Address& contract);
+};
+
+/// Standard contract templates used by the evaluation and examples.
+/// All are assembled from contract-VM source (see registry.cc), the way
+/// the paper's testbed "registers multiple smart contracts" (Sec. VI-A).
+namespace contracts {
+
+/// "Records an unconditional transaction that transfers money to a
+/// specified destination" (Sec. VI-A): forwards the full call value to
+/// `destination`.
+ContractProgram UnconditionalTransfer(const Address& destination);
+
+/// The paper's motivating example (Sec. II-A): forwards the call value
+/// to `recipient` only if recipient's balance is below `threshold`;
+/// reverts otherwise (caller keeps the funds).
+ContractProgram ConditionalTransfer(const Address& recipient,
+                                    Amount threshold);
+
+/// A stateful two-party escrow: arg0 selects the action
+/// (0 = deposit call value and record it in storage slot 0;
+///  1 = release everything recorded so far to the beneficiary).
+ContractProgram Escrow(const Address& beneficiary);
+
+/// A minimal token ledger over the fixed party list: storage slot i
+/// holds party i's token balance. arg0 selects the action:
+///   0 = buy: credit `call value` tokens to party arg1;
+///   1 = move: transfer arg1 tokens from party arg2 to party arg3
+///       (reverts if arg2's balance is insufficient);
+///   2 = redeem: burn arg1 tokens of party arg2 and pay that many
+///       coins from the contract to the same party.
+ContractProgram Token(const std::vector<Address>& parties);
+
+/// A crowdfunding campaign: pledges (action 0) accumulate the call
+/// value in slot 0; the owner claim (action 1) pays the whole pot to
+/// party 0 only once the goal is reached, and reverts otherwise.
+ContractProgram Crowdfund(const Address& owner, Amount goal);
+
+}  // namespace contracts
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CONTRACT_REGISTRY_H_

@@ -1,0 +1,141 @@
+#ifndef SHARDCHAIN_CONTRACT_VM_H_
+#define SHARDCHAIN_CONTRACT_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "state/statedb.h"
+#include "types/address.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief Bytecode operations of the contract mini-VM.
+///
+/// The paper's contracts "record a transaction and the conditions under
+/// which that transaction is valid" (Sec. II-A). This VM is a small
+/// stack machine expressive enough for those conditional transfers:
+/// balance reads, arithmetic/comparison on 64-bit integers, contract
+/// storage, guarded aborts, and value transfers out of the contract.
+enum class Op : uint8_t {
+  kStop = 0x00,       ///< End execution successfully.
+  kPush = 0x01,       ///< Push signed 64-bit immediate (8 bytes follow).
+  kPop = 0x02,
+  kDup = 0x03,        ///< Duplicate top of stack.
+  kSwap = 0x04,       ///< Swap top two entries.
+
+  kAdd = 0x10,
+  kSub = 0x11,
+  kMul = 0x12,
+  kDiv = 0x13,        ///< Signed division; division by zero reverts.
+  kMod = 0x14,
+
+  kLt = 0x20,
+  kGt = 0x21,
+  kLe = 0x22,
+  kGe = 0x23,
+  kEq = 0x24,
+  kNeq = 0x25,
+  kAnd = 0x26,        ///< Logical and of two booleans (non-zero = true).
+  kOr = 0x27,
+  kNot = 0x28,
+
+  kJump = 0x30,       ///< Unconditional jump (2-byte absolute offset).
+  kJumpI = 0x31,      ///< Pop cond; jump if non-zero.
+  kRequire = 0x32,    ///< Pop cond; revert if zero.
+  kRevert = 0x33,     ///< Unconditional revert.
+
+  kArg = 0x40,        ///< Push call argument n (1-byte index follows).
+  kCallValue = 0x41,  ///< Push the value sent with the call.
+  kCallerBalance = 0x42,
+  kPartyBalance = 0x43,  ///< Push balance of party n (1-byte index).
+  kSelfBalance = 0x44,   ///< Push the contract's own balance.
+  kSLoad = 0x50,      ///< Pop key; push storage[key].
+  kSStore = 0x51,     ///< Pop key, pop value; storage[key] = value.
+
+  kTransfer = 0x60,       ///< Pop party index, pop amount; contract pays.
+  kTransferCaller = 0x61, ///< Pop amount; contract pays the caller.
+};
+
+/// \brief A deployable contract: bytecode plus the fixed party list the
+/// code may reference (recipients of conditional transfers).
+struct ContractProgram {
+  Bytes code;
+  std::vector<Address> parties;
+
+  /// Serializes to the on-chain account code representation.
+  Bytes Serialize() const;
+
+  /// Parses the on-chain representation; fails on truncation.
+  static Result<ContractProgram> Deserialize(const Bytes& raw);
+};
+
+/// \brief Result of a successful contract execution.
+struct ExecReceipt {
+  uint64_t gas_used = 0;
+  std::vector<int64_t> stack;  ///< Final stack (top = back), for tests.
+};
+
+/// \brief One executed instruction, as seen by the tracer.
+struct TraceStep {
+  size_t pc = 0;
+  Op op = Op::kStop;
+  size_t stack_depth_before = 0;  ///< Stack depth entering the op.
+  uint64_t gas_after = 0;         ///< Cumulative gas after the op.
+};
+
+/// Optional per-instruction observer; installed via CallContext::tracer.
+/// Called before each instruction executes.
+using TraceFn = std::function<void(const TraceStep&)>;
+
+/// \brief Per-call context handed to the VM.
+struct CallContext {
+  Address contract;            ///< The executing contract's address.
+  Address caller;              ///< Transaction sender.
+  Amount call_value = 0;       ///< Value transferred in with the call.
+  std::vector<int64_t> args;   ///< Decoded call arguments.
+  uint64_t gas_limit = 100000;
+  /// Per-instruction observer for debugging/teaching; null = no trace.
+  TraceFn tracer;
+};
+
+/// \brief The contract virtual machine.
+///
+/// `Execute` applies a program against a StateDB. The call value is
+/// credited to the contract before the code runs; on revert (explicit,
+/// failed Require, or any VM error) all state effects including the
+/// value credit are rolled back and a non-OK status is returned.
+class Vm {
+ public:
+  /// Gas charged per executed instruction.
+  static constexpr uint64_t kGasPerOp = 3;
+  /// Extra gas for state-touching ops (storage, transfer, balance).
+  static constexpr uint64_t kGasPerStateOp = 20;
+  /// Hard cap on stack depth.
+  static constexpr size_t kMaxStack = 256;
+  /// Hard cap on executed instructions (anti-loop belt-and-braces on
+  /// top of gas).
+  static constexpr uint64_t kMaxSteps = 1 << 20;
+
+  /// Runs `program` under `ctx` mutating `state`. Reverting executions
+  /// restore `state` exactly and return a non-OK status.
+  static Result<ExecReceipt> Execute(const ContractProgram& program,
+                                     const CallContext& ctx, StateDB* state);
+
+  /// Encodes int64 call args into a transaction payload.
+  static Bytes EncodeArgs(const std::vector<int64_t>& args);
+
+  /// Decodes a transaction payload into call args.
+  static Result<std::vector<int64_t>> DecodeArgs(const Bytes& payload);
+};
+
+/// Human-readable opcode name (for the disassembler and error text).
+const char* OpName(Op op);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CONTRACT_VM_H_

@@ -1,0 +1,97 @@
+#include "core/beacon.h"
+
+namespace shardchain {
+
+Hash256 RandomnessBeacon::CommitmentFor(const Bytes& share) {
+  Sha256 h;
+  h.Update("shardchain.beacon.commit.v1");
+  h.Update(share);
+  return h.Finalize();
+}
+
+Status RandomnessBeacon::Commit(NodeId node, const Hash256& commitment) {
+  if (phase_ != Phase::kCommit) {
+    return Status::FailedPrecondition("commit phase is closed");
+  }
+  if (!commitments_.emplace(node, commitment).second) {
+    return Status::AlreadyExists("node already committed");
+  }
+  return Status::OK();
+}
+
+Status RandomnessBeacon::CloseCommits() {
+  if (phase_ != Phase::kCommit) {
+    return Status::FailedPrecondition("commit phase already closed");
+  }
+  phase_ = Phase::kReveal;
+  return Status::OK();
+}
+
+Status RandomnessBeacon::Reveal(NodeId node, const Bytes& share) {
+  if (phase_ != Phase::kReveal) {
+    return Status::FailedPrecondition("not in the reveal phase");
+  }
+  auto it = commitments_.find(node);
+  if (it == commitments_.end()) {
+    return Status::NotFound("node never committed");
+  }
+  if (CommitmentFor(share) != it->second) {
+    return Status::Unauthorized("reveal does not match commitment");
+  }
+  if (!reveals_.emplace(node, share).second) {
+    return Status::AlreadyExists("node already revealed");
+  }
+  return Status::OK();
+}
+
+Hash256 RandomnessBeacon::Aggregate(const std::map<NodeId, Bytes>& reveals) {
+  Sha256 h;
+  h.Update("shardchain.beacon.output.v1");
+  for (const auto& [node, share] : reveals) {
+    Bytes id;
+    AppendUint32(&id, node);
+    h.Update(id);
+    h.Update(share);
+  }
+  return h.Finalize();
+}
+
+Result<Hash256> RandomnessBeacon::Finalize() {
+  if (phase_ != Phase::kReveal) {
+    return Status::FailedPrecondition("finalize requires the reveal phase");
+  }
+  if (reveals_.size() < min_reveals_) {
+    return Status::FailedPrecondition("not enough reveals to finalize");
+  }
+  phase_ = Phase::kDone;
+  output_ = Aggregate(reveals_);
+  return *output_;
+}
+
+std::vector<NodeId> RandomnessBeacon::Withholders() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, commitment] : commitments_) {
+    if (reveals_.count(node) == 0) out.push_back(node);
+  }
+  return out;
+}
+
+Status RandomnessBeacon::VerifyTranscript(
+    const std::map<NodeId, Hash256>& commitments,
+    const std::map<NodeId, Bytes>& reveals, const Hash256& claimed_output) {
+  for (const auto& [node, share] : reveals) {
+    auto it = commitments.find(node);
+    if (it == commitments.end()) {
+      return Status::Unauthorized("reveal from a node that never committed");
+    }
+    if (CommitmentFor(share) != it->second) {
+      return Status::Unauthorized("reveal does not match commitment");
+    }
+  }
+  if (Aggregate(reveals) != claimed_output) {
+    return Status::Corruption("claimed output does not match the reveals");
+  }
+  return Status::OK();
+}
+
+}  // namespace shardchain

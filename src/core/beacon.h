@@ -1,0 +1,89 @@
+#ifndef SHARDCHAIN_CORE_BEACON_H_
+#define SHARDCHAIN_CORE_BEACON_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "net/network.h"
+
+namespace shardchain {
+
+/// \brief Commit-reveal distributed randomness beacon.
+///
+/// SUBSTITUTION NOTE (DESIGN.md §2): the paper generates its public
+/// randomness with RandHound under a verifiable leader. This beacon is
+/// the self-contained equivalent: every participant commits
+/// H(share), then reveals; the beacon output is the hash of all
+/// revealed shares in participant order. Properties:
+///   - unpredictability: no participant learns the output before the
+///     last reveal;
+///   - verifiability: anyone can recompute the output from the public
+///     transcript and check every reveal against its commitment;
+///   - bias resistance: a single withholding participant can only
+///     choose between "output with me" and "output without me"
+///     (one bit), and withholders are publicly identified for
+///     slashing/exclusion — the standard commit-reveal trade-off that
+///     RandHound's threshold setup removes entirely.
+class RandomnessBeacon {
+ public:
+  enum class Phase : uint8_t { kCommit = 0, kReveal = 1, kDone = 2 };
+
+  /// `min_reveals`: how many reveals Finalize requires (liveness vs
+  /// bias trade-off).
+  explicit RandomnessBeacon(size_t min_reveals = 1)
+      : min_reveals_(min_reveals) {}
+
+  Phase phase() const { return phase_; }
+
+  /// The commitment a participant should publish for `share`.
+  static Hash256 CommitmentFor(const Bytes& share);
+
+  /// Commit phase: records `commitment` for `node`. Rejects double
+  /// commits and commits after the phase closed.
+  Status Commit(NodeId node, const Hash256& commitment);
+
+  /// Closes the commit phase (no more commitments accepted).
+  Status CloseCommits();
+
+  /// Reveal phase: `share` must hash to the node's commitment.
+  Status Reveal(NodeId node, const Bytes& share);
+
+  /// Finalizes: hashes all revealed shares (in node order) into the
+  /// beacon output. Fails if fewer than min_reveals arrived.
+  Result<Hash256> Finalize();
+
+  /// After Finalize: the output (nullopt before).
+  std::optional<Hash256> output() const { return output_; }
+
+  /// Participants that committed but never revealed — the would-be
+  /// biasers, publicly identifiable.
+  std::vector<NodeId> Withholders() const;
+
+  size_t CommitCount() const { return commitments_.size(); }
+  size_t RevealCount() const { return reveals_.size(); }
+
+  /// Recomputes and checks a finalized transcript: every reveal matches
+  /// its commitment and the output is the hash of the reveals. For
+  /// verifying someone else's beacon run.
+  static Status VerifyTranscript(
+      const std::map<NodeId, Hash256>& commitments,
+      const std::map<NodeId, Bytes>& reveals, const Hash256& claimed_output);
+
+ private:
+  static Hash256 Aggregate(const std::map<NodeId, Bytes>& reveals);
+
+  size_t min_reveals_;
+  Phase phase_ = Phase::kCommit;
+  std::map<NodeId, Hash256> commitments_;
+  std::map<NodeId, Bytes> reveals_;
+  std::optional<Hash256> output_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CORE_BEACON_H_

@@ -1,0 +1,65 @@
+#include "core/epoch.h"
+
+namespace shardchain {
+
+Hash256 EpochManager::DeriveSeed(const Hash256& prev, uint64_t epoch_number) {
+  Sha256 h;
+  h.Update("shardchain.epoch.v1");
+  h.Update(prev.bytes.data(), prev.bytes.size());
+  Bytes n;
+  AppendUint64(&n, epoch_number);
+  h.Update(n);
+  return h.Finalize();
+}
+
+Hash256 EpochManager::NextSeed() const {
+  const Hash256& prev =
+      history_.empty() ? genesis_seed_ : history_.back().randomness;
+  return DeriveSeed(prev, history_.size() + 1);
+}
+
+Result<EpochRecord> EpochManager::Advance(
+    const std::vector<LeaderCandidate>& candidates,
+    const std::vector<double>& fractions) {
+  if (fractions.empty()) {
+    return Status::InvalidArgument("epoch needs at least one shard fraction");
+  }
+  const Hash256 seed = NextSeed();
+  Result<size_t> leader = ElectLeader(candidates, seed);
+  if (!leader.ok()) return leader.status();
+
+  EpochRecord record;
+  record.number = history_.size() + 1;
+  record.seed = seed;
+  record.leader_index = *leader;
+  record.randomness = candidates[*leader].vrf.value;
+  record.fractions = fractions;
+  history_.push_back(record);
+  return record;
+}
+
+Status EpochManager::VerifyRecord(const EpochRecord& record,
+                                  const Hash256& prev_randomness,
+                                  const PublicKey& leader_key,
+                                  const VrfOutput& proof) {
+  if (record.seed != DeriveSeed(prev_randomness, record.number)) {
+    return Status::Unauthorized("epoch seed does not chain from history");
+  }
+  if (proof.value != record.randomness) {
+    return Status::Unauthorized("recorded randomness is not the VRF value");
+  }
+  if (!VrfVerify(leader_key, record.seed, proof)) {
+    return Status::Unauthorized("leader VRF proof does not verify");
+  }
+  return Status::OK();
+}
+
+Result<ShardId> EpochManager::CurrentShardOf(const Hash256& miner_id) const {
+  if (history_.empty()) {
+    return Status::FailedPrecondition("no epoch has been established");
+  }
+  const EpochRecord& current = history_.back();
+  return AssignShard(current.randomness, miner_id, current.fractions);
+}
+
+}  // namespace shardchain

@@ -1,0 +1,80 @@
+#ifndef SHARDCHAIN_CORE_EPOCH_H_
+#define SHARDCHAIN_CORE_EPOCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/miner_assignment.h"
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+#include "crypto/vrf.h"
+#include "types/block.h"
+
+namespace shardchain {
+
+/// \brief One epoch's public record: everything a late-joining miner
+/// needs to verify who led, who sits where, and that the randomness
+/// chain is unbroken.
+struct EpochRecord {
+  uint64_t number = 0;
+  Hash256 seed;        ///< H(prev randomness ‖ epoch number).
+  Hash256 randomness;  ///< Leader's verified VRF value on the seed.
+  size_t leader_index = 0;
+  std::vector<double> fractions;  ///< β_i broadcast by the leader.
+};
+
+/// \brief Epoch manager: randomness chaining, leader rotation, and
+/// periodic reconfiguration.
+///
+/// Sharding systems "need to reconfigure shards and reselect
+/// validating peers periodically to prevent the Sybil attack" (Related
+/// Work). The manager chains epochs so that each seed is derived from
+/// the previous epoch's randomness — an adversary cannot grind a
+/// future seed without first winning the present leadership — and
+/// exposes verification of the whole history.
+class EpochManager {
+ public:
+  /// `genesis_seed` anchors the chain (public, arbitrary).
+  explicit EpochManager(const Hash256& genesis_seed)
+      : genesis_seed_(genesis_seed) {}
+
+  /// The seed the NEXT epoch's leader election runs on.
+  Hash256 NextSeed() const;
+
+  /// Advances one epoch: elects the leader among `candidates`
+  /// (VRF-evaluated on NextSeed()), records the epoch with the
+  /// leader-provided `fractions`, and returns the new record.
+  Result<EpochRecord> Advance(const std::vector<LeaderCandidate>& candidates,
+                              const std::vector<double>& fractions);
+
+  /// History access.
+  size_t EpochCount() const { return history_.size(); }
+  const EpochRecord* Current() const {
+    return history_.empty() ? nullptr : &history_.back();
+  }
+  const std::vector<EpochRecord>& History() const { return history_; }
+
+  /// Verifies that `record` is internally consistent with `proof`
+  /// from the claimed leader: the seed chains from `prev_randomness`
+  /// and the randomness is the leader's valid VRF output on it.
+  static Status VerifyRecord(const EpochRecord& record,
+                             const Hash256& prev_randomness,
+                             const PublicKey& leader_key,
+                             const VrfOutput& proof);
+
+  /// A miner's shard for the CURRENT epoch (fractions + randomness
+  /// from the newest record).
+  Result<ShardId> CurrentShardOf(const Hash256& miner_id) const;
+
+ private:
+  static Hash256 DeriveSeed(const Hash256& prev, uint64_t epoch_number);
+
+  Hash256 genesis_seed_;
+  std::vector<EpochRecord> history_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CORE_EPOCH_H_

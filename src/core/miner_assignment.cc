@@ -1,0 +1,81 @@
+#include "core/miner_assignment.h"
+
+#include <cassert>
+
+namespace shardchain {
+
+Result<size_t> ElectLeader(const std::vector<LeaderCandidate>& candidates,
+                           const Hash256& seed) {
+  size_t best = candidates.size();
+  double best_ticket = 2.0;  // Tickets live in [0, 1).
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const LeaderCandidate& c = candidates[i];
+    if (!VrfVerify(c.public_key, seed, c.vrf)) continue;
+    const double ticket = VrfTicket(c.vrf.value);
+    if (ticket < best_ticket) {
+      best_ticket = ticket;
+      best = i;
+    }
+  }
+  if (best == candidates.size()) {
+    return Status::NotFound("no candidate with a valid VRF proof");
+  }
+  return best;
+}
+
+uint32_t RandHoundDraw(const Hash256& randomness, const Hash256& miner_id) {
+  Sha256 h;
+  h.Update("shardchain.randhound.v1");
+  h.Update(randomness.bytes.data(), randomness.bytes.size());
+  h.Update(miner_id.bytes.data(), miner_id.bytes.size());
+  return 1 + static_cast<uint32_t>(h.Finalize().Prefix64() % 100);
+}
+
+ShardId ShardForDraw(uint32_t draw, const std::vector<double>& fractions) {
+  assert(draw >= 1 && draw <= 100);
+  double cumulative = 0.0;
+  for (size_t s = 0; s < fractions.size(); ++s) {
+    cumulative += fractions[s];
+    if (static_cast<double>(draw) <= cumulative + 1e-9) {
+      return static_cast<ShardId>(s);
+    }
+  }
+  // Rounding in the fractions may leave the last sliver of [1, 100]
+  // uncovered; it belongs to the final shard.
+  return fractions.empty() ? kMaxShardId
+                           : static_cast<ShardId>(fractions.size() - 1);
+}
+
+ShardId AssignShard(const Hash256& randomness, const Hash256& miner_id,
+                    const std::vector<double>& fractions) {
+  return ShardForDraw(RandHoundDraw(randomness, miner_id), fractions);
+}
+
+Status VerifyShardMembership(const Hash256& randomness,
+                             const Hash256& miner_id,
+                             const std::vector<double>& fractions,
+                             ShardId claimed) {
+  const ShardId expected = AssignShard(randomness, miner_id, fractions);
+  if (expected != claimed) {
+    return Status::Unauthorized("miner claims shard " +
+                                std::to_string(claimed) + " but derives to " +
+                                std::to_string(expected));
+  }
+  return Status::OK();
+}
+
+std::vector<ShardId> AssignAllMiners(const Hash256& randomness,
+                                     const std::vector<Hash256>& miner_ids,
+                                     const std::vector<double>& fractions,
+                                     Network* net) {
+  std::vector<ShardId> out;
+  out.reserve(miner_ids.size());
+  for (size_t i = 0; i < miner_ids.size(); ++i) {
+    const ShardId shard = AssignShard(randomness, miner_ids[i], fractions);
+    out.push_back(shard);
+    if (net != nullptr) net->Register(static_cast<NodeId>(i), shard);
+  }
+  return out;
+}
+
+}  // namespace shardchain

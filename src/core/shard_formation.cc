@@ -1,0 +1,67 @@
+#include "core/shard_formation.h"
+
+namespace shardchain {
+
+ShardId ShardFormation::Peek(const Transaction& tx) const {
+  Address contract;
+  if (!graph_.IsShardable(tx, &contract)) return kMaxShardId;
+  auto it = contract_to_shard_.find(contract);
+  // A contract without a shard yet would be assigned the next id.
+  if (it == contract_to_shard_.end()) {
+    return static_cast<ShardId>(shard_to_contract_.size() + 1);
+  }
+  return it->second;
+}
+
+ShardId ShardFormation::Route(const Transaction& tx) {
+  Address contract;
+  ShardId shard = kMaxShardId;
+  if (graph_.IsShardable(tx, &contract)) {
+    auto it = contract_to_shard_.find(contract);
+    if (it == contract_to_shard_.end()) {
+      shard = static_cast<ShardId>(shard_to_contract_.size() + 1);
+      contract_to_shard_.emplace(contract, shard);
+      shard_to_contract_.push_back(contract);
+      sizes_.push_back(0);
+    } else {
+      shard = it->second;
+    }
+  }
+  graph_.Record(tx);
+  ++sizes_[shard];
+  return shard;
+}
+
+std::optional<ShardId> ShardFormation::ShardOfContract(
+    const Address& contract) const {
+  auto it = contract_to_shard_.find(contract);
+  if (it == contract_to_shard_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Address> ShardFormation::ContractOfShard(ShardId shard) const {
+  if (shard == kMaxShardId || shard > shard_to_contract_.size()) {
+    return std::nullopt;
+  }
+  return shard_to_contract_[shard - 1];
+}
+
+std::vector<uint64_t> ShardFormation::ShardSizes() const { return sizes_; }
+
+std::vector<double> ShardFormation::Fractions() const {
+  uint64_t total = 0;
+  for (uint64_t s : sizes_) total += s;
+  std::vector<double> fractions(sizes_.size());
+  if (total == 0) {
+    const double even = 100.0 / static_cast<double>(sizes_.size());
+    for (double& f : fractions) f = even;
+    return fractions;
+  }
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    fractions[i] =
+        100.0 * static_cast<double>(sizes_[i]) / static_cast<double>(total);
+  }
+  return fractions;
+}
+
+}  // namespace shardchain

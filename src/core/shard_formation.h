@@ -1,0 +1,67 @@
+#ifndef SHARDCHAIN_CORE_SHARD_FORMATION_H_
+#define SHARDCHAIN_CORE_SHARD_FORMATION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "contract/callgraph.h"
+#include "types/address.h"
+#include "types/block.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief Shard formation by contract (Sec. III-A).
+///
+/// "Transactions sent by users who only participate in the same smart
+/// contract naturally form a shard"; everything else — multi-contract
+/// senders, direct transfers, multi-input calls — lands in the
+/// MaxShard (ShardId 0), whose miners hold full state.
+///
+/// The router keeps the local call graph miners maintain (Sec. III-C)
+/// and lazily assigns ShardIds to contracts on first shardable use.
+class ShardFormation {
+ public:
+  ShardFormation() = default;
+
+  /// Routes an incoming transaction: returns the shard that must
+  /// validate it, then records it in the call graph. Deterministic
+  /// given the same transaction sequence, so every miner derives the
+  /// same routing (no communication needed).
+  ShardId Route(const Transaction& tx);
+
+  /// The shard a transaction would go to, without recording it.
+  ShardId Peek(const Transaction& tx) const;
+
+  /// ShardId of a contract, if one has been formed around it.
+  std::optional<ShardId> ShardOfContract(const Address& contract) const;
+
+  /// The contract a shard is formed around; nullopt for the MaxShard.
+  std::optional<Address> ContractOfShard(ShardId shard) const;
+
+  /// Number of shards including the MaxShard.
+  size_t ShardCount() const { return 1 + contract_to_shard_.size(); }
+
+  /// Routed-transaction counts per shard, indexed by ShardId
+  /// (index 0 = MaxShard). Basis of the fractions β_i the verifiable
+  /// leader broadcasts for miner assignment (Sec. III-B).
+  std::vector<uint64_t> ShardSizes() const;
+
+  /// β_i as percentages summing to ~100 (uniform when no transactions
+  /// have been routed yet).
+  std::vector<double> Fractions() const;
+
+  const CallGraph& call_graph() const { return graph_; }
+
+ private:
+  CallGraph graph_;
+  std::map<Address, ShardId> contract_to_shard_;
+  std::vector<Address> shard_to_contract_;  // [i] = contract of shard i+1.
+  std::vector<uint64_t> sizes_ = {0};       // [0] = MaxShard.
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CORE_SHARD_FORMATION_H_

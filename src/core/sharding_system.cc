@@ -1,0 +1,280 @@
+#include "core/sharding_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "types/codec.h"
+
+namespace shardchain {
+
+ShardingSystem::ShardingSystem(ShardingSystemConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+NodeId ShardingSystem::AddMiner() {
+  KeyPair keys = KeyPair::Generate(&rng_);
+  const Hash256 id = keys.public_key().Fingerprint();
+  const NodeId node = static_cast<NodeId>(miners_.size());
+  miners_.push_back(MinerRecord{std::move(keys), id, kMaxShardId, 0});
+  net_.Register(node, kMaxShardId);
+  return node;
+}
+
+void ShardingSystem::Mint(const Address& account, Amount amount) {
+  genesis_state_.Mint(account, amount);
+}
+
+Result<Address> ShardingSystem::DeployContract(
+    const Address& creator, const ContractProgram& program) {
+  return ContractRegistry::Deploy(&genesis_state_, creator, program);
+}
+
+Status ShardingSystem::BeginEpoch(uint64_t epoch_nonce) {
+  (void)epoch_nonce;  // The chained epoch seed supersedes the nonce.
+  if (miners_.empty()) {
+    return Status::FailedPrecondition("no miners registered");
+  }
+  // Epoch seed chains from history (EpochManager): public and
+  // grind-resistant.
+  const Hash256 seed = epochs_.NextSeed();
+
+  // Leader election: every miner evaluates her VRF; lowest valid
+  // ticket wins (Sec. III-B / Omniledger).
+  std::vector<LeaderCandidate> candidates;
+  candidates.reserve(miners_.size());
+  for (const MinerRecord& m : miners_) {
+    candidates.push_back(
+        LeaderCandidate{m.keys.public_key(), VrfEvaluate(m.keys, seed)});
+  }
+
+  // Fractions come from the MaxShard's view of routed transactions.
+  fractions_ = formation_.Fractions();
+
+  Result<EpochRecord> record = epochs_.Advance(candidates, fractions_);
+  if (!record.ok()) return record.status();
+  leader_ = static_cast<NodeId>(record->leader_index);
+  randomness_ = record->randomness;
+
+  // Everyone derives their shard from public data.
+  std::vector<Hash256> ids;
+  ids.reserve(miners_.size());
+  for (const MinerRecord& m : miners_) ids.push_back(m.id);
+  const std::vector<ShardId> assignment =
+      AssignAllMiners(randomness_, ids, fractions_, &net_);
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    miners_[i].shard = assignment[i];
+  }
+
+  // Leader broadcast of (randomness, fractions): one message per node.
+  net_.Broadcast(leader_, MsgKind::kLeaderBroadcast);
+  epoch_active_ = true;
+  return Status::OK();
+}
+
+ShardId ShardingSystem::ShardOfMiner(NodeId miner) const {
+  assert(miner < miners_.size());
+  return ResolveShard(miners_[miner].shard);
+}
+
+std::vector<NodeId> ShardingSystem::MinersOfShard(ShardId shard) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    if (ResolveShard(miners_[i].shard) == ResolveShard(shard)) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+ShardId ShardingSystem::ResolveShard(ShardId shard) const {
+  // Follow merge aliases to the surviving shard.
+  auto it = shards_.find(shard);
+  while (it != shards_.end() && it->second.merged_into.has_value()) {
+    shard = *it->second.merged_into;
+    it = shards_.find(shard);
+  }
+  return shard;
+}
+
+ShardingSystem::ShardState& ShardingSystem::GetOrCreateShard(ShardId shard) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) {
+    ShardState state;
+    state.ledger =
+        std::make_unique<Ledger>(shard, genesis_state_, config_.chain);
+    it = shards_.emplace(shard, std::move(state)).first;
+  }
+  return it->second;
+}
+
+Result<ShardId> ShardingSystem::SubmitTransaction(const Transaction& tx) {
+  const ShardId routed = formation_.Route(tx);
+  const ShardId shard = ResolveShard(routed);
+  ShardState& state = GetOrCreateShard(shard);
+  SHARDCHAIN_RETURN_IF_ERROR(state.pool.Add(tx));
+  // The user's broadcast reaches every miner; miners of other shards
+  // discard it after the routing check.
+  if (net_.NodeCount() > 1) {
+    net_.MulticastShard(0, shard, MsgKind::kTxGossip);
+  }
+  return shard;
+}
+
+Result<Hash256> ShardingSystem::MineBlock(NodeId miner) {
+  if (!epoch_active_) {
+    return Status::FailedPrecondition("no active epoch");
+  }
+  if (miner >= miners_.size()) {
+    return Status::InvalidArgument("unknown miner");
+  }
+  MinerRecord& record = miners_[miner];
+  const ShardId shard = ResolveShard(record.shard);
+
+  // The membership check every receiver would also run (Sec. III-C):
+  // proves this miner may pack for this ShardID.
+  SHARDCHAIN_RETURN_IF_ERROR(VerifyShardMembership(
+      randomness_, record.id, fractions_, record.shard));
+
+  ShardState& state = GetOrCreateShard(shard);
+  const Address coinbase = Address::FromHash(record.id);
+  std::vector<Transaction> candidates =
+      state.pool.TopByFee(config_.chain.max_txs_per_block);
+  Block block = state.ledger->BuildBlock(
+      coinbase, std::move(candidates),
+      static_cast<uint64_t>(state.ledger->tip_number() + 1));
+  Result<Hash256> appended = state.ledger->Append(block);
+  if (!appended.ok()) return appended.status();
+  state.pool.RemoveAll(block.transactions);
+  net_.MulticastShard(miner, shard, MsgKind::kBlockGossip);
+  return appended;
+}
+
+Result<Hash256> ShardingSystem::ReceiveBlockBytes(const Bytes& wire,
+                                                  const Hash256& packer_id) {
+  Block block;
+  SHARDCHAIN_ASSIGN_OR_RETURN(block, codec::DecodeBlock(wire));
+  SHARDCHAIN_RETURN_IF_ERROR(VerifyIncomingBlock(block, packer_id));
+  auto it = shards_.find(ResolveShard(block.header.shard_id));
+  if (it == shards_.end()) {
+    return Status::NotFound("no local ledger for the block's shard");
+  }
+  Result<Hash256> appended = it->second.ledger->Append(block);
+  if (!appended.ok()) return appended.status();
+  it->second.pool.RemoveAll(block.transactions);
+  return appended;
+}
+
+Status ShardingSystem::VerifyIncomingBlock(const Block& block,
+                                           const Hash256& packer_id) const {
+  if (!epoch_active_) {
+    return Status::FailedPrecondition("no active epoch");
+  }
+  // 1. Is the packer a registered miner at all? The miner set is part
+  //    of the leader's broadcast (Sec. IV-C), so every receiver knows
+  //    it.
+  const bool known = std::any_of(
+      miners_.begin(), miners_.end(),
+      [&](const MinerRecord& m) { return m.id == packer_id; });
+  if (!known) {
+    return Status::Unauthorized("packer is not a registered miner");
+  }
+  // 2. Does the packer really correspond to the ShardID in the header?
+  SHARDCHAIN_RETURN_IF_ERROR(VerifyShardMembership(
+      randomness_, packer_id, fractions_, block.header.shard_id));
+  // 3. Structural integrity of the body against the header.
+  if (block.header.tx_root != block.ComputeTxRoot()) {
+    return Status::Corruption("tx root does not match block body");
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> ShardingSystem::PendingPerShard() const {
+  std::vector<uint64_t> out(formation_.ShardCount(), 0);
+  for (const auto& [shard, state] : shards_) {
+    if (state.merged_into.has_value()) continue;
+    const ShardId resolved = ResolveShard(shard);
+    if (resolved < out.size()) {
+      out[resolved] += state.pool.Size();
+    }
+  }
+  return out;
+}
+
+const Ledger* ShardingSystem::ShardLedger(ShardId shard) const {
+  auto it = shards_.find(ResolveShard(shard));
+  return it == shards_.end() ? nullptr : it->second.ledger.get();
+}
+
+const TxPool* ShardingSystem::ShardPool(ShardId shard) const {
+  auto it = shards_.find(ResolveShard(shard));
+  return it == shards_.end() ? nullptr : &it->second.pool;
+}
+
+IterativeMergeResult ShardingSystem::MergeSmallShards() {
+  // Small shards: live (unmerged) shards whose pending pool is below L.
+  std::vector<ShardId> small_ids;
+  std::vector<uint64_t> sizes;
+  for (const auto& [shard, state] : shards_) {
+    if (state.merged_into.has_value()) continue;
+    if (shard == kMaxShardId) continue;  // The MaxShard never merges.
+    const uint64_t pending = state.pool.Size();
+    if (pending < config_.merge.min_shard_size) {
+      small_ids.push_back(shard);
+      sizes.push_back(pending);
+    }
+  }
+
+  // Unified parameters: the plan is derived from the epoch randomness,
+  // so every miner computes the same one.
+  UnifiedParameters params;
+  params.randomness = randomness_;
+  params.shard_sizes = sizes;
+  params.num_miners = miners_.size();
+  params.merge_config = config_.merge;
+  const IterativeMergeResult plan = ComputeMergePlan(params);
+
+  for (const std::vector<size_t>& group : plan.new_shards) {
+    if (group.empty()) continue;
+    // The surviving shard is the lowest id in the group.
+    ShardId target = small_ids[group[0]];
+    for (size_t idx : group) target = std::min(target, small_ids[idx]);
+
+    ShardState& target_state = GetOrCreateShard(target);
+    for (size_t idx : group) {
+      const ShardId source = small_ids[idx];
+      if (source == target) continue;
+      ShardState& source_state = shards_.at(source);
+      for (const Transaction& tx : source_state.pool.All()) {
+        (void)target_state.pool.Add(tx);
+      }
+      source_state.pool.RemoveAll(source_state.pool.All());
+      source_state.merged_into = target;
+    }
+    // Shard reward: every miner of a merged small shard gets G
+    // (Sec. IV-A1), credited system-side like the block reward.
+    for (MinerRecord& m : miners_) {
+      for (size_t idx : group) {
+        if (m.shard == small_ids[idx]) {
+          m.shard_rewards += config_.shard_reward;
+          break;
+        }
+      }
+    }
+    // Miners of merged shards now serve the surviving shard.
+    for (MinerRecord& m : miners_) {
+      for (size_t idx : group) {
+        if (m.shard == small_ids[idx]) m.shard = target;
+      }
+    }
+    for (size_t i = 0; i < miners_.size(); ++i) {
+      net_.Register(static_cast<NodeId>(i), miners_[i].shard);
+    }
+  }
+  return plan;
+}
+
+Amount ShardingSystem::ShardRewardOf(NodeId miner) const {
+  assert(miner < miners_.size());
+  return miners_[miner].shard_rewards;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,166 @@
+#ifndef SHARDCHAIN_CORE_SHARDING_SYSTEM_H_
+#define SHARDCHAIN_CORE_SHARDING_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chain/ledger.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/epoch.h"
+#include "core/merging_game.h"
+#include "core/miner_assignment.h"
+#include "core/shard_formation.h"
+#include "core/unification.h"
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "txpool/txpool.h"
+
+namespace shardchain {
+
+/// \brief Top-level configuration of the sharding system.
+struct ShardingSystemConfig {
+  ChainConfig chain;
+  /// G: the shard reward credited to every small-shard miner when a
+  /// merge satisfies Eq. 1 (Sec. IV-A1).
+  Amount shard_reward = 50;
+  MergingGameConfig merge;
+  SelectionGameConfig select;
+};
+
+/// \brief The full distributed sharding system (Sec. III): contract-
+/// centric shard formation, VRF leader election, verifiable miner
+/// assignment, per-shard ledgers with real transaction execution, and
+/// game-driven merging — the public API the examples build on.
+///
+/// The intended lifecycle:
+///   1. setup: AddMiner / Mint / DeployContract (builds genesis state);
+///   2. BeginEpoch: leader election + miner-to-shard assignment;
+///   3. flow: SubmitTransaction routes txs to shard pools; MineBlock
+///      lets an assigned miner pack and commit a block, with the
+///      Sec. III-C receive-side verifications applied;
+///   4. optionally MergeSmallShards between epochs.
+class ShardingSystem {
+ public:
+  ShardingSystem(ShardingSystemConfig config, uint64_t seed);
+
+  // --- Setup (before the first epoch) ---------------------------------
+
+  /// Creates a miner with a fresh Lamport key pair; returns its NodeId.
+  NodeId AddMiner();
+
+  /// Funds an account in the genesis state. Shard ledgers snapshot the
+  /// genesis state at the moment the shard forms, so fund accounts
+  /// before submitting the transactions that create their shard.
+  void Mint(const Address& account, Amount amount);
+
+  /// Deploys a contract into the genesis state.
+  Result<Address> DeployContract(const Address& creator,
+                                 const ContractProgram& program);
+
+  size_t MinerCount() const { return miners_.size(); }
+
+  // --- Epochs ----------------------------------------------------------
+
+  /// Advances one epoch: VRF leader election over all miners on the
+  /// chained epoch seed (see EpochManager), then assigns every miner to
+  /// a shard using the current transaction fractions. Counts the
+  /// leader's broadcast on the network. `epoch_nonce` is kept for API
+  /// compatibility and folded into nothing — the seed chain alone
+  /// determines the randomness.
+  Status BeginEpoch(uint64_t epoch_nonce);
+
+  /// The epoch history (randomness chaining, leader records).
+  const EpochManager& epochs() const { return epochs_; }
+
+  bool EpochActive() const { return epoch_active_; }
+  NodeId leader() const { return leader_; }
+  const Hash256& epoch_randomness() const { return randomness_; }
+  ShardId ShardOfMiner(NodeId miner) const;
+  std::vector<NodeId> MinersOfShard(ShardId shard) const;
+
+  // --- Transaction flow -------------------------------------------------
+
+  /// Routes a transaction to its shard (Sec. III-A) and pools it there.
+  /// Counts the user's gossip on the network.
+  Result<ShardId> SubmitTransaction(const Transaction& tx);
+
+  /// Lets `miner` pack pending transactions of her shard into a block,
+  /// append it to the shard ledger, and gossip it. Fails with
+  /// Unauthorized if the miner's claimed shard does not re-derive
+  /// (the Sec. III-C check every receiver also performs).
+  Result<Hash256> MineBlock(NodeId miner);
+
+  /// Receive-side verification a miner applies to a foreign block
+  /// (Sec. III-C): the packer must really belong to the block's
+  /// ShardID, and the header must carry a shard this system knows.
+  Status VerifyIncomingBlock(const Block& block,
+                             const Hash256& packer_id) const;
+
+  /// Full wire-level receive path: decode the block bytes, run the
+  /// Sec. III-C verifications, and append to the shard ledger. This is
+  /// what a miner does with a gossiped block. Returns the block hash.
+  Result<Hash256> ReceiveBlockBytes(const Bytes& wire,
+                                    const Hash256& packer_id);
+
+  // --- Shard state -------------------------------------------------------
+
+  size_t ShardCount() const { return formation_.ShardCount(); }
+  std::vector<uint64_t> PendingPerShard() const;
+  const Ledger* ShardLedger(ShardId shard) const;
+  const TxPool* ShardPool(ShardId shard) const;
+  const ShardFormation& formation() const { return formation_; }
+  Network& network() { return net_; }
+  const Network& network() const { return net_; }
+
+  // --- Inter-shard merging ------------------------------------------------
+
+  /// Runs the unified merge plan over the currently small shards
+  /// (pending size < L), moves their pools and miners into merged
+  /// shards, and credits the shard reward to every small-shard miner of
+  /// a formed group (Sec. IV-A). Returns the merge plan.
+  IterativeMergeResult MergeSmallShards();
+
+  /// Shard rewards credited so far to a miner.
+  Amount ShardRewardOf(NodeId miner) const;
+
+ private:
+  struct MinerRecord {
+    KeyPair keys;
+    Hash256 id;  // Public-key fingerprint.
+    ShardId shard = kMaxShardId;
+    Amount shard_rewards = 0;
+  };
+
+  struct ShardState {
+    std::unique_ptr<Ledger> ledger;
+    TxPool pool;
+    /// Routing alias: after a merge, transactions of this shard flow to
+    /// `merged_into` instead.
+    std::optional<ShardId> merged_into;
+  };
+
+  ShardState& GetOrCreateShard(ShardId shard);
+  ShardId ResolveShard(ShardId shard) const;
+
+  ShardingSystemConfig config_;
+  Rng rng_;
+  StateDB genesis_state_;
+  ShardFormation formation_;
+  Network net_;
+  std::vector<MinerRecord> miners_;
+  std::map<ShardId, ShardState> shards_;
+
+  bool epoch_active_ = false;
+  NodeId leader_ = 0;
+  Hash256 randomness_;
+  std::vector<double> fractions_;
+  EpochManager epochs_{Sha256Digest("shardchain.genesis.v1")};
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CORE_SHARDING_SYSTEM_H_

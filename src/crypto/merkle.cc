@@ -1,0 +1,71 @@
+#include "crypto/merkle.h"
+
+#include <cassert>
+
+namespace shardchain {
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
+  if (leaves.empty()) {
+    root_ = Hash256::Zero();
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const std::vector<Hash256>& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(HashPair(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::Prove(size_t index) const {
+  assert(!levels_.empty() && index < levels_[0].size());
+  MerkleProof proof;
+  size_t pos = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::vector<Hash256>& nodes = levels_[level];
+    const size_t sibling_pos = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    MerkleStep step;
+    // Odd tail: the node is paired with itself.
+    step.sibling =
+        sibling_pos < nodes.size() ? nodes[sibling_pos] : nodes[pos];
+    step.sibling_on_left = (pos % 2 == 1);
+    proof.push_back(step);
+    pos /= 2;
+  }
+  return proof;
+}
+
+Hash256 MerkleRoot(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256::Zero();
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(HashPair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+bool MerkleVerify(const Hash256& leaf, const MerkleProof& proof,
+                  const Hash256& root) {
+  Hash256 acc = leaf;
+  for (const MerkleStep& step : proof) {
+    acc = step.sibling_on_left ? HashPair(step.sibling, acc)
+                               : HashPair(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace shardchain

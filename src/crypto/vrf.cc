@@ -1,0 +1,38 @@
+#include "crypto/vrf.h"
+
+namespace shardchain {
+
+Hash256 VrfSeedDigest(const Hash256& seed) {
+  Sha256 h;
+  h.Update("shardchain.vrf.v1");
+  h.Update(seed.bytes.data(), seed.bytes.size());
+  return h.Finalize();
+}
+
+VrfOutput VrfEvaluate(const KeyPair& key, const Hash256& seed) {
+  VrfOutput out;
+  out.proof = key.Sign(VrfSeedDigest(seed));
+  Sha256 h;
+  for (const Hash256& pre : out.proof.preimages) {
+    h.Update(pre.bytes.data(), pre.bytes.size());
+  }
+  out.value = h.Finalize();
+  return out;
+}
+
+bool VrfVerify(const PublicKey& pk, const Hash256& seed,
+               const VrfOutput& out) {
+  if (!Verify(pk, VrfSeedDigest(seed), out.proof)) return false;
+  Sha256 h;
+  for (const Hash256& pre : out.proof.preimages) {
+    h.Update(pre.bytes.data(), pre.bytes.size());
+  }
+  return h.Finalize() == out.value;
+}
+
+double VrfTicket(const Hash256& value) {
+  // Top 53 bits -> [0, 1), matching Rng::UniformDouble's precision.
+  return static_cast<double>(value.Prefix64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,137 @@
+#include "net/gossip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <queue>
+
+namespace shardchain {
+
+namespace {
+
+uint64_t LinkKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+GossipNetwork::GossipNetwork(size_t num_nodes, const GossipConfig& config,
+                             Rng* rng)
+    : config_(config), rng_(rng->Fork()) {
+  assert(num_nodes > 0);
+  adjacency_.resize(num_nodes);
+  std::vector<std::unordered_set<NodeId>> peers(num_nodes);
+
+  auto connect = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    if (!peers[a].insert(b).second) return;
+    peers[b].insert(a);
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    const double latency = SampleLatency(config_.link_latency, &rng_);
+    link_latency_[LinkKey(a, b)] = latency;
+    link_latency_[LinkKey(b, a)] = latency;
+  };
+
+  // Ring for guaranteed connectivity.
+  for (size_t i = 0; i + 1 < num_nodes; ++i) {
+    connect(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  if (num_nodes > 2) {
+    connect(static_cast<NodeId>(num_nodes - 1), 0);
+  }
+  // Random extra links.
+  for (size_t i = 0; i < num_nodes; ++i) {
+    for (size_t d = 0; d < config_.degree; ++d) {
+      connect(static_cast<NodeId>(i),
+              static_cast<NodeId>(rng_.UniformInt(num_nodes)));
+    }
+  }
+  for (auto& neighbours : adjacency_) {
+    std::sort(neighbours.begin(), neighbours.end());
+  }
+}
+
+double GossipNetwork::SampleLatency(double base, Rng* rng) const {
+  if (config_.deterministic_latency) return base;
+  return rng->Exponential(base);
+}
+
+bool GossipNetwork::IsConnected() const {
+  std::vector<bool> visited(adjacency_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  visited[0] = true;
+  size_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    for (NodeId next : adjacency_[node]) {
+      if (!visited[next]) {
+        visited[next] = true;
+        ++count;
+        frontier.push(next);
+      }
+    }
+  }
+  return count == adjacency_.size();
+}
+
+void GossipNetwork::Deliver(NodeId from, NodeId to, const Hash256& id,
+                            std::shared_ptr<const Bytes> payload,
+                            EventQueue* queue) {
+  auto& reached = seen_[id];
+  if (!reached.insert(to).second) return;  // Duplicate: dropped.
+  if (handler_) handler_(to, *payload, queue->Now());
+  // Forward to every neighbour except the sender.
+  for (NodeId next : adjacency_[to]) {
+    if (next == from) continue;
+    ++messages_sent_;
+    const double latency = link_latency_.at(LinkKey(to, next));
+    queue->ScheduleIn(latency, [this, to, next, id, payload, queue] {
+      Deliver(to, next, id, payload, queue);
+    });
+  }
+}
+
+Hash256 GossipNetwork::Publish(NodeId origin, Bytes payload,
+                               EventQueue* queue) {
+  assert(queue != nullptr && origin < adjacency_.size());
+  const Hash256 id = Sha256Digest(payload);
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  // The origin "receives" its own message immediately (no self-send
+  // counted), then floods.
+  queue->ScheduleIn(0.0, [this, origin, id, shared, queue] {
+    Deliver(origin, origin, id, shared, queue);
+  });
+  return id;
+}
+
+GossipNetwork::SpreadReport GossipNetwork::MeasureSpread(NodeId origin,
+                                                         Bytes payload,
+                                                         EventQueue* queue) {
+  SpreadReport report;
+  const uint64_t sent_before = messages_sent_;
+  std::vector<double> arrival_times;
+  arrival_times.reserve(adjacency_.size());
+  Handler saved = handler_;
+  handler_ = [&](NodeId, const Bytes&, SimTime when) {
+    arrival_times.push_back(when);
+  };
+  const SimTime start = queue->Now();
+  Publish(origin, std::move(payload), queue);
+  queue->RunAll();
+  handler_ = std::move(saved);
+
+  report.reached = arrival_times.size();
+  report.messages = messages_sent_ - sent_before;
+  if (!arrival_times.empty()) {
+    std::sort(arrival_times.begin(), arrival_times.end());
+    report.time_to_all = arrival_times.back() - start;
+    report.time_to_half =
+        arrival_times[arrival_times.size() / 2] - start;
+  }
+  return report;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,101 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shardchain {
+
+const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kTxGossip:
+      return "TxGossip";
+    case MsgKind::kBlockGossip:
+      return "BlockGossip";
+    case MsgKind::kCrossShardQuery:
+      return "CrossShardQuery";
+    case MsgKind::kCrossShardVote:
+      return "CrossShardVote";
+    case MsgKind::kLeaderStat:
+      return "LeaderStat";
+    case MsgKind::kLeaderBroadcast:
+      return "LeaderBroadcast";
+    case MsgKind::kGameGossip:
+      return "GameGossip";
+  }
+  return "Unknown";
+}
+
+void Network::Register(NodeId node, ShardId shard) {
+  shard_of_[node] = shard;
+}
+
+ShardId Network::ShardOf(NodeId node) const {
+  auto it = shard_of_.find(node);
+  assert(it != shard_of_.end() && "unregistered node");
+  return it->second;
+}
+
+std::vector<NodeId> Network::Members(ShardId shard) const {
+  std::vector<NodeId> out;
+  for (const auto& [node, s] : shard_of_) {
+    if (s == shard) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Network::Account(NodeId from, NodeId to, MsgKind kind) {
+  const uint8_t k = static_cast<uint8_t>(kind);
+  ++total_[k];
+  if (ShardOf(from) != ShardOf(to)) ++cross_shard_[k];
+}
+
+void Network::Send(NodeId from, NodeId to, MsgKind kind) {
+  Account(from, to, kind);
+}
+
+void Network::Broadcast(NodeId from, MsgKind kind) {
+  for (const auto& [node, shard] : shard_of_) {
+    if (node != from) Account(from, node, kind);
+  }
+}
+
+void Network::MulticastShard(NodeId from, ShardId shard, MsgKind kind) {
+  for (const auto& [node, s] : shard_of_) {
+    if (s == shard && node != from) Account(from, node, kind);
+  }
+}
+
+uint64_t Network::Count(MsgKind kind) const {
+  auto it = total_.find(static_cast<uint8_t>(kind));
+  return it == total_.end() ? 0 : it->second;
+}
+
+uint64_t Network::CrossShardCount(MsgKind kind) const {
+  auto it = cross_shard_.find(static_cast<uint8_t>(kind));
+  return it == cross_shard_.end() ? 0 : it->second;
+}
+
+uint64_t Network::CoordinationMessages() const {
+  uint64_t sum = 0;
+  for (MsgKind kind :
+       {MsgKind::kCrossShardQuery, MsgKind::kCrossShardVote,
+        MsgKind::kLeaderStat, MsgKind::kLeaderBroadcast,
+        MsgKind::kGameGossip}) {
+    sum += CrossShardCount(kind);
+  }
+  return sum;
+}
+
+double Network::CommunicationTimesPerShard(size_t shard_count) const {
+  if (shard_count == 0) return 0.0;
+  return static_cast<double>(CoordinationMessages()) /
+         static_cast<double>(shard_count);
+}
+
+void Network::ResetCounters() {
+  total_.clear();
+  cross_shard_.clear();
+}
+
+}  // namespace shardchain

@@ -1,0 +1,91 @@
+#ifndef SHARDCHAIN_NET_NETWORK_H_
+#define SHARDCHAIN_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/block.h"
+
+namespace shardchain {
+
+/// Node identifier within the simulated network.
+using NodeId = uint32_t;
+
+/// Message categories, so experiments can attribute traffic. The
+/// paper's "communication times" metric (Fig. 4) counts cross-shard
+/// coordination messages; block/tx gossip inside a shard is the
+/// baseline cost every scheme pays and is tracked separately.
+enum class MsgKind : uint8_t {
+  kTxGossip = 0,
+  kBlockGossip = 1,
+  kCrossShardQuery = 2,     ///< Validation needing foreign shard state.
+  kCrossShardVote = 3,      ///< 2PC/BFT-style coordination votes.
+  kLeaderStat = 4,          ///< Shard stats submitted to the leader.
+  kLeaderBroadcast = 5,     ///< Leader's randomness/parameter broadcast.
+  kGameGossip = 6,          ///< Per-iteration exchanges in Alg. 2/3.
+};
+
+const char* MsgKindName(MsgKind kind);
+
+/// \brief A simulated message-passing network with per-kind, per-shard
+/// accounting.
+///
+/// Delivery is immediate and reliable (latency belongs to the
+/// discrete-event layer); what the experiments need from this class is
+/// *counting*: "communication times per shard" (Fig. 4b/4c) is
+/// cross-shard message count divided by shard count.
+class Network {
+ public:
+  Network() = default;
+
+  /// Registers a node and its shard. Re-registering updates the shard
+  /// (used after merging).
+  void Register(NodeId node, ShardId shard);
+
+  ShardId ShardOf(NodeId node) const;
+  size_t NodeCount() const { return shard_of_.size(); }
+
+  /// Nodes currently assigned to `shard`.
+  std::vector<NodeId> Members(ShardId shard) const;
+
+  /// Records a point-to-point message.
+  void Send(NodeId from, NodeId to, MsgKind kind);
+
+  /// Records a broadcast from `from` to every other node (counted as
+  /// N-1 messages).
+  void Broadcast(NodeId from, MsgKind kind);
+
+  /// Records a multicast to every node in `shard` other than `from`.
+  void MulticastShard(NodeId from, ShardId shard, MsgKind kind);
+
+  /// Total messages of `kind`.
+  uint64_t Count(MsgKind kind) const;
+
+  /// Messages of `kind` that crossed a shard boundary.
+  uint64_t CrossShardCount(MsgKind kind) const;
+
+  /// All cross-shard coordination traffic (queries + votes + leader
+  /// stats/broadcasts + game gossip) — the "communication times" of
+  /// Fig. 4 — divided by `shard_count`.
+  double CommunicationTimesPerShard(size_t shard_count) const;
+
+  /// Total cross-shard coordination messages (see above), undivided.
+  uint64_t CoordinationMessages() const;
+
+  void ResetCounters();
+
+ private:
+  void Account(NodeId from, NodeId to, MsgKind kind);
+
+  std::unordered_map<NodeId, ShardId> shard_of_;
+  std::unordered_map<uint8_t, uint64_t> total_;
+  std::unordered_map<uint8_t, uint64_t> cross_shard_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_NET_NETWORK_H_

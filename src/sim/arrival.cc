@@ -1,0 +1,149 @@
+#include "sim/arrival.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/stats.h"
+#include "core/selection_game.h"
+
+namespace shardchain {
+
+ArrivalResult RunArrivalSim(const ArrivalConfig& config, Rng* rng) {
+  assert(rng != nullptr);
+  ArrivalResult result;
+
+  struct PendingTx {
+    Amount fee;
+    double arrival;
+  };
+  std::vector<PendingTx> pending;
+  std::vector<double> latencies;
+
+  double next_arrival =
+      config.arrival_rate > 0.0
+          ? rng->Exponential(1.0 / config.arrival_rate)
+          : config.duration_seconds + 1.0;
+
+  const size_t rounds =
+      static_cast<size_t>(config.duration_seconds / config.round_seconds);
+  std::vector<size_t> miner_order(config.num_miners);
+  std::iota(miner_order.begin(), miner_order.end(), 0);
+
+  for (size_t round = 1; round <= rounds; ++round) {
+    const double round_end = static_cast<double>(round) * config.round_seconds;
+    // Admit arrivals up to the end of this round; they are eligible for
+    // the NEXT round's blocks (miners select at round start).
+    const double round_start = round_end - config.round_seconds;
+    while (next_arrival <= round_start) {
+      pending.push_back(PendingTx{
+          static_cast<Amount>(rng->UniformRange(
+              static_cast<int64_t>(config.fee_lo),
+              static_cast<int64_t>(config.fee_hi))),
+          next_arrival});
+      ++result.arrived;
+      next_arrival += rng->Exponential(1.0 / config.arrival_rate);
+    }
+
+    std::vector<Amount> fees;
+    fees.reserve(pending.size());
+    for (const PendingTx& tx : pending) fees.push_back(tx.fee);
+
+    std::vector<std::vector<size_t>> sets;
+    switch (config.policy) {
+      case SelectionPolicy::kGreedy:
+        sets = GreedySelection(fees, config.num_miners, config.txs_per_block)
+                   .assignment;
+        break;
+      case SelectionPolicy::kCongestionGame: {
+        SelectionGameConfig game = config.game;
+        game.capacity = config.txs_per_block;
+        sets = RunSelectionGame(fees, config.num_miners, game, rng).assignment;
+        break;
+      }
+      case SelectionPolicy::kRoundRobin:
+        sets = RoundRobinSelection(fees, config.num_miners,
+                                   config.txs_per_block)
+                   .assignment;
+        break;
+      case SelectionPolicy::kRandomSets: {
+        sets.assign(config.num_miners, {});
+        std::vector<size_t> idx(fees.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        const size_t take = std::min(config.txs_per_block, idx.size());
+        for (auto& s : sets) {
+          rng->Shuffle(&idx);
+          s.assign(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(take));
+          std::sort(s.begin(), s.end());
+        }
+        break;
+      }
+    }
+
+    rng->Shuffle(&miner_order);
+    std::unordered_set<size_t> confirmed_this_round;
+    for (size_t m : miner_order) {
+      const auto& set = sets[m];
+      if (set.empty()) {
+        ++result.blocks;
+        ++result.empty_blocks;
+        continue;
+      }
+      bool conflict = false;
+      for (size_t j : set) {
+        if (confirmed_this_round.count(j) > 0) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;  // Stale fork.
+      ++result.blocks;
+      for (size_t j : set) {
+        confirmed_this_round.insert(j);
+        latencies.push_back(round_end - pending[j].arrival);
+      }
+    }
+    result.confirmed += confirmed_this_round.size();
+
+    if (!confirmed_this_round.empty()) {
+      std::vector<PendingTx> next;
+      next.reserve(pending.size() - confirmed_this_round.size());
+      for (size_t j = 0; j < pending.size(); ++j) {
+        if (confirmed_this_round.count(j) == 0) next.push_back(pending[j]);
+      }
+      pending = std::move(next);
+    }
+  }
+
+  result.backlog = pending.size();
+  if (!latencies.empty()) {
+    RunningStats stats;
+    for (double l : latencies) stats.Add(l);
+    result.mean_latency = stats.mean();
+    result.p95_latency = Percentile(latencies, 95.0);
+  }
+  result.throughput =
+      static_cast<double>(result.confirmed) / config.duration_seconds;
+  return result;
+}
+
+double FindSaturationRate(const ArrivalConfig& base, double lo, double hi,
+                          int iterations, Rng* rng) {
+  assert(rng != nullptr);
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    ArrivalConfig probe = base;
+    probe.arrival_rate = mid;
+    Rng probe_rng = rng->Fork();
+    const ArrivalResult r = RunArrivalSim(probe, &probe_rng);
+    if (r.Saturated(probe)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace shardchain

@@ -1,0 +1,64 @@
+#ifndef SHARDCHAIN_SIM_ARRIVAL_H_
+#define SHARDCHAIN_SIM_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/mining_sim.h"
+#include "types/block.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief Open-system workload: Poisson transaction arrivals into a
+/// shard under sustained load.
+///
+/// The paper's evaluation is closed (inject N, wait until confirmed).
+/// This extension studies the steady state a deployment actually runs
+/// in: transactions arrive continuously; the interesting questions are
+/// sustainable throughput and confirmation latency, and how the
+/// intra-shard selection game shifts the saturation point (it raises a
+/// shard's service rate from 1 to ~num_miners blocks per round).
+struct ArrivalConfig {
+  double arrival_rate = 0.1;  ///< Transactions per second (Poisson).
+  double round_seconds = 60.0;
+  size_t txs_per_block = 10;
+  size_t num_miners = 1;
+  SelectionPolicy policy = SelectionPolicy::kGreedy;
+  SelectionGameConfig game;
+  double duration_seconds = 3600.0;
+  /// Fee model for arrivals.
+  Amount fee_lo = 1;
+  Amount fee_hi = 100;
+};
+
+struct ArrivalResult {
+  size_t arrived = 0;
+  size_t confirmed = 0;
+  size_t backlog = 0;  ///< Pending at the end of the run.
+  double mean_latency = 0.0;  ///< Arrival -> confirmation, confirmed txs.
+  double p95_latency = 0.0;
+  double throughput = 0.0;  ///< Confirmed per second over the run.
+  size_t empty_blocks = 0;
+  size_t blocks = 0;
+
+  /// A system is stable when the backlog does not grow with the run:
+  /// here, backlog under twice a round's service capacity.
+  bool Saturated(const ArrivalConfig& config) const {
+    return backlog > 2 * config.txs_per_block * config.num_miners;
+  }
+};
+
+/// Simulates one shard under Poisson arrivals with round-based mining
+/// (same conflict semantics as RunMiningSim).
+ArrivalResult RunArrivalSim(const ArrivalConfig& config, Rng* rng);
+
+/// The arrival rate at which the shard saturates (bisection over
+/// RunArrivalSim), useful for capacity planning.
+double FindSaturationRate(const ArrivalConfig& base, double lo, double hi,
+                          int iterations, Rng* rng);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_SIM_ARRIVAL_H_

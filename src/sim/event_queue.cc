@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace shardchain {
+
+void EventQueue::ScheduleIn(SimTime delay, Callback fn) {
+  assert(delay >= 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void EventQueue::ScheduleAt(SimTime when, Callback fn) {
+  assert(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the small fields and move the function.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  event.fn();
+  return true;
+}
+
+size_t EventQueue::RunUntil(SimTime horizon) {
+  size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    Step();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+size_t EventQueue::RunAll() {
+  size_t executed = 0;
+  while (Step()) ++executed;
+  return executed;
+}
+
+}  // namespace shardchain

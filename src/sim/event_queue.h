@@ -1,0 +1,67 @@
+#ifndef SHARDCHAIN_SIM_EVENT_QUEUE_H_
+#define SHARDCHAIN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "types/block.h"
+
+namespace shardchain {
+
+/// \brief Discrete-event simulation core: a virtual clock and a
+/// time-ordered queue of callbacks.
+///
+/// Ties are broken by insertion order so runs are deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current virtual time (seconds).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  void ScheduleIn(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at absolute time `when` (>= Now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Runs the earliest pending event; returns false when empty.
+  bool Step();
+
+  /// Runs events until the queue drains or the clock passes `horizon`.
+  /// Returns the number of events executed.
+  size_t RunUntil(SimTime horizon);
+
+  /// Drains the queue completely.
+  size_t RunAll();
+
+  bool Empty() const { return queue_.empty(); }
+  size_t Pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,203 @@
+#include "sim/mining_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace shardchain {
+
+const char* SelectionPolicyName(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kGreedy:
+      return "Greedy";
+    case SelectionPolicy::kCongestionGame:
+      return "CongestionGame";
+    case SelectionPolicy::kRandomSets:
+      return "RandomSets";
+    case SelectionPolicy::kRoundRobin:
+      return "RoundRobin";
+  }
+  return "Unknown";
+}
+
+size_t SimResult::TotalTxsConfirmed() const {
+  size_t n = 0;
+  for (const auto& s : shards) n += s.txs_confirmed;
+  return n;
+}
+
+size_t SimResult::TotalBlocks() const {
+  size_t n = 0;
+  for (const auto& s : shards) n += s.blocks_committed;
+  return n;
+}
+
+size_t SimResult::TotalEmptyBlocks() const {
+  size_t n = 0;
+  for (const auto& s : shards) n += s.empty_blocks;
+  return n;
+}
+
+size_t SimResult::TotalWastedBlocks() const {
+  size_t n = 0;
+  for (const auto& s : shards) n += s.wasted_blocks;
+  return n;
+}
+
+double SimResult::EmptyBlocksPerShard() const {
+  if (shards.empty()) return 0.0;
+  return static_cast<double>(TotalEmptyBlocks()) /
+         static_cast<double>(shards.size());
+}
+
+namespace {
+
+/// Computes the per-miner selected sets over the currently pending
+/// transactions according to the policy.
+std::vector<std::vector<size_t>> SelectSets(
+    const std::vector<Amount>& pending_fees, size_t num_miners,
+    SelectionPolicy policy, const MiningSimConfig& config, Rng* rng) {
+  switch (policy) {
+    case SelectionPolicy::kGreedy:
+      return GreedySelection(pending_fees, num_miners, config.txs_per_block)
+          .assignment;
+    case SelectionPolicy::kCongestionGame: {
+      SelectionGameConfig game = config.game;
+      game.capacity = config.txs_per_block;
+      return RunSelectionGame(pending_fees, num_miners, game, rng).assignment;
+    }
+    case SelectionPolicy::kRandomSets: {
+      std::vector<std::vector<size_t>> sets(num_miners);
+      std::vector<size_t> indices(pending_fees.size());
+      std::iota(indices.begin(), indices.end(), 0);
+      const size_t take = std::min(config.txs_per_block, indices.size());
+      for (size_t m = 0; m < num_miners; ++m) {
+        rng->Shuffle(&indices);
+        sets[m].assign(indices.begin(),
+                       indices.begin() + static_cast<ptrdiff_t>(take));
+        std::sort(sets[m].begin(), sets[m].end());
+      }
+      return sets;
+    }
+    case SelectionPolicy::kRoundRobin:
+      return RoundRobinSelection(pending_fees, num_miners,
+                                 config.txs_per_block)
+          .assignment;
+  }
+  return {};
+}
+
+ShardMetrics SimulateShard(const ShardSpec& spec,
+                           const MiningSimConfig& config, Rng* rng) {
+  ShardMetrics metrics;
+  metrics.id = spec.id;
+  metrics.txs_injected = spec.tx_fees.size();
+  if (spec.num_miners == 0) return metrics;
+
+  // Genesis-difficulty equilibration: an under-powered shard mines
+  // rounds slower by calibration_power / n (see header comment).
+  const double power_factor =
+      std::max(1.0, config.calibration_power /
+                        static_cast<double>(spec.num_miners));
+  const double round_len = config.round_seconds * power_factor;
+
+  // Pending transactions, by stable local index.
+  std::vector<Amount> fees = spec.tx_fees;
+  std::vector<size_t> live(fees.size());  // live[k] = original index.
+  std::iota(live.begin(), live.end(), 0);
+
+  SimTime now = spec.start_delay;
+  std::vector<size_t> miner_order(spec.num_miners);
+  std::iota(miner_order.begin(), miner_order.end(), 0);
+
+  for (size_t round = 0; round < config.max_rounds; ++round) {
+    const bool work_left = !live.empty();
+    now += round_len;
+    if (!work_left && now > config.window_seconds) break;
+
+    // Fees of the currently pending transactions, positionally aligned
+    // with `live`.
+    std::vector<Amount> pending;
+    pending.reserve(live.size());
+    for (size_t k : live) pending.push_back(fees[k]);
+
+    std::vector<std::vector<size_t>> sets = SelectSets(
+        pending, spec.num_miners, spec.policy_override.value_or(config.policy),
+        config, rng);
+
+    // All miners craft blocks concurrently this round; commit in random
+    // arrival order. A block conflicting with an earlier commit of the
+    // same round is a stale fork.
+    rng->Shuffle(&miner_order);
+    std::unordered_set<size_t> confirmed_this_round;
+    std::vector<bool> removed(live.size(), false);
+    for (size_t m : miner_order) {
+      const std::vector<size_t>& set = sets[m];
+      if (set.empty()) {
+        // Nothing to pack: the miner still claims the block reward with
+        // an empty block (Sec. III-D).
+        ++metrics.blocks_committed;
+        ++metrics.empty_blocks;
+        continue;
+      }
+      bool conflict = false;
+      for (size_t j : set) {
+        if (confirmed_this_round.count(j) > 0) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) {
+        ++metrics.wasted_blocks;
+        continue;
+      }
+      ++metrics.blocks_committed;
+      metrics.txs_confirmed += set.size();
+      for (size_t j : set) {
+        confirmed_this_round.insert(j);
+        removed[j] = true;
+      }
+      if (metrics.txs_confirmed == metrics.txs_injected) {
+        metrics.completion_time = now;
+      }
+    }
+
+    // Drop confirmed transactions from the pending list.
+    if (!confirmed_this_round.empty()) {
+      std::vector<size_t> next_live;
+      next_live.reserve(live.size() - confirmed_this_round.size());
+      for (size_t pos = 0; pos < live.size(); ++pos) {
+        if (!removed[pos]) next_live.push_back(live[pos]);
+      }
+      live = std::move(next_live);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace
+
+SimResult RunMiningSim(const std::vector<ShardSpec>& shards,
+                       const MiningSimConfig& config, Rng* rng) {
+  assert(rng != nullptr);
+  SimResult result;
+  result.shards.reserve(shards.size());
+  for (const ShardSpec& spec : shards) {
+    // Independent stream per shard keeps results insensitive to shard
+    // iteration order.
+    Rng shard_rng = rng->Fork();
+    result.shards.push_back(SimulateShard(spec, config, &shard_rng));
+    result.makespan =
+        std::max(result.makespan, result.shards.back().completion_time);
+  }
+  return result;
+}
+
+double ThroughputImprovement(const SimResult& baseline,
+                             const SimResult& sharded) {
+  if (sharded.makespan <= 0.0) return 0.0;
+  return baseline.makespan / sharded.makespan;
+}
+
+}  // namespace shardchain

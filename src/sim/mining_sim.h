@@ -1,0 +1,112 @@
+#ifndef SHARDCHAIN_SIM_MINING_SIM_H_
+#define SHARDCHAIN_SIM_MINING_SIM_H_
+
+#include <optional>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/selection_game.h"
+#include "types/block.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// How miners in a shard choose which transactions to pack.
+enum class SelectionPolicy : uint8_t {
+  kGreedy = 0,          ///< Everyone takes the top fees (Ethereum default).
+  kCongestionGame = 1,  ///< Algorithm 2 best-reply equilibrium.
+  kRandomSets = 2,      ///< Each miner picks uniformly at random (ablation).
+  kRoundRobin = 3,      ///< Disjoint oracle partition (upper bound).
+};
+
+const char* SelectionPolicyName(SelectionPolicy policy);
+
+/// \brief One shard's specification for a mining simulation: its miner
+/// count and the fees of the transactions injected into it.
+struct ShardSpec {
+  ShardId id = 0;
+  size_t num_miners = 1;
+  std::vector<Amount> tx_fees;
+  /// Overrides the config-wide selection policy for this shard (e.g. a
+  /// MaxShard running the congestion game while contract shards mine
+  /// greedily). nullopt = use MiningSimConfig::policy.
+  std::optional<SelectionPolicy> policy_override;
+  /// Seconds before this shard starts mining. Newly merged shards pay
+  /// one coordination round (leader stats + parameter broadcast) before
+  /// their first block — the source of the paper's post-merge
+  /// throughput cost (Fig. 3d).
+  double start_delay = 0.0;
+};
+
+/// \brief Parameters of the round-based PoW model.
+///
+/// MODEL (see DESIGN.md §2 and EXPERIMENTS.md): on the paper's testbed
+/// "a miner can pack one block in one minute on average" at difficulty
+/// 0x40000. We therefore advance time in rounds of `round_seconds`; in
+/// each round every miner crafts one block from her selected set.
+/// Blocks crafted in the same round are concurrent: a block whose
+/// transactions overlap an already-committed concurrent block is a
+/// stale fork and is wasted. This is what serializes confirmation under
+/// greedy selection (all miners pack the same top-fee set, one useful
+/// block per round — the paper's Sec. II-B observation and Table I) and
+/// what the congestion game fixes (disjoint sets all commit).
+///
+/// `calibration_power` models genesis-difficulty equilibration: the
+/// 0x40000 genesis difficulty was tuned to the testbed's aggregate
+/// power, so a shard with fewer than `calibration_power` miners mines
+/// rounds slower by factor power/n until retargeting would catch up
+/// (Table I's slow 2- and 3-miner rows). Set to 1 to disable.
+struct MiningSimConfig {
+  double round_seconds = 60.0;
+  size_t txs_per_block = 10;
+  double calibration_power = 1.0;
+  SelectionPolicy policy = SelectionPolicy::kGreedy;
+  SelectionGameConfig game;
+  /// Keep simulating empty mining until this time even after all
+  /// transactions confirm (empty-block counting window, Fig. 3b/3c).
+  /// <= 0 means stop at completion.
+  double window_seconds = 0.0;
+  /// Safety valve: give up after this many rounds per shard.
+  size_t max_rounds = 1 << 20;
+};
+
+/// \brief Per-shard outcome of a simulation.
+struct ShardMetrics {
+  ShardId id = 0;
+  size_t txs_injected = 0;
+  size_t txs_confirmed = 0;
+  size_t blocks_committed = 0;   ///< Chain blocks, empty ones included.
+  size_t empty_blocks = 0;       ///< Committed blocks with no txs.
+  size_t wasted_blocks = 0;      ///< Stale forks (conflicting sets).
+  SimTime completion_time = 0.0; ///< When the shard's last tx confirmed.
+};
+
+/// \brief Whole-run outcome.
+struct SimResult {
+  std::vector<ShardMetrics> shards;
+  /// W: waiting time until ALL injected transactions are confirmed —
+  /// the paper's throughput denominator (Sec. VI-A).
+  SimTime makespan = 0.0;
+
+  size_t TotalTxsConfirmed() const;
+  size_t TotalBlocks() const;
+  size_t TotalEmptyBlocks() const;
+  size_t TotalWastedBlocks() const;
+  /// Empty blocks averaged over shards (the per-shard metric of
+  /// Fig. 3c/3f).
+  double EmptyBlocksPerShard() const;
+};
+
+/// Runs the round-based mining simulation over independent shards.
+SimResult RunMiningSim(const std::vector<ShardSpec>& shards,
+                       const MiningSimConfig& config, Rng* rng);
+
+/// Throughput improvement of a sharded run over a baseline:
+/// W_baseline / W_sharded (Sec. VI-A).
+double ThroughputImprovement(const SimResult& baseline,
+                             const SimResult& sharded);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_SIM_MINING_SIM_H_

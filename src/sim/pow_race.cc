@@ -1,0 +1,92 @@
+#include "sim/pow_race.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace shardchain {
+
+PowRaceResult RunPowRace(size_t num_txs, const PowRaceConfig& config,
+                         Rng* rng) {
+  assert(rng != nullptr);
+  assert(config.num_miners > 0 && config.hashrate_per_miner > 0.0);
+
+  PowRaceResult result;
+  const double total_hashrate =
+      config.hashrate_per_miner * static_cast<double>(config.num_miners);
+  uint64_t difficulty =
+      std::max(config.initial_difficulty, config.retarget_config.min_difficulty);
+
+  // Warmup: the chain runs (and difficulty equilibrates) before the
+  // measured transactions are injected.
+  for (size_t b = 0; b < config.warmup_blocks && config.retarget; ++b) {
+    const double mean = static_cast<double>(difficulty) / total_hashrate;
+    const double interval = rng->Exponential(mean);
+    difficulty =
+        pow::NextDifficulty(difficulty, interval, config.retarget_config);
+  }
+
+  size_t pending = num_txs;
+  SimTime now = 0.0;
+  SimTime last_commit = -1e18;  // No commit yet.
+  std::deque<double> recent_intervals;
+
+  // The Poisson race: the next solution arrives after an exponential
+  // with rate total_hashrate / difficulty; the finder's identity only
+  // matters for non-greedy content, where each miner owns a partition
+  // (identical in distribution, so it needs no explicit tracking).
+  while (now < config.horizon_seconds) {
+    const double mean_interval =
+        static_cast<double>(difficulty) / total_hashrate;
+    now += rng->Exponential(mean_interval);
+
+    // A block found while the previous commit is still propagating
+    // extends a stale tip.
+    if (now - last_commit < config.propagation_delay) {
+      if (config.greedy) {
+        // The stale block duplicated the committed set: pure waste.
+        ++result.stale_blocks;
+        continue;
+      }
+      // Disjoint sets: the content is still fresh; the miner re-bases
+      // and re-announces, losing only the propagation window. Model as
+      // a commit shifted past the window.
+      ++result.stale_blocks;
+      now = last_commit + config.propagation_delay;
+    }
+
+    const double interval =
+        last_commit < 0.0 ? config.retarget_config.target_interval
+                          : now - last_commit;
+    last_commit = now;
+    ++result.chain_blocks;
+    if (pending == 0) {
+      ++result.empty_blocks;
+    } else {
+      const size_t take = std::min(config.txs_per_block, pending);
+      pending -= take;
+      result.txs_confirmed += take;
+      if (pending == 0) {
+        result.completion_time = now;
+      }
+    }
+    if (config.retarget) {
+      difficulty =
+          pow::NextDifficulty(difficulty, interval, config.retarget_config);
+    }
+    recent_intervals.push_back(interval);
+    if (recent_intervals.size() > 20) recent_intervals.pop_front();
+
+    if (pending == 0) break;
+  }
+
+  result.final_difficulty = difficulty;
+  if (!recent_intervals.empty()) {
+    double sum = 0.0;
+    for (double i : recent_intervals) sum += i;
+    result.tail_interval = sum / static_cast<double>(recent_intervals.size());
+  }
+  return result;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,71 @@
+#ifndef SHARDCHAIN_SIM_POW_RACE_H_
+#define SHARDCHAIN_SIM_POW_RACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/difficulty.h"
+#include "types/block.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief Continuous-time PoW race simulator.
+///
+/// The fine-grained counterpart to the round-based model in
+/// mining_sim.h: block discoveries form a Poisson race over the
+/// miners' hash power, blocks found within the propagation delay of
+/// the previous commit become stale, and (optionally) go-Ethereum's
+/// difficulty retargeting holds the commit rate at the target interval
+/// regardless of how much power joins.
+///
+/// Used by the model-validation ablation (bench_ablation_race): with
+/// retargeting ON this simulator reproduces the round model's (and
+/// Table I's) flat confirmation-time curve; with retargeting OFF it
+/// shows the counterfactual where more miners mean proportionally more
+/// blocks.
+struct PowRaceConfig {
+  size_t num_miners = 1;
+  /// Hash power per miner (hashes per second); the paper's calibration
+  /// is one c5.large == 0x40000 / 60 H/s (pow::kCalibratedHashRate).
+  double hashrate_per_miner = 4369.0;
+  uint64_t initial_difficulty = 0x40000;
+  bool retarget = true;
+  pow::RetargetConfig retarget_config;
+  /// Seconds for a freshly committed block to reach the other miners;
+  /// blocks found inside this window of a commit are stale forks.
+  double propagation_delay = 2.0;
+  size_t txs_per_block = 10;
+  /// If true, all miners target the same top-fee set, so only blocks
+  /// that extend the tip in time count (greedy serialization). If
+  /// false, miners hold disjoint partitions (selection-game limit):
+  /// a stale block's transactions are still fresh, so it is re-mined
+  /// immediately and only the propagation time is lost.
+  bool greedy = true;
+  /// Blocks mined before the measured injection (the paper's private
+  /// chain runs, and difficulty equilibrates, before each experiment).
+  size_t warmup_blocks = 0;
+  /// Stop even if transactions remain (safety).
+  double horizon_seconds = 1e7;
+};
+
+struct PowRaceResult {
+  SimTime completion_time = 0.0;  ///< When the last tx confirmed (0 if never).
+  size_t txs_confirmed = 0;
+  size_t chain_blocks = 0;  ///< Committed (canonical) blocks.
+  size_t stale_blocks = 0;  ///< Forks lost to propagation.
+  size_t empty_blocks = 0;  ///< Committed blocks with no payload.
+  uint64_t final_difficulty = 0;
+  /// Mean commit interval over the final 20 commits.
+  double tail_interval = 0.0;
+};
+
+/// Runs the race until all `num_txs` transactions confirm (or the
+/// horizon passes).
+PowRaceResult RunPowRace(size_t num_txs, const PowRaceConfig& config,
+                         Rng* rng);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_SIM_POW_RACE_H_

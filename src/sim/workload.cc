@@ -1,0 +1,132 @@
+#include "sim/workload.h"
+
+#include <cassert>
+
+namespace shardchain {
+
+Address RandomAddress(Rng* rng) {
+  Address a;
+  for (int w = 0; w < 2; ++w) {
+    const uint64_t r = rng->Next();
+    for (int j = 0; j < 8; ++j) {
+      a.bytes[w * 8 + j] = static_cast<uint8_t>(r >> (56 - 8 * j));
+    }
+  }
+  const uint64_t r = rng->Next();
+  for (int j = 0; j < 4; ++j) {
+    a.bytes[16 + j] = static_cast<uint8_t>(r >> (24 - 8 * j));
+  }
+  return a;
+}
+
+Amount DrawFee(const WorkloadConfig& config, Rng* rng) {
+  switch (config.fee_model) {
+    case FeeModel::kBinomial:
+      // +1 keeps fees strictly positive so every transaction is worth
+      // mining.
+      return rng->Binomial(static_cast<uint32_t>(config.fee_binomial_n),
+                           0.5) +
+             1;
+    case FeeModel::kUniform:
+      return static_cast<Amount>(rng->UniformRange(
+          static_cast<int64_t>(config.fee_uniform_lo),
+          static_cast<int64_t>(config.fee_uniform_hi)));
+    case FeeModel::kEqual:
+      return config.fee_equal;
+  }
+  return 1;
+}
+
+std::vector<size_t> Workload::PerContractCounts() const {
+  std::vector<size_t> counts(contracts.size(), 0);
+  for (int c : contract_of) {
+    if (c >= 0) ++counts[static_cast<size_t>(c)];
+  }
+  return counts;
+}
+
+Workload GenerateWorkload(const WorkloadConfig& config, Rng* rng) {
+  assert(rng != nullptr);
+  Workload w;
+  w.contracts.reserve(config.num_contracts);
+  for (size_t i = 0; i < config.num_contracts; ++i) {
+    w.contracts.push_back(RandomAddress(rng));
+  }
+
+  w.transactions.reserve(config.num_transactions);
+  w.contract_of.reserve(config.num_transactions);
+  for (size_t i = 0; i < config.num_transactions; ++i) {
+    Transaction tx;
+    tx.sender = RandomAddress(rng);
+    tx.value = config.value_per_tx;
+    tx.fee = DrawFee(config, rng);
+    tx.nonce = 0;
+
+    const bool maxshard_bound =
+        config.maxshard_fraction > 0.0 && rng->Bernoulli(config.maxshard_fraction);
+    if (maxshard_bound) {
+      // Half direct transfers, half multi-input contract calls — both
+      // route to the MaxShard.
+      if (rng->Bernoulli(0.5) || config.num_contracts == 0) {
+        tx.kind = TxKind::kDirectTransfer;
+        tx.recipient = RandomAddress(rng);
+      } else {
+        tx.kind = TxKind::kContractCall;
+        tx.recipient = w.contracts[rng->UniformInt(w.contracts.size())];
+        for (size_t k = 0; k < config.extra_inputs; ++k) {
+          tx.input_accounts.push_back(RandomAddress(rng));
+        }
+      }
+      w.contract_of.push_back(-1);
+    } else {
+      size_t contract_idx = 0;
+      if (config.num_contracts > 1) {
+        switch (config.popularity) {
+          case ContractPopularity::kUniform:
+            contract_idx = rng->UniformInt(config.num_contracts);
+            break;
+          case ContractPopularity::kZipf:
+            contract_idx =
+                rng->Zipf(static_cast<uint32_t>(config.num_contracts),
+                          config.zipf_exponent) -
+                1;
+            break;
+        }
+      }
+      tx.kind = TxKind::kContractCall;
+      tx.recipient = w.contracts[contract_idx];
+      w.contract_of.push_back(static_cast<int>(contract_idx));
+    }
+    w.transactions.push_back(std::move(tx));
+  }
+  return w;
+}
+
+std::vector<Transaction> GenerateKInputTransactions(size_t n, size_t k,
+                                                    Amount fee, Rng* rng) {
+  assert(k >= 1);
+  std::vector<Transaction> txs;
+  txs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Transaction tx;
+    tx.kind = TxKind::kContractCall;
+    tx.sender = RandomAddress(rng);
+    tx.recipient = RandomAddress(rng);
+    tx.fee = fee;
+    tx.value = 1;
+    for (size_t j = 1; j < k; ++j) {
+      tx.input_accounts.push_back(RandomAddress(rng));
+    }
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+void FundWorkload(const std::vector<Transaction>& txs, StateDB* state) {
+  assert(state != nullptr);
+  for (const Transaction& tx : txs) {
+    state->Mint(tx.sender, tx.fee + tx.value);
+  }
+}
+
+}  // namespace shardchain

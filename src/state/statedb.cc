@@ -1,0 +1,144 @@
+#include "state/statedb.h"
+
+#include "crypto/sha256.h"
+
+namespace shardchain {
+
+Hash256 Account::Digest(const Address& addr) const {
+  Bytes buf;
+  buf.reserve(64 + code.size() + storage.size() * 16);
+  buf.insert(buf.end(), addr.bytes.begin(), addr.bytes.end());
+  AppendUint64(&buf, balance);
+  AppendUint64(&buf, nonce);
+  AppendUint64(&buf, code.size());
+  buf.insert(buf.end(), code.begin(), code.end());
+  AppendUint64(&buf, storage.size());
+  for (const auto& [key, value] : storage) {
+    AppendUint64(&buf, key);
+    AppendUint64(&buf, static_cast<uint64_t>(value));
+  }
+  return Sha256Digest(buf);
+}
+
+const Account* StateDB::Find(const Address& addr) const {
+  auto it = accounts_.find(addr);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Amount StateDB::BalanceOf(const Address& addr) const {
+  const Account* a = Find(addr);
+  return a ? a->balance : 0;
+}
+
+uint64_t StateDB::NonceOf(const Address& addr) const {
+  const Account* a = Find(addr);
+  return a ? a->nonce : 0;
+}
+
+bool StateDB::IsContract(const Address& addr) const {
+  const Account* a = Find(addr);
+  return a != nullptr && a->IsContract();
+}
+
+Account& StateDB::GetOrCreate(const Address& addr) {
+  return accounts_[addr];
+}
+
+void StateDB::Mint(const Address& addr, Amount amount) {
+  GetOrCreate(addr).balance += amount;
+}
+
+Status StateDB::Transfer(const Address& from, const Address& to,
+                         Amount amount) {
+  Account& src = GetOrCreate(from);
+  if (src.balance < amount) {
+    return Status::FailedPrecondition("insufficient balance for transfer");
+  }
+  src.balance -= amount;
+  GetOrCreate(to).balance += amount;
+  return Status::OK();
+}
+
+Status StateDB::DeployContract(const Address& addr, Bytes code) {
+  Account& a = GetOrCreate(addr);
+  if (a.IsContract()) {
+    return Status::AlreadyExists("contract already deployed at address");
+  }
+  a.code = std::move(code);
+  return Status::OK();
+}
+
+int64_t StateDB::StorageGet(const Address& addr, uint64_t key) const {
+  const Account* a = Find(addr);
+  if (a == nullptr) return 0;
+  auto it = a->storage.find(key);
+  return it == a->storage.end() ? 0 : it->second;
+}
+
+void StateDB::StorageSet(const Address& addr, uint64_t key, int64_t value) {
+  GetOrCreate(addr).storage[key] = value;
+}
+
+size_t StateDB::Snapshot() {
+  snapshots_.push_back(accounts_);
+  return snapshots_.size() - 1;
+}
+
+Status StateDB::RevertTo(size_t snapshot_id) {
+  if (snapshot_id >= snapshots_.size()) {
+    return Status::OutOfRange("unknown snapshot id");
+  }
+  accounts_ = snapshots_[snapshot_id];
+  snapshots_.resize(snapshot_id);
+  return Status::OK();
+}
+
+namespace {
+
+/// Builds the address -> account-digest trie committing to the state.
+MerklePatriciaTrie BuildStateTrie(const std::map<Address, Account>& accounts) {
+  MerklePatriciaTrie trie;
+  for (const auto& [addr, account] : accounts) {
+    const Hash256 digest = account.Digest(addr);
+    trie.Put(Bytes(addr.bytes.begin(), addr.bytes.end()),
+             Bytes(digest.bytes.begin(), digest.bytes.end()));
+  }
+  return trie;
+}
+
+}  // namespace
+
+Hash256 StateDB::StateRoot() const {
+  return BuildStateTrie(accounts_).RootHash();
+}
+
+MerklePatriciaTrie::Proof StateDB::ProveAccount(const Address& addr) const {
+  return BuildStateTrie(accounts_).Prove(
+      Bytes(addr.bytes.begin(), addr.bytes.end()));
+}
+
+Result<std::optional<Hash256>> StateDB::VerifyAccount(
+    const Hash256& state_root, const Address& addr,
+    const MerklePatriciaTrie::Proof& proof) {
+  std::optional<Bytes> value;
+  SHARDCHAIN_ASSIGN_OR_RETURN(
+      value, MerklePatriciaTrie::VerifyProof(
+                 state_root, Bytes(addr.bytes.begin(), addr.bytes.end()),
+                 proof));
+  if (!value.has_value()) return std::optional<Hash256>(std::nullopt);
+  if (value->size() != 32) {
+    return Status::Corruption("account digest has wrong size");
+  }
+  Hash256 digest;
+  std::copy(value->begin(), value->end(), digest.bytes.begin());
+  return std::optional<Hash256>(digest);
+}
+
+std::vector<Address> StateDB::Addresses() const {
+  std::vector<Address> out;
+  out.reserve(accounts_.size());
+  for (const auto& [addr, account] : accounts_) out.push_back(addr);
+  return out;
+}
+
+}  // namespace shardchain

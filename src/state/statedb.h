@@ -1,0 +1,84 @@
+#ifndef SHARDCHAIN_STATE_STATEDB_H_
+#define SHARDCHAIN_STATE_STATEDB_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "state/account.h"
+#include "state/trie.h"
+#include "types/address.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief The world state: a map from address to account, with
+/// snapshot/revert support and a Merkle state-root commitment.
+///
+/// In the sharded system each shard's miners hold a StateDB restricted
+/// to their shard's accounts; MaxShard miners hold the full state
+/// (Sec. III-A). Copyable so the simulator can fork per-miner views.
+class StateDB {
+ public:
+  StateDB() = default;
+
+  /// Read access. Missing accounts read as empty (balance 0, nonce 0).
+  const Account* Find(const Address& addr) const;
+  Amount BalanceOf(const Address& addr) const;
+  uint64_t NonceOf(const Address& addr) const;
+  bool IsContract(const Address& addr) const;
+
+  /// Mutable access, creating the account if absent.
+  Account& GetOrCreate(const Address& addr);
+
+  /// Credits `amount` to `addr` (minting; used for genesis funding and
+  /// block/shard rewards).
+  void Mint(const Address& addr, Amount amount);
+
+  /// Moves `amount` from `from` to `to`. Fails with FailedPrecondition
+  /// on insufficient balance. Does not touch nonces.
+  Status Transfer(const Address& from, const Address& to, Amount amount);
+
+  /// Deploys contract `code` at `addr`. Fails if an account with code
+  /// already exists there.
+  Status DeployContract(const Address& addr, Bytes code);
+
+  /// Contract storage access (creates the account if needed).
+  int64_t StorageGet(const Address& addr, uint64_t key) const;
+  void StorageSet(const Address& addr, uint64_t key, int64_t value);
+
+  /// Snapshots the full state; RevertTo restores it. Snapshot ids are
+  /// monotonically increasing and invalidated by RevertTo to an earlier
+  /// snapshot.
+  size_t Snapshot();
+  Status RevertTo(size_t snapshot_id);
+
+  /// Authenticated commitment over all accounts: the root of a Merkle
+  /// Patricia trie keyed by address, with account digests as values.
+  Hash256 StateRoot() const;
+
+  /// Merkle Patricia proof that `addr` has the returned digest under
+  /// the current StateRoot (or is absent). Verify with VerifyAccount.
+  MerklePatriciaTrie::Proof ProveAccount(const Address& addr) const;
+
+  /// Verifies an account proof against a state root. Returns the
+  /// proven account digest, or nullopt if the account is proven absent.
+  static Result<std::optional<Hash256>> VerifyAccount(
+      const Hash256& state_root, const Address& addr,
+      const MerklePatriciaTrie::Proof& proof);
+
+  size_t AccountCount() const { return accounts_.size(); }
+
+  /// All addresses in deterministic (sorted) order.
+  std::vector<Address> Addresses() const;
+
+ private:
+  std::map<Address, Account> accounts_;
+  std::vector<std::map<Address, Account>> snapshots_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_STATE_STATEDB_H_

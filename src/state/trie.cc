@@ -1,0 +1,622 @@
+#include "state/trie.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shardchain {
+
+namespace {
+
+size_t CommonPrefix(const std::vector<uint8_t>& a, size_t a_from,
+                    const std::vector<uint8_t>& b, size_t b_from) {
+  size_t n = 0;
+  while (a_from + n < a.size() && b_from + n < b.size() &&
+         a[a_from + n] == b[b_from + n]) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Node basics
+// ---------------------------------------------------------------------
+
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Node::Clone() const {
+  auto copy = std::make_unique<Node>();
+  copy->kind = kind;
+  copy->path = path;
+  copy->value = value;
+  copy->has_value = has_value;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i]) copy->children[i] = children[i]->Clone();
+  }
+  copy->cached_hash = cached_hash;
+  copy->hash_valid = hash_valid;
+  return copy;
+}
+
+MerklePatriciaTrie::MerklePatriciaTrie(const MerklePatriciaTrie& other)
+    : root_(other.root_ ? other.root_->Clone() : nullptr),
+      size_(other.size_) {}
+
+MerklePatriciaTrie& MerklePatriciaTrie::operator=(
+    const MerklePatriciaTrie& other) {
+  if (this != &other) {
+    root_ = other.root_ ? other.root_->Clone() : nullptr;
+    size_ = other.size_;
+  }
+  return *this;
+}
+
+std::vector<uint8_t> MerklePatriciaTrie::ToNibbles(const Bytes& key) {
+  std::vector<uint8_t> nibbles;
+  nibbles.reserve(key.size() * 2);
+  for (uint8_t b : key) {
+    nibbles.push_back(b >> 4);
+    nibbles.push_back(b & 0x0f);
+  }
+  return nibbles;
+}
+
+// ---------------------------------------------------------------------
+// Serialization & hashing
+// ---------------------------------------------------------------------
+
+Bytes MerklePatriciaTrie::Serialize(const Node& node) {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(node.kind));
+  switch (node.kind) {
+    case Node::Kind::kLeaf: {
+      AppendUint32(&out, static_cast<uint32_t>(node.path.size()));
+      out.insert(out.end(), node.path.begin(), node.path.end());
+      AppendUint64(&out, node.value.size());
+      out.insert(out.end(), node.value.begin(), node.value.end());
+      break;
+    }
+    case Node::Kind::kExtension: {
+      AppendUint32(&out, static_cast<uint32_t>(node.path.size()));
+      out.insert(out.end(), node.path.begin(), node.path.end());
+      const Hash256 child = node.children[0] ? HashOf(*node.children[0])
+                                             : Hash256::Zero();
+      out.insert(out.end(), child.bytes.begin(), child.bytes.end());
+      break;
+    }
+    case Node::Kind::kBranch: {
+      for (const NodePtr& child : node.children) {
+        const Hash256 h = child ? HashOf(*child) : Hash256::Zero();
+        out.insert(out.end(), h.bytes.begin(), h.bytes.end());
+      }
+      out.push_back(node.has_value ? 1 : 0);
+      AppendUint64(&out, node.value.size());
+      out.insert(out.end(), node.value.begin(), node.value.end());
+      break;
+    }
+  }
+  return out;
+}
+
+Hash256 MerklePatriciaTrie::HashOf(const Node& node) {
+  if (node.hash_valid) return node.cached_hash;
+  node.cached_hash = Sha256Digest(Serialize(node));
+  node.hash_valid = true;
+  return node.cached_hash;
+}
+
+Hash256 MerklePatriciaTrie::RootHash() const {
+  return root_ ? HashOf(*root_) : Hash256::Zero();
+}
+
+// ---------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Whether the key suffix nibbles[depth..] equals `path`.
+bool SuffixEquals(const std::vector<uint8_t>& nibbles, size_t depth,
+                  const std::vector<uint8_t>& path) {
+  if (nibbles.size() - depth != path.size()) return false;
+  return std::equal(path.begin(), path.end(), nibbles.begin() + depth);
+}
+
+}  // namespace
+
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
+    NodePtr node, const std::vector<uint8_t>& nibbles, size_t depth,
+    Bytes value) {
+  if (!node) {
+    auto leaf = std::make_unique<Node>();
+    leaf->kind = Node::Kind::kLeaf;
+    leaf->path.assign(nibbles.begin() + static_cast<ptrdiff_t>(depth),
+                      nibbles.end());
+    leaf->value = std::move(value);
+    leaf->has_value = true;
+    return leaf;
+  }
+  node->hash_valid = false;
+
+  switch (node->kind) {
+    case Node::Kind::kLeaf: {
+      if (SuffixEquals(nibbles, depth, node->path)) {
+        node->value = std::move(value);
+        return node;
+      }
+      const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
+      auto branch = std::make_unique<Node>();
+      branch->kind = Node::Kind::kBranch;
+      // Re-seat the existing leaf under the branch.
+      if (node->path.size() == cp) {
+        branch->has_value = true;
+        branch->value = std::move(node->value);
+      } else {
+        auto old_leaf = std::make_unique<Node>();
+        old_leaf->kind = Node::Kind::kLeaf;
+        old_leaf->path.assign(node->path.begin() + static_cast<ptrdiff_t>(cp + 1),
+                              node->path.end());
+        old_leaf->value = std::move(node->value);
+        old_leaf->has_value = true;
+        branch->children[node->path[cp]] = std::move(old_leaf);
+      }
+      // Seat the new entry.
+      if (nibbles.size() - depth == cp) {
+        branch->has_value = true;
+        branch->value = std::move(value);
+      } else {
+        auto new_leaf = std::make_unique<Node>();
+        new_leaf->kind = Node::Kind::kLeaf;
+        new_leaf->path.assign(
+            nibbles.begin() + static_cast<ptrdiff_t>(depth + cp + 1),
+            nibbles.end());
+        new_leaf->value = std::move(value);
+        new_leaf->has_value = true;
+        branch->children[nibbles[depth + cp]] = std::move(new_leaf);
+      }
+      if (cp == 0) return branch;
+      auto ext = std::make_unique<Node>();
+      ext->kind = Node::Kind::kExtension;
+      ext->path.assign(node->path.begin(),
+                       node->path.begin() + static_cast<ptrdiff_t>(cp));
+      ext->children[0] = std::move(branch);
+      return ext;
+    }
+
+    case Node::Kind::kExtension: {
+      const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
+      if (cp == node->path.size()) {
+        node->children[0] = Insert(std::move(node->children[0]), nibbles,
+                                   depth + cp, std::move(value));
+        return node;
+      }
+      // Split the extension at cp.
+      auto branch = std::make_unique<Node>();
+      branch->kind = Node::Kind::kBranch;
+      // Old subtree goes under node->path[cp].
+      {
+        const uint8_t idx = node->path[cp];
+        if (node->path.size() - cp == 1) {
+          branch->children[idx] = std::move(node->children[0]);
+        } else {
+          auto tail = std::make_unique<Node>();
+          tail->kind = Node::Kind::kExtension;
+          tail->path.assign(node->path.begin() + static_cast<ptrdiff_t>(cp + 1),
+                            node->path.end());
+          tail->children[0] = std::move(node->children[0]);
+          branch->children[idx] = std::move(tail);
+        }
+      }
+      // New entry.
+      if (nibbles.size() - depth == cp) {
+        branch->has_value = true;
+        branch->value = std::move(value);
+      } else {
+        auto leaf = std::make_unique<Node>();
+        leaf->kind = Node::Kind::kLeaf;
+        leaf->path.assign(
+            nibbles.begin() + static_cast<ptrdiff_t>(depth + cp + 1),
+            nibbles.end());
+        leaf->value = std::move(value);
+        leaf->has_value = true;
+        branch->children[nibbles[depth + cp]] = std::move(leaf);
+      }
+      if (cp == 0) return branch;
+      auto ext = std::make_unique<Node>();
+      ext->kind = Node::Kind::kExtension;
+      ext->path.assign(node->path.begin(),
+                       node->path.begin() + static_cast<ptrdiff_t>(cp));
+      ext->children[0] = std::move(branch);
+      return ext;
+    }
+
+    case Node::Kind::kBranch: {
+      if (depth == nibbles.size()) {
+        node->has_value = true;
+        node->value = std::move(value);
+        return node;
+      }
+      const uint8_t idx = nibbles[depth];
+      node->children[idx] = Insert(std::move(node->children[idx]), nibbles,
+                                   depth + 1, std::move(value));
+      return node;
+    }
+  }
+  return node;
+}
+
+void MerklePatriciaTrie::Put(const Bytes& key, Bytes value) {
+  const std::vector<uint8_t> nibbles = ToNibbles(key);
+  const bool existed = Contains(key);
+  root_ = Insert(std::move(root_), nibbles, 0, std::move(value));
+  if (!existed) ++size_;
+}
+
+// ---------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------
+
+const MerklePatriciaTrie::Node* MerklePatriciaTrie::Find(
+    const Node* node, const std::vector<uint8_t>& nibbles, size_t depth) {
+  while (node != nullptr) {
+    switch (node->kind) {
+      case Node::Kind::kLeaf:
+        return SuffixEquals(nibbles, depth, node->path) ? node : nullptr;
+      case Node::Kind::kExtension: {
+        const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
+        if (cp != node->path.size()) return nullptr;
+        depth += cp;
+        node = node->children[0].get();
+        break;
+      }
+      case Node::Kind::kBranch: {
+        if (depth == nibbles.size()) {
+          return node->has_value ? node : nullptr;
+        }
+        node = node->children[nibbles[depth]].get();
+        ++depth;
+        break;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Bytes> MerklePatriciaTrie::Get(const Bytes& key) const {
+  const Node* node = Find(root_.get(), ToNibbles(key), 0);
+  if (node == nullptr) return std::nullopt;
+  return node->value;
+}
+
+// ---------------------------------------------------------------------
+// Delete
+// ---------------------------------------------------------------------
+
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Normalize(NodePtr node) {
+  if (!node) return node;
+  if (node->kind == Node::Kind::kExtension) {
+    Node* child = node->children[0].get();
+    if (child == nullptr) return nullptr;
+    if (child->kind == Node::Kind::kLeaf) {
+      // ext(p) + leaf(q) => leaf(p+q).
+      child->path.insert(child->path.begin(), node->path.begin(),
+                         node->path.end());
+      child->hash_valid = false;
+      return std::move(node->children[0]);
+    }
+    if (child->kind == Node::Kind::kExtension) {
+      // ext(p) + ext(q) => ext(p+q).
+      child->path.insert(child->path.begin(), node->path.begin(),
+                         node->path.end());
+      child->hash_valid = false;
+      return std::move(node->children[0]);
+    }
+    return node;
+  }
+  if (node->kind == Node::Kind::kBranch) {
+    int only_child = -1;
+    int child_count = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (node->children[i]) {
+        ++child_count;
+        only_child = i;
+      }
+    }
+    if (child_count == 0 && !node->has_value) return nullptr;
+    if (child_count == 0 && node->has_value) {
+      auto leaf = std::make_unique<Node>();
+      leaf->kind = Node::Kind::kLeaf;
+      leaf->value = std::move(node->value);
+      leaf->has_value = true;
+      return leaf;
+    }
+    if (child_count == 1 && !node->has_value) {
+      NodePtr child = std::move(node->children[only_child]);
+      child->hash_valid = false;
+      switch (child->kind) {
+        case Node::Kind::kLeaf:
+        case Node::Kind::kExtension:
+          child->path.insert(child->path.begin(),
+                             static_cast<uint8_t>(only_child));
+          return child;
+        case Node::Kind::kBranch: {
+          auto ext = std::make_unique<Node>();
+          ext->kind = Node::Kind::kExtension;
+          ext->path = {static_cast<uint8_t>(only_child)};
+          ext->children[0] = std::move(child);
+          return ext;
+        }
+      }
+    }
+  }
+  return node;
+}
+
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Remove(
+    NodePtr node, const std::vector<uint8_t>& nibbles, size_t depth,
+    bool* removed) {
+  if (!node) return node;
+  switch (node->kind) {
+    case Node::Kind::kLeaf: {
+      if (SuffixEquals(nibbles, depth, node->path)) {
+        *removed = true;
+        return nullptr;
+      }
+      return node;
+    }
+    case Node::Kind::kExtension: {
+      const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
+      if (cp != node->path.size()) return node;
+      node->children[0] =
+          Remove(std::move(node->children[0]), nibbles, depth + cp, removed);
+      if (!*removed) return node;
+      node->hash_valid = false;
+      return Normalize(std::move(node));
+    }
+    case Node::Kind::kBranch: {
+      if (depth == nibbles.size()) {
+        if (!node->has_value) return node;
+        node->has_value = false;
+        node->value.clear();
+        *removed = true;
+      } else {
+        const uint8_t idx = nibbles[depth];
+        node->children[idx] = Remove(std::move(node->children[idx]), nibbles,
+                                     depth + 1, removed);
+        if (!*removed) return node;
+      }
+      node->hash_valid = false;
+      return Normalize(std::move(node));
+    }
+  }
+  return node;
+}
+
+bool MerklePatriciaTrie::Delete(const Bytes& key) {
+  bool removed = false;
+  root_ = Remove(std::move(root_), ToNibbles(key), 0, &removed);
+  if (removed) --size_;
+  return removed;
+}
+
+// ---------------------------------------------------------------------
+// Iteration
+// ---------------------------------------------------------------------
+
+void MerklePatriciaTrie::CollectEntries(
+    const Node* node, std::vector<uint8_t>* prefix,
+    std::vector<std::pair<Bytes, Bytes>>* out) {
+  if (node == nullptr) return;
+  auto emit = [&](const Bytes& value) {
+    assert(prefix->size() % 2 == 0 && "keys are whole bytes");
+    Bytes key;
+    key.reserve(prefix->size() / 2);
+    for (size_t i = 0; i + 1 < prefix->size(); i += 2) {
+      key.push_back(
+          static_cast<uint8_t>(((*prefix)[i] << 4) | (*prefix)[i + 1]));
+    }
+    out->emplace_back(std::move(key), value);
+  };
+  switch (node->kind) {
+    case Node::Kind::kLeaf: {
+      prefix->insert(prefix->end(), node->path.begin(), node->path.end());
+      emit(node->value);
+      prefix->resize(prefix->size() - node->path.size());
+      break;
+    }
+    case Node::Kind::kExtension: {
+      prefix->insert(prefix->end(), node->path.begin(), node->path.end());
+      CollectEntries(node->children[0].get(), prefix, out);
+      prefix->resize(prefix->size() - node->path.size());
+      break;
+    }
+    case Node::Kind::kBranch: {
+      if (node->has_value) emit(node->value);
+      for (uint8_t i = 0; i < 16; ++i) {
+        if (!node->children[i]) continue;
+        prefix->push_back(i);
+        CollectEntries(node->children[i].get(), prefix, out);
+        prefix->pop_back();
+      }
+      break;
+    }
+  }
+}
+
+std::vector<std::pair<Bytes, Bytes>> MerklePatriciaTrie::Entries() const {
+  std::vector<std::pair<Bytes, Bytes>> out;
+  out.reserve(size_);
+  std::vector<uint8_t> prefix;
+  CollectEntries(root_.get(), &prefix, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Proofs
+// ---------------------------------------------------------------------
+
+void MerklePatriciaTrie::CollectProof(const Node* node,
+                                      const std::vector<uint8_t>& nibbles,
+                                      size_t depth, Proof* proof) {
+  while (node != nullptr) {
+    proof->push_back(ProofNode{Serialize(*node)});
+    switch (node->kind) {
+      case Node::Kind::kLeaf:
+        return;
+      case Node::Kind::kExtension: {
+        const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
+        if (cp != node->path.size()) return;  // Diverged: absence proof.
+        depth += cp;
+        node = node->children[0].get();
+        break;
+      }
+      case Node::Kind::kBranch: {
+        if (depth == nibbles.size()) return;
+        node = node->children[nibbles[depth]].get();
+        ++depth;
+        break;
+      }
+    }
+  }
+}
+
+MerklePatriciaTrie::Proof MerklePatriciaTrie::Prove(const Bytes& key) const {
+  Proof proof;
+  CollectProof(root_.get(), ToNibbles(key), 0, &proof);
+  return proof;
+}
+
+namespace {
+
+/// Parsed view of a serialized trie node (for proof verification).
+struct ParsedNode {
+  uint8_t kind = 0;
+  std::vector<uint8_t> path;
+  Bytes value;
+  bool has_value = false;
+  std::array<Hash256, 16> child_hashes;
+  Hash256 ext_child;
+};
+
+Result<ParsedNode> ParseNode(const Bytes& raw) {
+  if (raw.empty()) return Status::Corruption("empty proof node");
+  ParsedNode out;
+  out.kind = raw[0];
+  size_t pos = 1;
+  auto need = [&](size_t n) { return pos + n <= raw.size(); };
+  switch (out.kind) {
+    case 0: {  // Leaf.
+      if (!need(4)) return Status::Corruption("truncated leaf");
+      uint32_t plen = 0;
+      for (int i = 0; i < 4; ++i) plen = (plen << 8) | raw[pos++];
+      if (!need(plen + 8)) return Status::Corruption("truncated leaf path");
+      out.path.assign(raw.begin() + static_cast<ptrdiff_t>(pos),
+                      raw.begin() + static_cast<ptrdiff_t>(pos + plen));
+      pos += plen;
+      const uint64_t vlen = ReadUint64(raw, pos);
+      pos += 8;
+      if (!need(vlen)) return Status::Corruption("truncated leaf value");
+      out.value.assign(raw.begin() + static_cast<ptrdiff_t>(pos),
+                       raw.begin() + static_cast<ptrdiff_t>(pos + vlen));
+      out.has_value = true;
+      break;
+    }
+    case 1: {  // Extension.
+      if (!need(4)) return Status::Corruption("truncated extension");
+      uint32_t plen = 0;
+      for (int i = 0; i < 4; ++i) plen = (plen << 8) | raw[pos++];
+      if (!need(plen + 32)) return Status::Corruption("truncated ext path");
+      out.path.assign(raw.begin() + static_cast<ptrdiff_t>(pos),
+                      raw.begin() + static_cast<ptrdiff_t>(pos + plen));
+      pos += plen;
+      std::copy(raw.begin() + static_cast<ptrdiff_t>(pos),
+                raw.begin() + static_cast<ptrdiff_t>(pos + 32),
+                out.ext_child.bytes.begin());
+      break;
+    }
+    case 2: {  // Branch.
+      if (!need(16 * 32 + 1 + 8)) return Status::Corruption("truncated branch");
+      for (int c = 0; c < 16; ++c) {
+        std::copy(raw.begin() + static_cast<ptrdiff_t>(pos),
+                  raw.begin() + static_cast<ptrdiff_t>(pos + 32),
+                  out.child_hashes[c].bytes.begin());
+        pos += 32;
+      }
+      out.has_value = raw[pos++] != 0;
+      const uint64_t vlen = ReadUint64(raw, pos);
+      pos += 8;
+      if (!need(vlen)) return Status::Corruption("truncated branch value");
+      out.value.assign(raw.begin() + static_cast<ptrdiff_t>(pos),
+                       raw.begin() + static_cast<ptrdiff_t>(pos + vlen));
+      break;
+    }
+    default:
+      return Status::Corruption("unknown proof node kind");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::optional<Bytes>> MerklePatriciaTrie::VerifyProof(
+    const Hash256& root, const Bytes& key, const Proof& proof) {
+  const std::vector<uint8_t> nibbles = ToNibbles(key);
+  if (proof.empty()) {
+    // Only the empty trie proves anything with an empty proof.
+    if (root.IsZero()) return std::optional<Bytes>(std::nullopt);
+    return Status::Corruption("empty proof for non-empty root");
+  }
+
+  Hash256 expected = root;
+  size_t depth = 0;
+  for (size_t i = 0; i < proof.size(); ++i) {
+    if (Sha256Digest(proof[i].encoded) != expected) {
+      return Status::Corruption("proof node hash mismatch");
+    }
+    ParsedNode node;
+    SHARDCHAIN_ASSIGN_OR_RETURN(node, ParseNode(proof[i].encoded));
+    const bool last = (i + 1 == proof.size());
+    switch (node.kind) {
+      case 0: {  // Leaf.
+        if (!last) return Status::Corruption("leaf before end of proof");
+        if (nibbles.size() - depth == node.path.size() &&
+            std::equal(node.path.begin(), node.path.end(),
+                       nibbles.begin() + static_cast<ptrdiff_t>(depth))) {
+          return std::optional<Bytes>(node.value);
+        }
+        return std::optional<Bytes>(std::nullopt);  // Proven absent.
+      }
+      case 1: {  // Extension.
+        const size_t cp = CommonPrefix(node.path, 0, nibbles, depth);
+        if (cp != node.path.size()) {
+          if (!last) return Status::Corruption("diverged mid-proof");
+          return std::optional<Bytes>(std::nullopt);
+        }
+        depth += cp;
+        if (last) return Status::Corruption("proof ends at extension");
+        expected = node.ext_child;
+        break;
+      }
+      case 2: {  // Branch.
+        if (depth == nibbles.size()) {
+          if (!last) return Status::Corruption("key ends before proof");
+          if (node.has_value) return std::optional<Bytes>(node.value);
+          return std::optional<Bytes>(std::nullopt);
+        }
+        const uint8_t idx = nibbles[depth];
+        ++depth;
+        if (node.child_hashes[idx].IsZero()) {
+          if (!last) return Status::Corruption("absent child mid-proof");
+          return std::optional<Bytes>(std::nullopt);  // Proven absent.
+        }
+        if (last) return Status::Corruption("proof ends inside branch");
+        expected = node.child_hashes[idx];
+        break;
+      }
+      default:
+        return Status::Corruption("unknown node kind");
+    }
+  }
+  return Status::Corruption("proof exhausted without resolution");
+}
+
+}  // namespace shardchain

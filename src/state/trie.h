@@ -1,0 +1,126 @@
+#ifndef SHARDCHAIN_STATE_TRIE_H_
+#define SHARDCHAIN_STATE_TRIE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hex.h"
+#include "common/result.h"
+#include "crypto/sha256.h"
+
+namespace shardchain {
+
+/// \brief A Merkle Patricia-style radix trie over hex nibbles.
+///
+/// The authenticated key-value store behind account state, in the
+/// spirit of Ethereum's state trie: every node's hash commits to its
+/// subtree, the root hash commits to the whole mapping, and compact
+/// Merkle proofs authenticate single entries (including proofs of
+/// absence). Three node kinds, as in Ethereum:
+///   - leaf: remaining key nibbles + value;
+///   - extension: shared nibble run + one child;
+///   - branch: 16 children + optional value at this exact key.
+///
+/// Keys are arbitrary byte strings (internally nibble-expanded);
+/// values are byte strings. The empty trie hashes to Hash256::Zero().
+class MerklePatriciaTrie {
+ public:
+  MerklePatriciaTrie() = default;
+  MerklePatriciaTrie(const MerklePatriciaTrie& other);
+  MerklePatriciaTrie& operator=(const MerklePatriciaTrie& other);
+  MerklePatriciaTrie(MerklePatriciaTrie&&) = default;
+  MerklePatriciaTrie& operator=(MerklePatriciaTrie&&) = default;
+
+  /// Inserts or overwrites `key` with `value`.
+  void Put(const Bytes& key, Bytes value);
+
+  /// The stored value, or nullopt.
+  std::optional<Bytes> Get(const Bytes& key) const;
+
+  /// Removes `key`; returns true if it was present.
+  bool Delete(const Bytes& key);
+
+  bool Contains(const Bytes& key) const { return Get(key).has_value(); }
+
+  /// Number of stored entries.
+  size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  /// Root commitment. O(dirty subtree) — hashes are cached and
+  /// invalidated along write paths.
+  Hash256 RootHash() const;
+
+  /// All (key, value) pairs in lexicographic key order.
+  std::vector<std::pair<Bytes, Bytes>> Entries() const;
+
+  // --- Authenticated reads -------------------------------------------
+
+  /// \brief A proof node: the serialized bytes of one trie node on the
+  /// path from the root to the key.
+  struct ProofNode {
+    Bytes encoded;
+  };
+  using Proof = std::vector<ProofNode>;
+
+  /// Builds a Merkle proof for `key` (works for absent keys too: the
+  /// proof then shows the divergence point).
+  Proof Prove(const Bytes& key) const;
+
+  /// Verifies a proof against a root hash. Returns the proven value
+  /// (nullopt = proven absent), or an error if the proof is invalid or
+  /// does not match the root.
+  static Result<std::optional<Bytes>> VerifyProof(const Hash256& root,
+                                                  const Bytes& key,
+                                                  const Proof& proof);
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  struct Node {
+    enum class Kind : uint8_t { kLeaf, kExtension, kBranch };
+    Kind kind = Kind::kLeaf;
+
+    // kLeaf: path = remaining nibbles, value set.
+    // kExtension: path = shared nibbles, children[0] used as the child.
+    // kBranch: children[0..15], optional value.
+    std::vector<uint8_t> path;
+    Bytes value;
+    bool has_value = false;
+    std::array<NodePtr, 16> children;
+
+    // Cached subtree hash; invalid when dirty.
+    mutable Hash256 cached_hash;
+    mutable bool hash_valid = false;
+
+    NodePtr Clone() const;
+  };
+
+  static std::vector<uint8_t> ToNibbles(const Bytes& key);
+  static Bytes Serialize(const Node& node);
+  static Hash256 HashOf(const Node& node);
+  static NodePtr Insert(NodePtr node, const std::vector<uint8_t>& nibbles,
+                        size_t depth, Bytes value);
+  static const Node* Find(const Node* node,
+                          const std::vector<uint8_t>& nibbles, size_t depth);
+  static NodePtr Remove(NodePtr node, const std::vector<uint8_t>& nibbles,
+                        size_t depth, bool* removed);
+  /// Collapses single-child branches / chained extensions after delete.
+  static NodePtr Normalize(NodePtr node);
+  static void CollectEntries(const Node* node, std::vector<uint8_t>* prefix,
+                             std::vector<std::pair<Bytes, Bytes>>* out);
+  static void CollectProof(const Node* node,
+                           const std::vector<uint8_t>& nibbles, size_t depth,
+                           Proof* proof);
+
+  NodePtr root_;
+  size_t size_ = 0;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_STATE_TRIE_H_

@@ -1,0 +1,54 @@
+#include "txpool/txpool.h"
+
+namespace shardchain {
+
+Status TxPool::Add(const Transaction& tx) {
+  const Hash256 id = tx.Id();
+  if (by_id_.count(id) > 0) {
+    return Status::AlreadyExists("transaction already pooled");
+  }
+  if (by_id_.size() >= capacity_) {
+    // The cheapest entry is the last in fee order.
+    auto worst = std::prev(by_fee_.end());
+    if (worst->first.fee >= tx.fee) {
+      return Status::FailedPrecondition(
+          "pool full of transactions with higher fees");
+    }
+    by_id_.erase(worst->first.id);
+    by_fee_.erase(worst);
+  }
+  const FeeKey key{tx.fee, id};
+  by_fee_.emplace(key, tx);
+  by_id_.emplace(id, key);
+  return Status::OK();
+}
+
+Status TxPool::Remove(const Hash256& id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("transaction not pooled");
+  by_fee_.erase(it->second);
+  by_id_.erase(it);
+  return Status::OK();
+}
+
+void TxPool::RemoveAll(const std::vector<Transaction>& confirmed) {
+  for (const Transaction& tx : confirmed) {
+    (void)Remove(tx.Id());
+  }
+}
+
+bool TxPool::Contains(const Hash256& id) const {
+  return by_id_.count(id) > 0;
+}
+
+std::vector<Transaction> TxPool::TopByFee(size_t n) const {
+  std::vector<Transaction> out;
+  out.reserve(std::min(n, by_fee_.size()));
+  for (const auto& [key, tx] : by_fee_) {
+    if (out.size() >= n) break;
+    out.push_back(tx);
+  }
+  return out;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,68 @@
+#ifndef SHARDCHAIN_TXPOOL_TXPOOL_H_
+#define SHARDCHAIN_TXPOOL_TXPOOL_H_
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief A fee-ordered pool of unconfirmed transactions.
+///
+/// This is what each miner "keeps track of" (Sec. II-B): miners pick
+/// the highest-fee transactions first, which is exactly the behaviour
+/// that serializes confirmation in the non-sharded baseline and that
+/// the intra-shard congestion game (Alg. 2) replaces.
+class TxPool {
+ public:
+  /// Caps the pool; adding beyond it evicts the cheapest transaction
+  /// (or rejects the incoming one if it is the cheapest).
+  explicit TxPool(size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  /// Adds a transaction. Fails with AlreadyExists on duplicate id, or
+  /// FailedPrecondition if the pool is full of strictly pricier txs.
+  Status Add(const Transaction& tx);
+
+  /// Removes a transaction by id; returns NotFound if absent.
+  Status Remove(const Hash256& id);
+
+  /// Removes every transaction contained in `confirmed` (called when a
+  /// block is accepted).
+  void RemoveAll(const std::vector<Transaction>& confirmed);
+
+  bool Contains(const Hash256& id) const;
+  size_t Size() const { return by_id_.size(); }
+  bool Empty() const { return by_id_.empty(); }
+
+  /// The `n` highest-fee transactions (ties broken by id for
+  /// determinism), best first. n may exceed Size().
+  std::vector<Transaction> TopByFee(size_t n) const;
+
+  /// All pooled transactions in fee order (best first).
+  std::vector<Transaction> All() const { return TopByFee(by_id_.size()); }
+
+ private:
+  /// Orders by fee descending, then id ascending — a deterministic
+  /// total order shared by all miners.
+  struct FeeKey {
+    Amount fee;
+    Hash256 id;
+    friend bool operator<(const FeeKey& a, const FeeKey& b) {
+      if (a.fee != b.fee) return a.fee > b.fee;
+      return a.id < b.id;
+    }
+  };
+
+  size_t capacity_;
+  std::map<FeeKey, Transaction> by_fee_;
+  std::unordered_map<Hash256, FeeKey> by_id_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_TXPOOL_TXPOOL_H_

@@ -1,0 +1,62 @@
+#ifndef SHARDCHAIN_TYPES_ADDRESS_H_
+#define SHARDCHAIN_TYPES_ADDRESS_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace shardchain {
+
+/// \brief A 20-byte account address (Ethereum-style), derived from the
+/// trailing bytes of a key fingerprint or contract-creation hash.
+struct Address {
+  std::array<uint8_t, 20> bytes{};
+
+  static Address Zero() { return Address{}; }
+
+  /// Derives an address from a public-key fingerprint (last 20 bytes,
+  /// the Ethereum convention).
+  static Address FromHash(const Hash256& h) {
+    Address a;
+    for (int i = 0; i < 20; ++i) a.bytes[i] = h.bytes[12 + i];
+    return a;
+  }
+
+  /// Deterministic contract address: H("contract" ‖ creator ‖ nonce).
+  static Address ForContract(const Address& creator, uint64_t nonce);
+
+  bool IsZero() const {
+    for (uint8_t b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  std::string ToHex() const {
+    return "0x" + HexEncode(bytes.data(), bytes.size());
+  }
+
+  /// Well-mixed 64-bit fingerprint for hashing.
+  uint64_t Prefix64() const {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[i];
+    return v;
+  }
+
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+}  // namespace shardchain
+
+template <>
+struct std::hash<shardchain::Address> {
+  size_t operator()(const shardchain::Address& a) const noexcept {
+    return static_cast<size_t>(a.Prefix64());
+  }
+};
+
+#endif  // SHARDCHAIN_TYPES_ADDRESS_H_

@@ -1,0 +1,37 @@
+#include "types/block.h"
+
+#include "crypto/merkle.h"
+
+namespace shardchain {
+
+Bytes BlockHeader::Encode() const {
+  Bytes out;
+  out.reserve(160);
+  out.insert(out.end(), parent_hash.bytes.begin(), parent_hash.bytes.end());
+  AppendUint64(&out, number);
+  AppendUint32(&out, shard_id);
+  out.insert(out.end(), miner.bytes.begin(), miner.bytes.end());
+  out.insert(out.end(), tx_root.bytes.begin(), tx_root.bytes.end());
+  out.insert(out.end(), state_root.bytes.begin(), state_root.bytes.end());
+  AppendUint64(&out, difficulty);
+  AppendUint64(&out, nonce);
+  AppendUint64(&out, timestamp);
+  return out;
+}
+
+Hash256 BlockHeader::Hash() const { return Sha256Digest(Encode()); }
+
+Hash256 Block::ComputeTxRoot() const {
+  std::vector<Hash256> leaves;
+  leaves.reserve(transactions.size());
+  for (const Transaction& tx : transactions) leaves.push_back(tx.Id());
+  return MerkleRoot(leaves);
+}
+
+Amount Block::TotalFees() const {
+  Amount total = 0;
+  for (const Transaction& tx : transactions) total += tx.fee;
+  return total;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,60 @@
+#ifndef SHARDCHAIN_TYPES_BLOCK_H_
+#define SHARDCHAIN_TYPES_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "types/address.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// Shard identifier. Shard 0 is always the MaxShard (Sec. III-A);
+/// contract shards are numbered from 1.
+using ShardId = uint32_t;
+inline constexpr ShardId kMaxShardId = 0;
+
+/// Simulated time in seconds (virtual clock of the discrete-event
+/// simulator).
+using SimTime = double;
+
+/// \brief Block header. Carries the ShardID the paper adds to headers
+/// (Sec. III-C) so receivers can check shard membership.
+struct BlockHeader {
+  Hash256 parent_hash;
+  uint64_t number = 0;     ///< Height within its shard's chain.
+  ShardId shard_id = kMaxShardId;
+  Address miner;           ///< Coinbase of the block's creator.
+  Hash256 tx_root;         ///< Merkle root over transaction ids.
+  Hash256 state_root;      ///< Commitment to post-state.
+  uint64_t difficulty = 1;
+  uint64_t nonce = 0;      ///< PoW solution.
+  uint64_t timestamp = 0;  ///< Seconds, virtual clock.
+
+  /// Canonical serialization for hashing / PoW.
+  Bytes Encode() const;
+
+  /// SHA-256 of Encode() — the block hash (PoW subject).
+  Hash256 Hash() const;
+};
+
+/// \brief A full block: header plus transaction list.
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  /// An empty block confirms no transactions but still pays the block
+  /// reward — the waste the inter-shard merging algorithm removes.
+  bool IsEmpty() const { return transactions.empty(); }
+
+  /// Recomputes header.tx_root from the current transaction list.
+  Hash256 ComputeTxRoot() const;
+
+  /// Sum of the transaction fees the miner collects.
+  Amount TotalFees() const;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_TYPES_BLOCK_H_

@@ -1,0 +1,159 @@
+#include "types/codec.h"
+
+#include <cstddef>
+
+namespace shardchain {
+namespace codec {
+
+Result<uint8_t> Reader::ReadByte() {
+  if (remaining() < 1) return Status::Corruption("buffer underrun (byte)");
+  return data_[pos_++];
+}
+
+Result<uint32_t> Reader::ReadU32() {
+  if (remaining() < 4) return Status::Corruption("buffer underrun (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+Result<uint64_t> Reader::ReadU64() {
+  if (remaining() < 8) return Status::Corruption("buffer underrun (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+Result<Bytes> Reader::ReadBytes(size_t n) {
+  if (remaining() < n) return Status::Corruption("buffer underrun (bytes)");
+  Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+            data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Result<Address> Reader::ReadAddress() {
+  if (remaining() < 20) return Status::Corruption("buffer underrun (addr)");
+  Address a;
+  for (int i = 0; i < 20; ++i) a.bytes[i] = data_[pos_++];
+  return a;
+}
+
+Result<Hash256> Reader::ReadHash() {
+  if (remaining() < 32) return Status::Corruption("buffer underrun (hash)");
+  Hash256 h;
+  for (int i = 0; i < 32; ++i) h.bytes[i] = data_[pos_++];
+  return h;
+}
+
+Bytes EncodeTransaction(const Transaction& tx) { return tx.Encode(); }
+
+Result<Transaction> DecodeTransaction(const Bytes& data) {
+  Reader r(data);
+  Transaction tx;
+  SHARDCHAIN_ASSIGN_OR_RETURN(tx.sender, r.ReadAddress());
+  SHARDCHAIN_ASSIGN_OR_RETURN(tx.recipient, r.ReadAddress());
+  uint8_t kind = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(kind, r.ReadByte());
+  if (kind > static_cast<uint8_t>(TxKind::kContractDeploy)) {
+    return Status::Corruption("unknown transaction kind");
+  }
+  tx.kind = static_cast<TxKind>(kind);
+  SHARDCHAIN_ASSIGN_OR_RETURN(tx.value, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(tx.fee, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(tx.gas_limit, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(tx.nonce, r.ReadU64());
+  uint64_t payload_len = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(payload_len, r.ReadU64());
+  if (payload_len > r.remaining()) {
+    return Status::Corruption("payload length exceeds buffer");
+  }
+  SHARDCHAIN_ASSIGN_OR_RETURN(tx.payload,
+                              r.ReadBytes(static_cast<size_t>(payload_len)));
+  uint64_t inputs = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(inputs, r.ReadU64());
+  if (inputs > r.remaining() / 20) {
+    return Status::Corruption("input count exceeds buffer");
+  }
+  tx.input_accounts.reserve(static_cast<size_t>(inputs));
+  for (uint64_t i = 0; i < inputs; ++i) {
+    Address a;
+    SHARDCHAIN_ASSIGN_OR_RETURN(a, r.ReadAddress());
+    tx.input_accounts.push_back(a);
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after tx");
+  return tx;
+}
+
+Bytes EncodeHeader(const BlockHeader& header) { return header.Encode(); }
+
+Result<BlockHeader> DecodeHeader(const Bytes& data) {
+  Reader r(data);
+  BlockHeader h;
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.parent_hash, r.ReadHash());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.number, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.shard_id, r.ReadU32());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.miner, r.ReadAddress());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.tx_root, r.ReadHash());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.state_root, r.ReadHash());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.difficulty, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.nonce, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(h.timestamp, r.ReadU64());
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after header");
+  return h;
+}
+
+Bytes EncodeBlock(const Block& block) {
+  Bytes out = block.header.Encode();
+  AppendUint32(&out, static_cast<uint32_t>(block.transactions.size()));
+  for (const Transaction& tx : block.transactions) {
+    const Bytes enc = tx.Encode();
+    AppendUint64(&out, enc.size());
+    out.insert(out.end(), enc.begin(), enc.end());
+  }
+  return out;
+}
+
+Result<Block> DecodeBlock(const Bytes& data) {
+  // Header is fixed-size: 32+8+4+20+32+32+8+8+8 = 152 bytes.
+  constexpr size_t kHeaderSize = 152;
+  if (data.size() < kHeaderSize + 4) {
+    return Status::Corruption("block shorter than header");
+  }
+  Block block;
+  {
+    Bytes header_bytes(data.begin(),
+                       data.begin() + static_cast<ptrdiff_t>(kHeaderSize));
+    SHARDCHAIN_ASSIGN_OR_RETURN(block.header, DecodeHeader(header_bytes));
+  }
+  Reader r(data);
+  // Skip the header region.
+  Result<Bytes> skipped = r.ReadBytes(kHeaderSize);
+  if (!skipped.ok()) return skipped.status();
+  uint32_t count = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(count, r.ReadU32());
+  // Every transaction needs at least its 8-byte length prefix, so a
+  // count beyond that is corrupt — and must not drive a huge reserve.
+  if (count > r.remaining() / 8) {
+    return Status::Corruption("tx count exceeds buffer");
+  }
+  block.transactions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    SHARDCHAIN_ASSIGN_OR_RETURN(len, r.ReadU64());
+    if (len > r.remaining()) {
+      return Status::Corruption("tx length exceeds buffer");
+    }
+    Bytes tx_bytes;
+    SHARDCHAIN_ASSIGN_OR_RETURN(tx_bytes,
+                                r.ReadBytes(static_cast<size_t>(len)));
+    Transaction tx;
+    SHARDCHAIN_ASSIGN_OR_RETURN(tx, DecodeTransaction(tx_bytes));
+    block.transactions.push_back(std::move(tx));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after block");
+  return block;
+}
+
+}  // namespace codec
+}  // namespace shardchain

@@ -1,0 +1,62 @@
+#ifndef SHARDCHAIN_TYPES_CODEC_H_
+#define SHARDCHAIN_TYPES_CODEC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "types/block.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+/// \brief Wire codec: canonical, self-delimiting encode/decode for
+/// transactions, headers and blocks.
+///
+/// `Transaction::Encode` / `BlockHeader::Encode` define the canonical
+/// byte layouts used for hashing; this module adds the inverse
+/// direction (plus whole-block framing) so blocks and transactions can
+/// actually travel between miners as bytes and be re-validated on
+/// arrival — the transport counterpart of the Sec. III-C receive-side
+/// checks.
+namespace codec {
+
+/// \brief Cursor over an input buffer with bounds-checked reads.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadByte();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<Bytes> ReadBytes(size_t n);
+  Result<Address> ReadAddress();
+  Result<Hash256> ReadHash();
+
+ private:
+  const Bytes& data_;
+  size_t pos_ = 0;
+};
+
+/// Transaction wire format (identical to Transaction::Encode, so the
+/// decoded transaction re-hashes to the same id).
+Bytes EncodeTransaction(const Transaction& tx);
+Result<Transaction> DecodeTransaction(const Bytes& data);
+
+/// Header wire format (identical to BlockHeader::Encode).
+Bytes EncodeHeader(const BlockHeader& header);
+Result<BlockHeader> DecodeHeader(const Bytes& data);
+
+/// Whole block: header, then a count-prefixed transaction list (each
+/// transaction length-prefixed). Decode verifies nothing beyond
+/// structure; run Ledger/ShardingSystem validation afterwards.
+Bytes EncodeBlock(const Block& block);
+Result<Block> DecodeBlock(const Bytes& data);
+
+}  // namespace codec
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_TYPES_CODEC_H_

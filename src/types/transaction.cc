@@ -1,0 +1,48 @@
+#include "types/transaction.h"
+
+namespace shardchain {
+
+Address Address::ForContract(const Address& creator, uint64_t nonce) {
+  Sha256 h;
+  h.Update("shardchain.contract.v1");
+  h.Update(creator.bytes.data(), creator.bytes.size());
+  Bytes n;
+  AppendUint64(&n, nonce);
+  h.Update(n);
+  return Address::FromHash(h.Finalize());
+}
+
+const char* TxKindName(TxKind kind) {
+  switch (kind) {
+    case TxKind::kDirectTransfer:
+      return "DirectTransfer";
+    case TxKind::kContractCall:
+      return "ContractCall";
+    case TxKind::kContractDeploy:
+      return "ContractDeploy";
+  }
+  return "Unknown";
+}
+
+Bytes Transaction::Encode() const {
+  Bytes out;
+  out.reserve(96 + payload.size() + input_accounts.size() * 20);
+  out.insert(out.end(), sender.bytes.begin(), sender.bytes.end());
+  out.insert(out.end(), recipient.bytes.begin(), recipient.bytes.end());
+  out.push_back(static_cast<uint8_t>(kind));
+  AppendUint64(&out, value);
+  AppendUint64(&out, fee);
+  AppendUint64(&out, gas_limit);
+  AppendUint64(&out, nonce);
+  AppendUint64(&out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  AppendUint64(&out, input_accounts.size());
+  for (const Address& a : input_accounts) {
+    out.insert(out.end(), a.bytes.begin(), a.bytes.end());
+  }
+  return out;
+}
+
+Hash256 Transaction::Id() const { return Sha256Digest(Encode()); }
+
+}  // namespace shardchain

@@ -1,0 +1,145 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/beacon.h"
+
+namespace shardchain {
+namespace {
+
+Bytes Share(uint64_t n) {
+  Bytes b;
+  AppendUint64(&b, n);
+  return b;
+}
+
+TEST(BeaconTest, HappyPathProducesVerifiableOutput) {
+  RandomnessBeacon beacon(3);
+  std::map<NodeId, Hash256> commitments;
+  std::map<NodeId, Bytes> reveals;
+  for (NodeId n = 0; n < 4; ++n) {
+    const Bytes share = Share(100 + n);
+    const Hash256 c = RandomnessBeacon::CommitmentFor(share);
+    ASSERT_TRUE(beacon.Commit(n, c).ok());
+    commitments[n] = c;
+    reveals[n] = share;
+  }
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_TRUE(beacon.Reveal(n, Share(100 + n)).ok());
+  }
+  Result<Hash256> output = beacon.Finalize();
+  ASSERT_TRUE(output.ok());
+  EXPECT_FALSE(output->IsZero());
+  EXPECT_TRUE(beacon.Withholders().empty());
+  EXPECT_TRUE(
+      RandomnessBeacon::VerifyTranscript(commitments, reveals, *output).ok());
+}
+
+TEST(BeaconTest, PhaseDisciplineEnforced) {
+  RandomnessBeacon beacon;
+  // Reveal before commits close.
+  EXPECT_TRUE(beacon.Reveal(0, Share(1)).IsFailedPrecondition());
+  ASSERT_TRUE(beacon.Commit(0, RandomnessBeacon::CommitmentFor(Share(1))).ok());
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  // Commit after close.
+  EXPECT_TRUE(
+      beacon.Commit(1, RandomnessBeacon::CommitmentFor(Share(2)))
+          .IsFailedPrecondition());
+  EXPECT_TRUE(beacon.CloseCommits().IsFailedPrecondition());
+  ASSERT_TRUE(beacon.Reveal(0, Share(1)).ok());
+  ASSERT_TRUE(beacon.Finalize().ok());
+  // Reveal after done.
+  EXPECT_TRUE(beacon.Reveal(0, Share(1)).IsFailedPrecondition());
+}
+
+TEST(BeaconTest, DoubleCommitAndRevealRejected) {
+  RandomnessBeacon beacon;
+  ASSERT_TRUE(beacon.Commit(0, RandomnessBeacon::CommitmentFor(Share(1))).ok());
+  EXPECT_TRUE(beacon.Commit(0, RandomnessBeacon::CommitmentFor(Share(2)))
+                  .IsAlreadyExists());
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  ASSERT_TRUE(beacon.Reveal(0, Share(1)).ok());
+  EXPECT_TRUE(beacon.Reveal(0, Share(1)).IsAlreadyExists());
+}
+
+TEST(BeaconTest, WrongRevealRejected) {
+  RandomnessBeacon beacon;
+  ASSERT_TRUE(beacon.Commit(0, RandomnessBeacon::CommitmentFor(Share(1))).ok());
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  EXPECT_TRUE(beacon.Reveal(0, Share(2)).IsUnauthorized());
+  EXPECT_TRUE(beacon.Reveal(9, Share(1)).IsNotFound());
+}
+
+TEST(BeaconTest, WithholdersAreNamed) {
+  RandomnessBeacon beacon(1);
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_TRUE(
+        beacon.Commit(n, RandomnessBeacon::CommitmentFor(Share(n))).ok());
+  }
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  ASSERT_TRUE(beacon.Reveal(1, Share(1)).ok());
+  ASSERT_TRUE(beacon.Finalize().ok());
+  EXPECT_EQ(beacon.Withholders(), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(BeaconTest, QuorumEnforced) {
+  RandomnessBeacon beacon(2);
+  ASSERT_TRUE(beacon.Commit(0, RandomnessBeacon::CommitmentFor(Share(1))).ok());
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  ASSERT_TRUE(beacon.Reveal(0, Share(1)).ok());
+  EXPECT_TRUE(beacon.Finalize().status().IsFailedPrecondition());
+}
+
+TEST(BeaconTest, OutputDependsOnEveryShare) {
+  auto run = [](uint64_t tweak) {
+    RandomnessBeacon beacon;
+    for (NodeId n = 0; n < 3; ++n) {
+      const Bytes share = Share(n == 2 ? tweak : n);
+      EXPECT_TRUE(
+          beacon.Commit(n, RandomnessBeacon::CommitmentFor(share)).ok());
+    }
+    EXPECT_TRUE(beacon.CloseCommits().ok());
+    for (NodeId n = 0; n < 3; ++n) {
+      EXPECT_TRUE(beacon.Reveal(n, Share(n == 2 ? tweak : n)).ok());
+    }
+    return *beacon.Finalize();
+  };
+  EXPECT_NE(run(10), run(11));
+  EXPECT_EQ(run(10), run(10));  // And deterministic.
+}
+
+TEST(BeaconTest, TranscriptVerificationCatchesLies) {
+  std::map<NodeId, Hash256> commitments;
+  std::map<NodeId, Bytes> reveals;
+  for (NodeId n = 0; n < 3; ++n) {
+    reveals[n] = Share(n);
+    commitments[n] = RandomnessBeacon::CommitmentFor(reveals[n]);
+  }
+  // Build the honest output via a beacon run.
+  RandomnessBeacon beacon;
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_TRUE(beacon.Commit(n, commitments[n]).ok());
+  }
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_TRUE(beacon.Reveal(n, reveals[n]).ok());
+  }
+  const Hash256 honest = *beacon.Finalize();
+  EXPECT_TRUE(
+      RandomnessBeacon::VerifyTranscript(commitments, reveals, honest).ok());
+
+  // A doctored output fails.
+  Hash256 forged = honest;
+  forged.bytes[0] ^= 1;
+  EXPECT_TRUE(RandomnessBeacon::VerifyTranscript(commitments, reveals, forged)
+                  .IsCorruption());
+  // A reveal that matches no commitment fails.
+  reveals[7] = Share(7);
+  EXPECT_TRUE(RandomnessBeacon::VerifyTranscript(commitments, reveals, honest)
+                  .IsUnauthorized());
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "contract/callgraph.h"
+#include "core/shard_formation.h"
+
+namespace shardchain {
+namespace {
+
+Address Addr(uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+Transaction Call(const Address& sender, const Address& contract) {
+  Transaction tx;
+  tx.kind = TxKind::kContractCall;
+  tx.sender = sender;
+  tx.recipient = contract;
+  return tx;
+}
+
+Transaction Direct(const Address& sender, const Address& to) {
+  Transaction tx;
+  tx.kind = TxKind::kDirectTransfer;
+  tx.sender = sender;
+  tx.recipient = to;
+  return tx;
+}
+
+// --------------------------- CallGraph ---------------------------------
+
+TEST(CallGraphTest, FreshUserHasNoHistory) {
+  CallGraph g;
+  EXPECT_EQ(g.Classify(Addr(1)), SenderClass::kNoHistory);
+  EXPECT_FALSE(g.SingleContractOf(Addr(1)).has_value());
+}
+
+TEST(CallGraphTest, SingleContractUser) {
+  // Fig. 1(a): user A only invokes contract 1.
+  CallGraph g;
+  g.Record(Call(Addr(1), Addr(0x10)));
+  EXPECT_EQ(g.Classify(Addr(1)), SenderClass::kSingleContract);
+  ASSERT_TRUE(g.SingleContractOf(Addr(1)).has_value());
+  EXPECT_EQ(*g.SingleContractOf(Addr(1)), Addr(0x10));
+}
+
+TEST(CallGraphTest, RepeatCallsStaySingleContract) {
+  CallGraph g;
+  g.Record(Call(Addr(1), Addr(0x10)));
+  g.Record(Call(Addr(1), Addr(0x10)));
+  g.Record(Call(Addr(1), Addr(0x10)));
+  EXPECT_EQ(g.Classify(Addr(1)), SenderClass::kSingleContract);
+}
+
+TEST(CallGraphTest, MultiContractUser) {
+  // Fig. 1(b): user C invokes contracts 2 and 3.
+  CallGraph g;
+  g.Record(Call(Addr(1), Addr(0x10)));
+  g.Record(Call(Addr(1), Addr(0x11)));
+  EXPECT_EQ(g.Classify(Addr(1)), SenderClass::kMultiContract);
+  EXPECT_FALSE(g.SingleContractOf(Addr(1)).has_value());
+  EXPECT_EQ(g.ContractsOf(Addr(1)).size(), 2u);
+}
+
+TEST(CallGraphTest, DirectTransferDominates) {
+  // Fig. 1(c): user F calls a contract AND sends a direct transfer.
+  CallGraph g;
+  g.Record(Call(Addr(1), Addr(0x10)));
+  g.Record(Direct(Addr(1), Addr(2)));
+  EXPECT_EQ(g.Classify(Addr(1)), SenderClass::kDirect);
+  // Direct status is permanent, further contract calls don't undo it.
+  g.Record(Call(Addr(1), Addr(0x10)));
+  EXPECT_EQ(g.Classify(Addr(1)), SenderClass::kDirect);
+}
+
+TEST(CallGraphTest, DeployDoesNotChangeClass) {
+  CallGraph g;
+  Transaction tx;
+  tx.kind = TxKind::kContractDeploy;
+  tx.sender = Addr(1);
+  g.Record(tx);
+  EXPECT_EQ(g.Classify(Addr(1)), SenderClass::kNoHistory);
+}
+
+TEST(CallGraphTest, ClassifyWithAnticipatesTransaction) {
+  CallGraph g;
+  // A fresh contract call makes the sender single-contract.
+  EXPECT_EQ(g.ClassifyWith(Addr(1), Call(Addr(1), Addr(0x10))),
+            SenderClass::kSingleContract);
+  g.Record(Call(Addr(1), Addr(0x10)));
+  // Same contract again: still single.
+  EXPECT_EQ(g.ClassifyWith(Addr(1), Call(Addr(1), Addr(0x10))),
+            SenderClass::kSingleContract);
+  // A different contract would tip her into multi-contract.
+  EXPECT_EQ(g.ClassifyWith(Addr(1), Call(Addr(1), Addr(0x11))),
+            SenderClass::kMultiContract);
+  // A direct transfer would tip her into direct.
+  EXPECT_EQ(g.ClassifyWith(Addr(1), Direct(Addr(1), Addr(2))),
+            SenderClass::kDirect);
+}
+
+TEST(CallGraphTest, ShardableOnlyForCleanSingleContractCalls) {
+  CallGraph g;
+  Address contract;
+  EXPECT_TRUE(g.IsShardable(Call(Addr(1), Addr(0x10)), &contract));
+  EXPECT_EQ(contract, Addr(0x10));
+
+  // Direct transfers are never shardable.
+  EXPECT_FALSE(g.IsShardable(Direct(Addr(1), Addr(2)), nullptr));
+
+  // Multi-input calls are never shardable.
+  Transaction multi = Call(Addr(1), Addr(0x10));
+  multi.input_accounts.push_back(Addr(9));
+  EXPECT_FALSE(g.IsShardable(multi, nullptr));
+
+  // A second contract breaks shardability.
+  g.Record(Call(Addr(1), Addr(0x10)));
+  EXPECT_FALSE(g.IsShardable(Call(Addr(1), Addr(0x11)), nullptr));
+}
+
+TEST(CallGraphTest, SenderClassNames) {
+  EXPECT_STREQ(SenderClassName(SenderClass::kNoHistory), "NoHistory");
+  EXPECT_STREQ(SenderClassName(SenderClass::kSingleContract),
+               "SingleContract");
+  EXPECT_STREQ(SenderClassName(SenderClass::kMultiContract), "MultiContract");
+  EXPECT_STREQ(SenderClassName(SenderClass::kDirect), "Direct");
+}
+
+// ------------------------- ShardFormation -------------------------------
+
+TEST(ShardFormationTest, StartsWithOnlyMaxShard) {
+  ShardFormation f;
+  EXPECT_EQ(f.ShardCount(), 1u);
+  EXPECT_EQ(f.ShardSizes(), std::vector<uint64_t>{0});
+}
+
+TEST(ShardFormationTest, ContractCallsFormShards) {
+  ShardFormation f;
+  EXPECT_EQ(f.Route(Call(Addr(1), Addr(0x10))), 1u);
+  EXPECT_EQ(f.Route(Call(Addr(2), Addr(0x11))), 2u);
+  // Another user of contract 0x10 lands in the same shard.
+  EXPECT_EQ(f.Route(Call(Addr(3), Addr(0x10))), 1u);
+  EXPECT_EQ(f.ShardCount(), 3u);
+  EXPECT_EQ(f.ShardSizes(), (std::vector<uint64_t>{0, 2, 1}));
+}
+
+TEST(ShardFormationTest, DirectTransfersGoToMaxShard) {
+  ShardFormation f;
+  EXPECT_EQ(f.Route(Direct(Addr(1), Addr(2))), kMaxShardId);
+  EXPECT_EQ(f.ShardSizes()[kMaxShardId], 1u);
+}
+
+TEST(ShardFormationTest, MultiContractSendersFallToMaxShard) {
+  ShardFormation f;
+  EXPECT_EQ(f.Route(Call(Addr(1), Addr(0x10))), 1u);
+  // Second contract: the sender is now multi-contract -> MaxShard.
+  EXPECT_EQ(f.Route(Call(Addr(1), Addr(0x11))), kMaxShardId);
+}
+
+TEST(ShardFormationTest, PeekDoesNotMutate) {
+  ShardFormation f;
+  EXPECT_EQ(f.Peek(Call(Addr(1), Addr(0x10))), 1u);
+  EXPECT_EQ(f.ShardCount(), 1u);  // Nothing recorded.
+  f.Route(Call(Addr(1), Addr(0x10)));
+  EXPECT_EQ(f.Peek(Call(Addr(2), Addr(0x10))), 1u);
+}
+
+TEST(ShardFormationTest, ContractShardLookups) {
+  ShardFormation f;
+  f.Route(Call(Addr(1), Addr(0x10)));
+  ASSERT_TRUE(f.ShardOfContract(Addr(0x10)).has_value());
+  EXPECT_EQ(*f.ShardOfContract(Addr(0x10)), 1u);
+  ASSERT_TRUE(f.ContractOfShard(1).has_value());
+  EXPECT_EQ(*f.ContractOfShard(1), Addr(0x10));
+  EXPECT_FALSE(f.ContractOfShard(kMaxShardId).has_value());
+  EXPECT_FALSE(f.ContractOfShard(99).has_value());
+  EXPECT_FALSE(f.ShardOfContract(Addr(0x33)).has_value());
+}
+
+TEST(ShardFormationTest, FractionsSumToHundred) {
+  ShardFormation f;
+  for (int i = 0; i < 6; ++i) {
+    f.Route(Call(Addr(static_cast<uint8_t>(i + 1)), Addr(0x10)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    f.Route(Call(Addr(static_cast<uint8_t>(i + 10)), Addr(0x11)));
+  }
+  const auto fr = f.Fractions();
+  double total = 0.0;
+  for (double x : fr) total += x;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_NEAR(fr[1], 60.0, 1e-9);
+  EXPECT_NEAR(fr[2], 40.0, 1e-9);
+}
+
+TEST(ShardFormationTest, EmptyFractionsAreUniform) {
+  ShardFormation f;
+  const auto fr = f.Fractions();
+  ASSERT_EQ(fr.size(), 1u);
+  EXPECT_NEAR(fr[0], 100.0, 1e-9);
+}
+
+TEST(ShardFormationTest, DeterministicAcrossMiners) {
+  // Two miners processing the same transaction stream derive identical
+  // routings — the "no communication" property of Sec. III.
+  ShardFormation a;
+  ShardFormation b;
+  std::vector<Transaction> stream;
+  for (uint8_t i = 1; i < 30; ++i) {
+    stream.push_back(Call(Addr(i), Addr(0x10 + i % 3)));
+  }
+  stream.push_back(Direct(Addr(1), Addr(2)));
+  for (const auto& tx : stream) {
+    EXPECT_EQ(a.Route(tx), b.Route(tx));
+  }
+  EXPECT_EQ(a.ShardSizes(), b.ShardSizes());
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,256 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/epoch.h"
+#include "sim/workload.h"
+#include "types/codec.h"
+
+namespace shardchain {
+namespace {
+
+Transaction SampleTx(Rng* rng) {
+  Transaction tx;
+  tx.sender = RandomAddress(rng);
+  tx.recipient = RandomAddress(rng);
+  tx.kind = static_cast<TxKind>(rng->UniformInt(3));
+  tx.value = rng->Next() % 100000;
+  tx.fee = rng->Next() % 1000;
+  tx.gas_limit = 21000 + rng->Next() % 10000;
+  tx.nonce = rng->Next() % 32;
+  const size_t payload = rng->UniformInt(40);
+  for (size_t i = 0; i < payload; ++i) {
+    tx.payload.push_back(static_cast<uint8_t>(rng->UniformInt(256)));
+  }
+  const size_t inputs = rng->UniformInt(4);
+  for (size_t i = 0; i < inputs; ++i) {
+    tx.input_accounts.push_back(RandomAddress(rng));
+  }
+  return tx;
+}
+
+// ------------------------------ Codec ------------------------------------
+
+TEST(CodecTest, TransactionRoundTripPreservesId) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Transaction tx = SampleTx(&rng);
+    Result<Transaction> back =
+        codec::DecodeTransaction(codec::EncodeTransaction(tx));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->Id(), tx.Id());
+    EXPECT_EQ(back->sender, tx.sender);
+    EXPECT_EQ(back->kind, tx.kind);
+    EXPECT_EQ(back->payload, tx.payload);
+    EXPECT_EQ(back->input_accounts, tx.input_accounts);
+  }
+}
+
+TEST(CodecTest, HeaderRoundTripPreservesHash) {
+  Rng rng(2);
+  BlockHeader h;
+  h.parent_hash = Sha256Digest("parent");
+  h.number = 7;
+  h.shard_id = 3;
+  h.miner = RandomAddress(&rng);
+  h.tx_root = Sha256Digest("txs");
+  h.state_root = Sha256Digest("state");
+  h.difficulty = 0x40000;
+  h.nonce = 12345;
+  h.timestamp = 99;
+  Result<BlockHeader> back = codec::DecodeHeader(codec::EncodeHeader(h));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Hash(), h.Hash());
+  EXPECT_EQ(back->shard_id, h.shard_id);
+}
+
+TEST(CodecTest, BlockRoundTrip) {
+  Rng rng(3);
+  Block block;
+  block.header.shard_id = 2;
+  block.header.number = 5;
+  for (int i = 0; i < 7; ++i) block.transactions.push_back(SampleTx(&rng));
+  block.header.tx_root = block.ComputeTxRoot();
+
+  Result<Block> back = codec::DecodeBlock(codec::EncodeBlock(block));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->header.Hash(), block.header.Hash());
+  ASSERT_EQ(back->transactions.size(), 7u);
+  EXPECT_EQ(back->ComputeTxRoot(), block.header.tx_root);
+}
+
+TEST(CodecTest, EmptyBlockRoundTrip) {
+  Block block;
+  Result<Block> back = codec::DecodeBlock(codec::EncodeBlock(block));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->IsEmpty());
+}
+
+TEST(CodecTest, TruncationIsDetectedEverywhere) {
+  Rng rng(4);
+  Block block;
+  for (int i = 0; i < 3; ++i) block.transactions.push_back(SampleTx(&rng));
+  const Bytes full = codec::EncodeBlock(block);
+  // Every strict prefix must fail cleanly, never crash.
+  for (size_t cut = 0; cut < full.size(); cut += 7) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(codec::DecodeBlock(prefix).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, TrailingGarbageRejected) {
+  Rng rng(5);
+  Bytes data = codec::EncodeTransaction(SampleTx(&rng));
+  data.push_back(0x00);
+  EXPECT_FALSE(codec::DecodeTransaction(data).ok());
+  Block block;
+  Bytes bdata = codec::EncodeBlock(block);
+  bdata.push_back(0x00);
+  EXPECT_FALSE(codec::DecodeBlock(bdata).ok());
+}
+
+TEST(CodecTest, BadKindRejected) {
+  Rng rng(6);
+  Transaction tx = SampleTx(&rng);
+  Bytes data = codec::EncodeTransaction(tx);
+  data[40] = 0x77;  // The kind byte (after two 20-byte addresses).
+  EXPECT_FALSE(codec::DecodeTransaction(data).ok());
+}
+
+TEST(CodecTest, RandomGarbageNeverCrashes) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Bytes junk(rng.UniformInt(300));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.UniformInt(256));
+    (void)codec::DecodeTransaction(junk);
+    (void)codec::DecodeHeader(junk);
+    (void)codec::DecodeBlock(junk);
+  }
+  SUCCEED();
+}
+
+// --------------------------- EpochManager --------------------------------
+
+std::vector<KeyPair> MakeKeys(size_t n) {
+  std::vector<KeyPair> keys;
+  for (size_t i = 0; i < n; ++i) keys.push_back(KeyPair::FromSeed(1000 + i));
+  return keys;
+}
+
+std::vector<LeaderCandidate> Evaluate(const std::vector<KeyPair>& keys,
+                                      const Hash256& seed) {
+  std::vector<LeaderCandidate> out;
+  for (const KeyPair& k : keys) {
+    out.push_back(LeaderCandidate{k.public_key(), VrfEvaluate(k, seed)});
+  }
+  return out;
+}
+
+TEST(EpochManagerTest, AdvanceChainsRandomness) {
+  EpochManager manager(Sha256Digest("genesis"));
+  const auto keys = MakeKeys(4);
+  const std::vector<double> fractions{60.0, 40.0};
+
+  const Hash256 seed1 = manager.NextSeed();
+  Result<EpochRecord> e1 = manager.Advance(Evaluate(keys, seed1), fractions);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(e1->number, 1u);
+  EXPECT_EQ(e1->seed, seed1);
+
+  const Hash256 seed2 = manager.NextSeed();
+  EXPECT_NE(seed2, seed1);
+  Result<EpochRecord> e2 = manager.Advance(Evaluate(keys, seed2), fractions);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e2->number, 2u);
+  EXPECT_EQ(manager.EpochCount(), 2u);
+  // Seed 2 must depend on epoch 1's randomness.
+  EXPECT_NE(e2->randomness, e1->randomness);
+}
+
+TEST(EpochManagerTest, RecordsVerifyAgainstHistory) {
+  EpochManager manager(Sha256Digest("genesis"));
+  const auto keys = MakeKeys(5);
+  const std::vector<double> fractions{100.0};
+
+  Hash256 prev = Sha256Digest("genesis");
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const Hash256 seed = manager.NextSeed();
+    const auto candidates = Evaluate(keys, seed);
+    Result<EpochRecord> record = manager.Advance(candidates, fractions);
+    ASSERT_TRUE(record.ok());
+    const size_t leader = record->leader_index;
+    EXPECT_TRUE(EpochManager::VerifyRecord(*record, prev,
+                                           keys[leader].public_key(),
+                                           candidates[leader].vrf)
+                    .ok());
+    // A record claiming a different chain position fails.
+    EpochRecord forged = *record;
+    forged.seed = Sha256Digest("elsewhere");
+    EXPECT_FALSE(EpochManager::VerifyRecord(forged, prev,
+                                            keys[leader].public_key(),
+                                            candidates[leader].vrf)
+                     .ok());
+    prev = record->randomness;
+  }
+}
+
+TEST(EpochManagerTest, VerifyRejectsWrongLeaderKey) {
+  EpochManager manager(Sha256Digest("genesis"));
+  const auto keys = MakeKeys(3);
+  const Hash256 seed = manager.NextSeed();
+  const auto candidates = Evaluate(keys, seed);
+  Result<EpochRecord> record = manager.Advance(candidates, {100.0});
+  ASSERT_TRUE(record.ok());
+  const size_t other = (record->leader_index + 1) % keys.size();
+  EXPECT_FALSE(EpochManager::VerifyRecord(*record, Sha256Digest("genesis"),
+                                          keys[other].public_key(),
+                                          candidates[other].vrf)
+                   .ok());
+}
+
+TEST(EpochManagerTest, ReconfigurationMovesMiners) {
+  // Sybil resistance: the same miner population re-shuffles across
+  // epochs because the randomness changes.
+  EpochManager manager(Sha256Digest("genesis"));
+  const auto keys = MakeKeys(3);
+  const std::vector<double> fractions{25.0, 25.0, 25.0, 25.0};
+
+  std::vector<Hash256> miner_ids;
+  for (uint64_t i = 0; i < 200; ++i) {
+    miner_ids.push_back(Sha256Digest("miner" + std::to_string(i)));
+  }
+
+  ASSERT_TRUE(manager.Advance(Evaluate(keys, manager.NextSeed()), fractions)
+                  .ok());
+  std::vector<ShardId> first;
+  for (const auto& id : miner_ids) {
+    first.push_back(*manager.CurrentShardOf(id));
+  }
+  ASSERT_TRUE(manager.Advance(Evaluate(keys, manager.NextSeed()), fractions)
+                  .ok());
+  size_t moved = 0;
+  for (size_t i = 0; i < miner_ids.size(); ++i) {
+    if (*manager.CurrentShardOf(miner_ids[i]) != first[i]) ++moved;
+  }
+  // With 4 even shards, ~75% of miners relocate per epoch.
+  EXPECT_GT(moved, miner_ids.size() / 2);
+}
+
+TEST(EpochManagerTest, NoEpochMeansNoAssignment) {
+  EpochManager manager(Sha256Digest("genesis"));
+  EXPECT_TRUE(manager.CurrentShardOf(Sha256Digest("m"))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(EpochManagerTest, EmptyFractionsRejected) {
+  EpochManager manager(Sha256Digest("genesis"));
+  const auto keys = MakeKeys(2);
+  EXPECT_TRUE(manager.Advance(Evaluate(keys, manager.NextSeed()), {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,296 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace shardchain {
+namespace {
+
+// --------------------------- Status ----------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing block");
+  EXPECT_EQ(s.ToString(), "NotFound: missing block");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unauthorized("x").IsUnauthorized());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+Status FailingHelper() { return Status::Corruption("inner"); }
+
+Status UsesReturnIfError() {
+  SHARDCHAIN_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError().IsCorruption());
+}
+
+// --------------------------- Result ----------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UsesAssignOrReturn(int x, int* out) {
+  SHARDCHAIN_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(UsesAssignOrReturn(-1, &out).IsInvalidArgument());
+}
+
+// ----------------------------- Rng -----------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(9);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.UniformInt(10)];
+  for (int c : seen) EXPECT_GT(c, 800);  // ~1000 expected each.
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(11);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Exponential(60.0));
+  EXPECT_NEAR(stats.mean(), 60.0, 2.0);
+}
+
+TEST(RngTest, BinomialSmallNMeanMatches) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Binomial(40, 0.5));
+  EXPECT_NEAR(stats.mean(), 20.0, 0.3);
+}
+
+TEST(RngTest, BinomialLargeNApproximationInRange) {
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t v = rng.Binomial(200, 0.5);
+    EXPECT_LE(v, 200u);
+    stats.Add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 100.0, 2.0);
+}
+
+TEST(RngTest, BinomialDegenerateCases) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(10, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(10, 1.0), 10u);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(37);
+  std::vector<int> hits(11, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[rng.Zipf(10, 1.0)];
+  EXPECT_GT(hits[1], hits[5]);
+  EXPECT_GT(hits[1], hits[10]);
+  EXPECT_EQ(hits[0], 0);  // Zipf is 1-based.
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ----------------------------- Hex -----------------------------------
+
+TEST(HexTest, EncodeDecodeRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  Result<Bytes> back = HexDecode(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(HexTest, DecodeAcceptsPrefixAndUppercase) {
+  Result<Bytes> r = HexDecode("0xABCD");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{0xab, 0xcd}));
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_TRUE(HexDecode("abc").status().IsInvalidArgument());
+}
+
+TEST(HexTest, DecodeRejectsNonHex) {
+  EXPECT_TRUE(HexDecode("zz").status().IsInvalidArgument());
+}
+
+TEST(HexTest, Uint64RoundTrip) {
+  Bytes buf;
+  AppendUint64(&buf, 0x0123456789abcdefULL);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(ReadUint64(buf, 0), 0x0123456789abcdefULL);
+}
+
+TEST(HexTest, Uint32BigEndian) {
+  Bytes buf;
+  AppendUint32(&buf, 0x01020304u);
+  EXPECT_EQ(buf, (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+// ---------------------------- Stats ----------------------------------
+
+TEST(StatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+}
+
+TEST(StatsTest, PercentileEmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,444 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/storage.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "consensus/difficulty.h"
+#include "consensus/pow.h"
+#include "contract/analyzer.h"
+#include "contract/assembler.h"
+#include "contract/registry.h"
+#include "sim/arrival.h"
+#include "sim/pow_race.h"
+#include "state/statedb.h"
+
+namespace shardchain {
+namespace {
+
+Address Addr(uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+// ------------------------ Difficulty retargeting -------------------------
+
+TEST(DifficultyTest, FastBlockRaisesDifficulty) {
+  pow::RetargetConfig config;
+  config.target_interval = 60.0;
+  EXPECT_GT(pow::NextDifficulty(1 << 20, 5.0, config), 1u << 20);
+}
+
+TEST(DifficultyTest, SlowBlockLowersDifficulty) {
+  pow::RetargetConfig config;
+  config.target_interval = 60.0;
+  EXPECT_LT(pow::NextDifficulty(1 << 20, 600.0, config), 1u << 20);
+}
+
+TEST(DifficultyTest, NeverBelowFloor) {
+  pow::RetargetConfig config;
+  config.min_difficulty = 1000;
+  EXPECT_EQ(pow::NextDifficulty(1000, 1e9, config), 1000u);
+}
+
+TEST(DifficultyTest, DownwardAdjustmentClamped) {
+  pow::RetargetConfig config;
+  config.target_interval = 10.0;
+  // Interval of 10^6 x target would be -99999 steps unclamped.
+  const uint64_t d = 1 << 24;
+  const uint64_t next = pow::NextDifficulty(d, 1e7, config);
+  const uint64_t min_expected =
+      d - (d / config.adjustment_divisor) * 99;
+  EXPECT_EQ(next, min_expected);
+}
+
+TEST(DifficultyTest, SimulationConvergesToTargetInterval) {
+  pow::RetargetConfig config;
+  config.target_interval = 60.0;
+  Rng rng(1);
+  // Start far above equilibrium for this hashrate.
+  const double hashrate = 1000.0;
+  const auto trace =
+      pow::SimulateRetargeting(1 << 26, hashrate, 4000, config, &rng);
+  // go-Ethereum's +/-1-step rule equilibrates where P(interval<target)
+  // balances the clamp; for exponential intervals that sits somewhat
+  // above the target. The point: it is power-independent.
+  const double eq1 = trace.EquilibriumInterval(500);
+  Rng rng2(2);
+  const auto trace2 =
+      pow::SimulateRetargeting(1 << 26, hashrate * 8, 4000, config, &rng2);
+  const double eq2 = trace2.EquilibriumInterval(500);
+  EXPECT_NEAR(eq1, eq2, 0.35 * eq1);  // Same equilibrium despite 8x power.
+  EXPECT_GT(eq1, 0.5 * config.target_interval);
+  EXPECT_LT(eq1, 4.0 * config.target_interval);
+}
+
+TEST(DifficultyTest, EquilibriumDifficultyScalesWithPower) {
+  pow::RetargetConfig config;
+  config.target_interval = 60.0;
+  EXPECT_EQ(pow::EquilibriumDifficulty(2000.0, config),
+            2 * pow::EquilibriumDifficulty(1000.0, config));
+}
+
+// --------------------------- PoW race sim --------------------------------
+
+TEST(PowRaceTest, CompletesAndCountsTxs) {
+  PowRaceConfig config;
+  config.num_miners = 3;
+  config.retarget = false;
+  config.propagation_delay = 0.0;
+  Rng rng(3);
+  const PowRaceResult r = RunPowRace(100, config, &rng);
+  EXPECT_EQ(r.txs_confirmed, 100u);
+  EXPECT_GT(r.completion_time, 0.0);
+  EXPECT_GE(r.chain_blocks, 10u);
+}
+
+TEST(PowRaceTest, WithoutRetargetingMoreMinersAreFaster) {
+  PowRaceConfig config;
+  config.retarget = false;
+  config.propagation_delay = 0.0;
+  RunningStats one, eight;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng r1(100 + seed);
+    Rng r8(200 + seed);
+    PowRaceConfig c1 = config;
+    c1.num_miners = 1;
+    PowRaceConfig c8 = config;
+    c8.num_miners = 8;
+    one.Add(RunPowRace(200, c1, &r1).completion_time);
+    eight.Add(RunPowRace(200, c8, &r8).completion_time);
+  }
+  // Counterfactual: ~8x faster without retargeting.
+  EXPECT_LT(eight.mean(), one.mean() / 4.0);
+}
+
+TEST(PowRaceTest, WithRetargetingMoreMinersDoNotHelp) {
+  // The Table I phenomenon: after warmup the commit rate tracks the
+  // target interval regardless of power.
+  PowRaceConfig config;
+  config.retarget = true;
+  config.retarget_config.target_interval = 60.0;
+  config.warmup_blocks = 12000;
+  config.propagation_delay = 0.0;
+  RunningStats four, sixteen;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    PowRaceConfig c4 = config;
+    c4.num_miners = 4;
+    PowRaceConfig c16 = config;
+    c16.num_miners = 16;
+    Rng r4(300 + seed);
+    Rng r16(400 + seed);
+    four.Add(RunPowRace(100, c4, &r4).completion_time);
+    sixteen.Add(RunPowRace(100, c16, &r16).completion_time);
+  }
+  // Within 40% of each other despite 4x the power.
+  EXPECT_LT(sixteen.mean(), 1.4 * four.mean());
+  EXPECT_GT(sixteen.mean(), 0.6 * four.mean());
+}
+
+TEST(PowRaceTest, PropagationDelayCreatesStaleBlocks) {
+  PowRaceConfig config;
+  config.num_miners = 8;
+  config.retarget = false;
+  config.propagation_delay = 20.0;  // Large vs the ~7.5 s interval.
+  Rng rng(5);
+  const PowRaceResult r = RunPowRace(500, config, &rng);
+  EXPECT_GT(r.stale_blocks, 0u);
+}
+
+TEST(PowRaceTest, HorizonStopsUnfinishedRuns) {
+  PowRaceConfig config;
+  config.num_miners = 1;
+  config.horizon_seconds = 10.0;  // Far less than one 60 s block.
+  Rng rng(6);
+  const PowRaceResult r = RunPowRace(1000, config, &rng);
+  EXPECT_LT(r.txs_confirmed, 1000u);
+  EXPECT_EQ(r.completion_time, 0.0);
+}
+
+// --------------------------- Static analyzer -----------------------------
+
+ContractProgram Prog(const std::string& src, size_t parties = 0) {
+  ContractProgram p;
+  Result<Bytes> code = Assemble(src);
+  EXPECT_TRUE(code.ok()) << code.status().ToString();
+  p.code = *code;
+  p.parties.resize(parties);
+  return p;
+}
+
+TEST(AnalyzerTest, ValidStraightLineProgram) {
+  const auto report = AnalyzeProgram(Prog("PUSH 1\nPUSH 2\nADD\nSTOP"));
+  EXPECT_TRUE(report.valid);
+  EXPECT_FALSE(report.may_underflow);
+  EXPECT_EQ(report.max_stack, 2u);
+  EXPECT_FALSE(report.has_loops);
+  ASSERT_TRUE(report.gas_upper_bound.has_value());
+  EXPECT_GE(*report.gas_upper_bound, 4 * Vm::kGasPerOp);
+}
+
+TEST(AnalyzerTest, DetectsUnderflow) {
+  const auto report = AnalyzeProgram(Prog("ADD\nSTOP"));
+  EXPECT_TRUE(report.valid);  // Structurally fine...
+  EXPECT_TRUE(report.may_underflow);  // ...but pops an empty stack.
+  EXPECT_TRUE(ValidateProgram(Prog("ADD\nSTOP")).IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, DetectsLoop) {
+  const auto report = AnalyzeProgram(Prog("loop:\nPUSH 1\nPOP\nJUMP loop"));
+  EXPECT_TRUE(report.has_loops);
+  EXPECT_FALSE(report.gas_upper_bound.has_value());
+}
+
+TEST(AnalyzerTest, BranchesMergeDepthRanges) {
+  // One branch pushes an extra value; the merge keeps both depths.
+  const auto report = AnalyzeProgram(
+      Prog("PUSH 1\nJUMPI skip\nPUSH 7\nPUSH 8\nskip:\nSTOP"));
+  EXPECT_TRUE(report.valid);
+  EXPECT_FALSE(report.may_underflow);
+  EXPECT_EQ(report.max_stack, 2u);
+}
+
+TEST(AnalyzerTest, RejectsMidInstructionJump) {
+  // Offset 1 is inside the PUSH immediate.
+  ContractProgram p;
+  p.code = {static_cast<uint8_t>(Op::kJump), 0x00, 0x01,
+            static_cast<uint8_t>(Op::kPush), 0, 0, 0, 0, 0, 0, 0, 1,
+            static_cast<uint8_t>(Op::kStop)};
+  // Jump target 1 is mid-instruction (kJump is 3 bytes; offset 1 is its
+  // own immediate).
+  const auto report = AnalyzeProgram(p);
+  EXPECT_FALSE(report.valid);
+}
+
+TEST(AnalyzerTest, RejectsTruncatedInstruction) {
+  ContractProgram p;
+  p.code = {static_cast<uint8_t>(Op::kPush), 0x01};  // 8 bytes missing.
+  EXPECT_FALSE(AnalyzeProgram(p).valid);
+}
+
+TEST(AnalyzerTest, RejectsBadPartyIndex) {
+  const auto report = AnalyzeProgram(Prog("PARTYBALANCE 3\nSTOP", 2));
+  EXPECT_FALSE(report.valid);
+}
+
+TEST(AnalyzerTest, CountsRequiredArgs) {
+  const auto report = AnalyzeProgram(Prog("ARG 0\nARG 4\nADD\nSTOP"));
+  EXPECT_EQ(report.required_args, 5u);
+}
+
+TEST(AnalyzerTest, StandardTemplatesAllValidate) {
+  EXPECT_TRUE(ValidateProgram(contracts::UnconditionalTransfer(Addr(1))).ok());
+  EXPECT_TRUE(
+      ValidateProgram(contracts::ConditionalTransfer(Addr(1), 100)).ok());
+  EXPECT_TRUE(ValidateProgram(contracts::Escrow(Addr(1))).ok());
+  EXPECT_TRUE(
+      ValidateProgram(contracts::Token({Addr(1), Addr(2), Addr(3)})).ok());
+  EXPECT_TRUE(ValidateProgram(contracts::Crowdfund(Addr(1), 500)).ok());
+}
+
+TEST(AnalyzerTest, DeployCheckedRejectsBrokenCode) {
+  StateDB db;
+  ContractProgram bad = Prog("POP\nSTOP");
+  EXPECT_TRUE(ContractRegistry::DeployChecked(&db, Addr(1), bad)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ContractRegistry::DeployChecked(
+                  &db, Addr(1), contracts::Escrow(Addr(2)))
+                  .ok());
+}
+
+// ------------------------- Token / Crowdfund -----------------------------
+
+TEST(TokenContractTest, BuyMoveRedeem) {
+  StateDB db;
+  const std::vector<Address> parties{Addr(1), Addr(2)};
+  Result<Address> token =
+      ContractRegistry::DeployChecked(&db, Addr(9), contracts::Token(parties));
+  ASSERT_TRUE(token.ok());
+  db.Mint(Addr(5), 1000);
+
+  auto call = [&](std::vector<int64_t> args, Amount value) {
+    Transaction tx;
+    tx.kind = TxKind::kContractCall;
+    tx.sender = Addr(5);
+    tx.recipient = *token;
+    tx.value = value;
+    tx.payload = Vm::EncodeArgs(args);
+    return ContractRegistry::Call(&db, tx);
+  };
+
+  // Buy 200 tokens for party 0.
+  ASSERT_TRUE(call({0, 0}, 200).ok());
+  EXPECT_EQ(db.StorageGet(*token, 0), 200);
+  // Move 50 from party 0 to party 1.
+  ASSERT_TRUE(call({1, 50, 0, 1}, 0).ok());
+  EXPECT_EQ(db.StorageGet(*token, 0), 150);
+  EXPECT_EQ(db.StorageGet(*token, 1), 50);
+  // Over-move fails.
+  EXPECT_FALSE(call({1, 500, 0, 1}, 0).ok());
+  // Redeem 30 of party 1's tokens for coins.
+  ASSERT_TRUE(call({2, 30, 1}, 0).ok());
+  EXPECT_EQ(db.StorageGet(*token, 1), 20);
+  EXPECT_EQ(db.BalanceOf(Addr(2)), 30u);
+}
+
+TEST(CrowdfundContractTest, ClaimOnlyAfterGoal) {
+  StateDB db;
+  const Address owner = Addr(7);
+  Result<Address> fund = ContractRegistry::DeployChecked(
+      &db, Addr(9), contracts::Crowdfund(owner, 300));
+  ASSERT_TRUE(fund.ok());
+  db.Mint(Addr(5), 1000);
+
+  auto call = [&](std::vector<int64_t> args, Amount value) {
+    Transaction tx;
+    tx.kind = TxKind::kContractCall;
+    tx.sender = Addr(5);
+    tx.recipient = *fund;
+    tx.value = value;
+    tx.payload = Vm::EncodeArgs(args);
+    return ContractRegistry::Call(&db, tx);
+  };
+
+  ASSERT_TRUE(call({0}, 150).ok());
+  // Goal not reached: claim reverts, pledge stays.
+  EXPECT_FALSE(call({1}, 0).ok());
+  EXPECT_EQ(db.StorageGet(*fund, 0), 150);
+  ASSERT_TRUE(call({0}, 200).ok());
+  // Goal reached: owner gets the pot.
+  ASSERT_TRUE(call({1}, 0).ok());
+  EXPECT_EQ(db.BalanceOf(owner), 350u);
+  EXPECT_EQ(db.StorageGet(*fund, 0), 0);
+}
+
+// ------------------------- Account proofs --------------------------------
+
+TEST(StateProofTest, ProvesAccountDigest) {
+  StateDB db;
+  for (uint8_t i = 1; i < 20; ++i) db.Mint(Addr(i), i * 100);
+  const Hash256 root = db.StateRoot();
+  const auto proof = db.ProveAccount(Addr(5));
+  auto verified = StateDB::VerifyAccount(root, Addr(5), proof);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  ASSERT_TRUE(verified->has_value());
+  EXPECT_EQ(**verified, db.Find(Addr(5))->Digest(Addr(5)));
+}
+
+TEST(StateProofTest, ProvesAbsence) {
+  StateDB db;
+  db.Mint(Addr(1), 100);
+  db.Mint(Addr(2), 100);
+  const auto proof = db.ProveAccount(Addr(9));
+  auto verified = StateDB::VerifyAccount(db.StateRoot(), Addr(9), proof);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_FALSE(verified->has_value());
+}
+
+TEST(StateProofTest, StaleProofFailsAfterStateChange) {
+  StateDB db;
+  db.Mint(Addr(1), 100);
+  const auto proof = db.ProveAccount(Addr(1));
+  db.Mint(Addr(1), 1);  // Root moves.
+  EXPECT_FALSE(StateDB::VerifyAccount(db.StateRoot(), Addr(1), proof).ok());
+}
+
+// --------------------------- Storage model -------------------------------
+
+TEST(StorageTest, FullReplicationStoresEverythingEverywhere) {
+  const std::vector<double> state{100, 50, 50};
+  const std::vector<uint64_t> miners{2, 1, 1};
+  const auto full = storage::FullReplication(state, miners);
+  EXPECT_DOUBLE_EQ(full.per_miner, 200.0);
+  EXPECT_DOUBLE_EQ(full.total, 800.0);
+}
+
+TEST(StorageTest, ContractShardingOnlyMaxShardPaysFull) {
+  const std::vector<double> state{100, 50, 50};
+  const std::vector<uint64_t> miners{2, 1, 1};
+  const auto ours = storage::ContractSharding(state, miners);
+  // 2 MaxShard miners x 200 + 50 + 50.
+  EXPECT_DOUBLE_EQ(ours.total, 500.0);
+  EXPECT_DOUBLE_EQ(ours.per_miner, 125.0);
+  EXPECT_DOUBLE_EQ(ours.max_miner, 200.0);
+}
+
+TEST(StorageTest, StateDividedIsLowerBound) {
+  const std::vector<double> state{100, 50, 50};
+  const std::vector<uint64_t> miners{2, 1, 1};
+  const auto divided = storage::StateDivided(state, miners);
+  const auto ours = storage::ContractSharding(state, miners);
+  EXPECT_LE(divided.total, ours.total);
+  EXPECT_DOUBLE_EQ(divided.total, 300.0);
+}
+
+TEST(StorageTest, SavingsBelowOneWithContractShards) {
+  const std::vector<double> state{100, 80, 80, 80, 80};
+  const std::vector<uint64_t> miners{3, 2, 2, 2, 2};
+  const double ratio = storage::SavingsVsFullReplication(state, miners);
+  EXPECT_LT(ratio, 1.0);
+  EXPECT_GT(ratio, 0.0);
+}
+
+// --------------------------- Arrival model -------------------------------
+
+TEST(ArrivalTest, UnderloadedSystemKeepsUp) {
+  ArrivalConfig config;
+  config.arrival_rate = 0.05;  // 3 tx/min vs capacity 10 tx/min.
+  config.duration_seconds = 6000.0;
+  Rng rng(11);
+  const ArrivalResult r = RunArrivalSim(config, &rng);
+  EXPECT_GT(r.confirmed, 0u);
+  EXPECT_FALSE(r.Saturated(config));
+  EXPECT_LT(r.backlog, 15u);
+  EXPECT_GT(r.mean_latency, 0.0);
+  EXPECT_GE(r.p95_latency, r.mean_latency);
+}
+
+TEST(ArrivalTest, OverloadedSystemBacklogs) {
+  ArrivalConfig config;
+  config.arrival_rate = 1.0;  // 60 tx/min vs capacity 10 tx/min.
+  config.duration_seconds = 6000.0;
+  Rng rng(12);
+  const ArrivalResult r = RunArrivalSim(config, &rng);
+  EXPECT_TRUE(r.Saturated(config));
+  EXPECT_GT(r.backlog, 1000u);
+}
+
+TEST(ArrivalTest, SelectionGameRaisesCapacity) {
+  // Above greedy's hard 10-tx/min ceiling the game confirms more per
+  // round (its diversity grows with the queue), so it sustains higher
+  // throughput and a smaller backlog than greedy under the same load.
+  ArrivalConfig greedy;
+  greedy.arrival_rate = 0.3;  // 18 tx/min vs greedy's 10 tx/min ceiling.
+  greedy.num_miners = 5;
+  greedy.policy = SelectionPolicy::kGreedy;
+  greedy.duration_seconds = 6000.0;
+  ArrivalConfig game = greedy;
+  game.policy = SelectionPolicy::kCongestionGame;
+  Rng r1(13);
+  Rng r2(14);
+  const ArrivalResult g = RunArrivalSim(greedy, &r1);
+  const ArrivalResult b = RunArrivalSim(game, &r2);
+  EXPECT_TRUE(g.Saturated(greedy));
+  EXPECT_GT(b.throughput, 1.2 * g.throughput);
+  EXPECT_LT(b.backlog, g.backlog / 2);
+  // Greedy's throughput pins at the one-block-per-round ceiling.
+  EXPECT_NEAR(g.throughput, 10.0 / 60.0, 0.01);
+}
+
+TEST(ArrivalTest, SaturationSearchBrackets) {
+  ArrivalConfig config;
+  config.duration_seconds = 3000.0;
+  Rng rng(15);
+  const double rate = FindSaturationRate(config, 0.01, 2.0, 8, &rng);
+  // Capacity is 10 txs / 60 s = 0.167 tx/s.
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.5);
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,135 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/gossip.h"
+
+namespace shardchain {
+namespace {
+
+Bytes Payload(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(GossipTest, TopologyIsConnected) {
+  for (size_t n : {1u, 2u, 3u, 10u, 64u, 200u}) {
+    Rng rng(n);
+    GossipNetwork net(n, {}, &rng);
+    EXPECT_TRUE(net.IsConnected()) << n << " nodes";
+    EXPECT_EQ(net.NodeCount(), n);
+  }
+}
+
+TEST(GossipTest, FloodReachesEveryNode) {
+  Rng rng(1);
+  GossipNetwork net(50, {}, &rng);
+  EventQueue queue;
+  std::set<NodeId> reached;
+  net.SetHandler([&](NodeId node, const Bytes&, SimTime) {
+    reached.insert(node);
+  });
+  net.Publish(0, Payload("block"), &queue);
+  queue.RunAll();
+  EXPECT_EQ(reached.size(), 50u);
+}
+
+TEST(GossipTest, EachNodeDeliversOnce) {
+  Rng rng(2);
+  GossipNetwork net(30, {}, &rng);
+  EventQueue queue;
+  std::vector<int> deliveries(30, 0);
+  net.SetHandler([&](NodeId node, const Bytes&, SimTime) {
+    ++deliveries[node];
+  });
+  net.Publish(5, Payload("x"), &queue);
+  queue.RunAll();
+  for (int d : deliveries) EXPECT_EQ(d, 1);
+}
+
+TEST(GossipTest, DistinctMessagesFloodIndependently) {
+  Rng rng(3);
+  GossipNetwork net(20, {}, &rng);
+  EventQueue queue;
+  int deliveries = 0;
+  net.SetHandler([&](NodeId, const Bytes&, SimTime) { ++deliveries; });
+  const Hash256 a = net.Publish(0, Payload("a"), &queue);
+  const Hash256 b = net.Publish(7, Payload("b"), &queue);
+  EXPECT_NE(a, b);
+  queue.RunAll();
+  EXPECT_EQ(deliveries, 40);
+}
+
+TEST(GossipTest, MessageCostIsBoundedByEdges) {
+  Rng rng(4);
+  GossipConfig config;
+  config.degree = 3;
+  GossipNetwork net(40, config, &rng);
+  EventQueue queue;
+  net.Publish(0, Payload("m"), &queue);
+  queue.RunAll();
+  // Flooding sends at most one message per directed edge.
+  size_t directed_edges = 0;
+  for (const auto& adj : net.adjacency()) directed_edges += adj.size();
+  EXPECT_LE(net.MessagesSent(), directed_edges);
+  EXPECT_GT(net.MessagesSent(), 0u);
+}
+
+TEST(GossipTest, ArrivalTimesRespectLatency) {
+  Rng rng(5);
+  GossipConfig config;
+  config.deterministic_latency = true;
+  config.link_latency = 0.5;
+  GossipNetwork net(16, config, &rng);
+  EventQueue queue;
+  const auto report = net.MeasureSpread(0, Payload("m"), &queue);
+  EXPECT_EQ(report.reached, 16u);
+  // With 0.5 s hops, everything arrives at a multiple of 0.5 and the
+  // farthest node needs at least one hop.
+  EXPECT_GE(report.time_to_all, 0.5);
+  EXPECT_LE(report.time_to_half, report.time_to_all);
+}
+
+TEST(GossipTest, SpreadTimeGrowsSlowlyWithSize) {
+  // Time-to-all should grow like the graph diameter (~log n with the
+  // random links), far slower than linearly.
+  GossipConfig config;
+  config.deterministic_latency = true;
+  config.link_latency = 0.1;
+  Rng rng_small(6);
+  Rng rng_large(7);
+  GossipNetwork small(20, config, &rng_small);
+  GossipNetwork large(320, config, &rng_large);
+  EventQueue q1, q2;
+  const auto rs = small.MeasureSpread(0, Payload("m"), &q1);
+  const auto rl = large.MeasureSpread(0, Payload("m"), &q2);
+  EXPECT_EQ(rl.reached, 320u);
+  // 16x more nodes should cost far less than 16x the time.
+  EXPECT_LT(rl.time_to_all, 4.0 * rs.time_to_all + 0.5);
+}
+
+TEST(GossipTest, DeterministicGivenSeed) {
+  GossipConfig config;
+  Rng r1(8);
+  Rng r2(8);
+  GossipNetwork a(25, config, &r1);
+  GossipNetwork b(25, config, &r2);
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+  EventQueue q1, q2;
+  const auto ra = a.MeasureSpread(3, Payload("m"), &q1);
+  const auto rb = b.MeasureSpread(3, Payload("m"), &q2);
+  EXPECT_DOUBLE_EQ(ra.time_to_all, rb.time_to_all);
+  EXPECT_EQ(ra.messages, rb.messages);
+}
+
+TEST(GossipTest, SingleNodeTrivialSpread) {
+  Rng rng(9);
+  GossipNetwork net(1, {}, &rng);
+  EventQueue queue;
+  const auto report = net.MeasureSpread(0, Payload("m"), &queue);
+  EXPECT_EQ(report.reached, 1u);
+  EXPECT_DOUBLE_EQ(report.time_to_all, 0.0);
+  EXPECT_EQ(report.messages, 0u);
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,277 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/chainspace.h"
+#include "baseline/ethereum.h"
+#include "common/rng.h"
+#include "sim/mining_sim.h"
+#include "sim/workload.h"
+
+namespace shardchain {
+namespace {
+
+std::vector<Amount> EqualFees(size_t n, Amount fee = 10) {
+  return std::vector<Amount>(n, fee);
+}
+
+ShardSpec Spec(ShardId id, size_t miners, std::vector<Amount> fees) {
+  ShardSpec spec;
+  spec.id = id;
+  spec.num_miners = miners;
+  spec.tx_fees = std::move(fees);
+  return spec;
+}
+
+MiningSimConfig BaseConfig() {
+  MiningSimConfig config;
+  config.round_seconds = 60.0;
+  config.txs_per_block = 10;
+  return config;
+}
+
+// ----------------------- Greedy serialization ----------------------------
+
+TEST(MiningSimTest, GreedyIsSerializedRegardlessOfMiners) {
+  // Sec. II-B / Table I: all miners pick the same top-fee set, so one
+  // useful block per round no matter how many miners race.
+  for (size_t miners : {1u, 2u, 5u, 9u}) {
+    Rng rng(100 + miners);
+    const ShardSpec spec = Spec(0, miners, EqualFees(200));
+    const SimResult r = RunMiningSim({spec}, BaseConfig(), &rng);
+    EXPECT_DOUBLE_EQ(r.makespan, 20 * 60.0) << miners << " miners";
+    EXPECT_EQ(r.TotalTxsConfirmed(), 200u);
+  }
+}
+
+TEST(MiningSimTest, GreedyWastesConcurrentBlocks) {
+  Rng rng(1);
+  const ShardSpec spec = Spec(0, 4, EqualFees(100));
+  const SimResult r = RunMiningSim({spec}, BaseConfig(), &rng);
+  // 10 rounds x 3 losing miners per round.
+  EXPECT_EQ(r.TotalWastedBlocks(), 30u);
+  EXPECT_EQ(r.TotalBlocks(), 10u);
+}
+
+TEST(MiningSimTest, ShardsRunInParallel) {
+  // Fig. 3a: s shards with 1/s of the transactions each finish in 1/s
+  // of the time.
+  Rng rng(2);
+  std::vector<ShardSpec> shards;
+  for (ShardId s = 0; s < 4; ++s) shards.push_back(Spec(s, 1, EqualFees(50)));
+  const SimResult r = RunMiningSim(shards, BaseConfig(), &rng);
+  EXPECT_DOUBLE_EQ(r.makespan, 5 * 60.0);
+  EXPECT_EQ(r.TotalTxsConfirmed(), 200u);
+}
+
+TEST(MiningSimTest, CalibrationPowerSlowsSmallNetworks) {
+  // Table I: 2 miners at genesis difficulty calibrated for 4 take twice
+  // as long per round.
+  MiningSimConfig config = BaseConfig();
+  config.calibration_power = 4.0;
+  Rng rng(3);
+  const SimResult two =
+      RunMiningSim({Spec(0, 2, EqualFees(20))}, config, &rng);
+  const SimResult four =
+      RunMiningSim({Spec(0, 4, EqualFees(20))}, config, &rng);
+  const SimResult seven =
+      RunMiningSim({Spec(0, 7, EqualFees(20))}, config, &rng);
+  EXPECT_DOUBLE_EQ(two.makespan, 2 * 120.0);
+  EXPECT_DOUBLE_EQ(four.makespan, 2 * 60.0);
+  // Beyond the calibration power, no further speedup (the paper's
+  // Table I plateau).
+  EXPECT_DOUBLE_EQ(seven.makespan, four.makespan);
+}
+
+// ----------------------- Congestion-game policy --------------------------
+
+TEST(MiningSimTest, GameSelectionParallelizesWithinShard) {
+  // Fig. 3h: disjoint sets let all n concurrent blocks commit.
+  MiningSimConfig config = BaseConfig();
+  config.policy = SelectionPolicy::kCongestionGame;
+  Rng rng(4);
+  // Distinct fees spread the equilibrium sets apart.
+  std::vector<Amount> fees;
+  for (size_t i = 0; i < 180; ++i) fees.push_back(1 + (i * 7) % 101);
+  const SimResult r = RunMiningSim({Spec(0, 9, fees)}, config, &rng);
+  EXPECT_EQ(r.TotalTxsConfirmed(), 180u);
+  // Greedy would need 18 rounds; the game should finish much faster.
+  Rng rng2(5);
+  const SimResult greedy =
+      RunMiningSim({Spec(0, 9, fees)}, BaseConfig(), &rng2);
+  EXPECT_LT(r.makespan, greedy.makespan / 2.0);
+}
+
+TEST(MiningSimTest, RoundRobinIsAtLeastAsFastAsGame) {
+  std::vector<Amount> fees;
+  for (size_t i = 0; i < 120; ++i) fees.push_back(1 + (i * 13) % 97);
+  MiningSimConfig game = BaseConfig();
+  game.policy = SelectionPolicy::kCongestionGame;
+  MiningSimConfig oracle = BaseConfig();
+  oracle.policy = SelectionPolicy::kRoundRobin;
+  Rng rng1(6);
+  Rng rng2(7);
+  const SimResult g = RunMiningSim({Spec(0, 6, fees)}, game, &rng1);
+  const SimResult o = RunMiningSim({Spec(0, 6, fees)}, oracle, &rng2);
+  EXPECT_LE(o.makespan, g.makespan);
+}
+
+TEST(MiningSimTest, SingleMinerGameEqualsGreedy) {
+  std::vector<Amount> fees = EqualFees(50);
+  MiningSimConfig game = BaseConfig();
+  game.policy = SelectionPolicy::kCongestionGame;
+  Rng rng1(8);
+  Rng rng2(9);
+  const SimResult g = RunMiningSim({Spec(0, 1, fees)}, game, &rng1);
+  const SimResult e = RunMiningSim({Spec(0, 1, fees)}, BaseConfig(),
+                                   &rng2);
+  EXPECT_DOUBLE_EQ(g.makespan, e.makespan);
+}
+
+// --------------------------- Empty blocks --------------------------------
+
+TEST(MiningSimTest, NoEmptyBlocksWhileWorkRemains) {
+  Rng rng(10);
+  const SimResult r =
+      RunMiningSim({Spec(0, 1, EqualFees(100))}, BaseConfig(), &rng);
+  EXPECT_EQ(r.TotalEmptyBlocks(), 0u);
+}
+
+TEST(MiningSimTest, SmallShardMinesEmptyBlocksInWindow) {
+  // Fig. 3c setting: a shard with very few txs keeps packing empty
+  // blocks for the rest of the observation window.
+  MiningSimConfig config = BaseConfig();
+  config.window_seconds = 600.0;
+  Rng rng(11);
+  const SimResult r =
+      RunMiningSim({Spec(0, 1, EqualFees(5))}, config, &rng);
+  // Round 1 confirms all 5 txs; rounds 2..10 are empty.
+  EXPECT_EQ(r.TotalEmptyBlocks(), 9u);
+  EXPECT_EQ(r.TotalTxsConfirmed(), 5u);
+  EXPECT_DOUBLE_EQ(r.makespan, 60.0);
+}
+
+TEST(MiningSimTest, ZeroTxShardMinesOnlyEmpty) {
+  MiningSimConfig config = BaseConfig();
+  config.window_seconds = 300.0;
+  Rng rng(12);
+  const SimResult r = RunMiningSim({Spec(0, 1, {})}, config, &rng);
+  EXPECT_EQ(r.TotalEmptyBlocks(), 5u);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST(MiningSimTest, MoreMinersThanWorkProduceEmptyBlocks) {
+  // 9 miners, 5 txs, round-robin dealing: five miners pack one tx each,
+  // the other four mine empty blocks in the same round.
+  MiningSimConfig config = BaseConfig();
+  config.policy = SelectionPolicy::kRoundRobin;
+  Rng rng(13);
+  const SimResult r =
+      RunMiningSim({Spec(0, 9, EqualFees(5))}, config, &rng);
+  EXPECT_EQ(r.TotalTxsConfirmed(), 5u);
+  EXPECT_EQ(r.TotalEmptyBlocks(), 4u);
+  EXPECT_EQ(r.TotalBlocks(), 9u);
+}
+
+// ------------------------- Aggregate helpers -----------------------------
+
+TEST(MiningSimTest, ThroughputImprovementRatio) {
+  SimResult base;
+  base.makespan = 1200.0;
+  SimResult sharded;
+  sharded.makespan = 180.0;
+  EXPECT_NEAR(ThroughputImprovement(base, sharded), 6.67, 0.01);
+  SimResult zero;
+  EXPECT_EQ(ThroughputImprovement(base, zero), 0.0);
+}
+
+TEST(MiningSimTest, PerShardEmptyAverage) {
+  SimResult r;
+  r.shards.resize(2);
+  r.shards[0].empty_blocks = 4;
+  r.shards[1].empty_blocks = 2;
+  EXPECT_DOUBLE_EQ(r.EmptyBlocksPerShard(), 3.0);
+}
+
+TEST(MiningSimTest, PolicyNames) {
+  EXPECT_STREQ(SelectionPolicyName(SelectionPolicy::kGreedy), "Greedy");
+  EXPECT_STREQ(SelectionPolicyName(SelectionPolicy::kCongestionGame),
+               "CongestionGame");
+  EXPECT_STREQ(SelectionPolicyName(SelectionPolicy::kRandomSets),
+               "RandomSets");
+  EXPECT_STREQ(SelectionPolicyName(SelectionPolicy::kRoundRobin),
+               "RoundRobin");
+}
+
+// ------------------------- Ethereum baseline -----------------------------
+
+TEST(EthereumBaselineTest, MatchesGreedySingleShard) {
+  Rng rng1(14);
+  Rng rng2(15);
+  const SimResult direct = RunMiningSim(
+      {Spec(0, 9, EqualFees(200))}, BaseConfig(), &rng1);
+  const SimResult baseline =
+      RunEthereumBaseline(EqualFees(200), 9, BaseConfig(), &rng2);
+  EXPECT_DOUBLE_EQ(direct.makespan, baseline.makespan);
+  Rng rng3(16);
+  EXPECT_DOUBLE_EQ(
+      EthereumConfirmationTime(EqualFees(200), 9, BaseConfig(), &rng3),
+      baseline.makespan);
+}
+
+TEST(EthereumBaselineTest, ForcesGreedyPolicy) {
+  MiningSimConfig config = BaseConfig();
+  config.policy = SelectionPolicy::kRoundRobin;  // Ignored by baseline.
+  Rng rng(17);
+  const SimResult r = RunEthereumBaseline(EqualFees(100), 5, config, &rng);
+  EXPECT_DOUBLE_EQ(r.makespan, 10 * 60.0);
+}
+
+// ------------------------- ChainSpace baseline ---------------------------
+
+TEST(ChainSpaceTest, AccountShardIsDeterministic) {
+  Rng rng(18);
+  const Address a = RandomAddress(&rng);
+  EXPECT_EQ(ChainSpaceShardOfAccount(a, 9), ChainSpaceShardOfAccount(a, 9));
+  EXPECT_LT(ChainSpaceShardOfAccount(a, 9), 9u);
+}
+
+TEST(ChainSpaceTest, MessagesCountForeignInputShards) {
+  EXPECT_EQ(ChainSpaceMessagesForTx(0, {0}), 0u);
+  EXPECT_EQ(ChainSpaceMessagesForTx(0, {1}), 2u);
+  EXPECT_EQ(ChainSpaceMessagesForTx(0, {1, 2}), 4u);
+  EXPECT_EQ(ChainSpaceMessagesForTx(0, {1, 1, 2}), 4u);  // Dedup.
+  EXPECT_EQ(ChainSpaceMessagesForTx(1, {1, 1}), 0u);
+}
+
+TEST(ChainSpaceTest, CommunicationGrowsLinearlyWithTxs) {
+  // Fig. 4b: communication per shard is linear in the number of
+  // injected 3-input transactions.
+  ChainSpaceConfig config;
+  config.mining.round_seconds = 10.0 / 76.0;
+  Rng rng(19);
+  const auto txs_small = GenerateKInputTransactions(1000, 3, 5, &rng);
+  const auto txs_large = GenerateKInputTransactions(2000, 3, 5, &rng);
+  Rng r1(20);
+  Rng r2(21);
+  const ChainSpaceResult small = RunChainSpace(txs_small, config, &r1);
+  const ChainSpaceResult large = RunChainSpace(txs_large, config, &r2);
+  EXPECT_GT(small.cross_shard_messages, 0u);
+  const double ratio = static_cast<double>(large.cross_shard_messages) /
+                       static_cast<double>(small.cross_shard_messages);
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+TEST(ChainSpaceTest, ConfirmsAllTransactions) {
+  ChainSpaceConfig config;
+  Rng rng(22);
+  const auto txs = GenerateKInputTransactions(500, 3, 5, &rng);
+  Rng run_rng(23);
+  const ChainSpaceResult r = RunChainSpace(txs, config, &run_rng);
+  EXPECT_EQ(r.sim.TotalTxsConfirmed(), 500u);
+  EXPECT_EQ(r.sim.shards.size(), 9u);
+  EXPECT_GT(r.CommunicationTimesPerShard(), 0.0);
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,141 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/security.h"
+
+namespace shardchain {
+namespace {
+
+using security::BinomialPmf;
+using security::BinomialTail;
+using security::FeeProbability;
+using security::LogBinomialCoefficient;
+using security::MergeCorruption;
+using security::MergeCorruptionLimit;
+using security::MinShardSizeForSafety;
+using security::SelectionCorruption;
+using security::SelectionCorruptionLimit;
+using security::ShardSafety;
+using security::TxCorruption;
+
+TEST(BinomialTest, CoefficientKnownValues) {
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 10)), 1.0, 1e-9);
+  EXPECT_EQ(LogBinomialCoefficient(3, 5), -INFINITY);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  for (double p : {0.25, 0.33, 0.5}) {
+    double total = 0.0;
+    for (uint64_t k = 0; k <= 40; ++k) total += BinomialPmf(40, k, p);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(BinomialTest, PmfDegenerateProbabilities) {
+  EXPECT_EQ(BinomialPmf(10, 0, 0.0), 1.0);
+  EXPECT_EQ(BinomialPmf(10, 3, 0.0), 0.0);
+  EXPECT_EQ(BinomialPmf(10, 10, 1.0), 1.0);
+  EXPECT_EQ(BinomialPmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialTest, TailIsMonotoneInThreshold) {
+  EXPECT_GE(BinomialTail(30, 10, 0.33), BinomialTail(30, 15, 0.33));
+  EXPECT_NEAR(BinomialTail(30, 0, 0.33), 1.0, 1e-12);
+}
+
+TEST(ShardSafetyTest, GrowsWithShardSize) {
+  // Fig. 1d: "a shard with more miners is harder to be corrupted."
+  double prev = 0.0;
+  for (uint64_t n : {20u, 40u, 60u, 80u, 100u}) {
+    const double s = ShardSafety(n, 0.33);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ShardSafetyTest, SmallerAdversaryIsSafer) {
+  for (uint64_t n : {20u, 50u, 100u}) {
+    EXPECT_GT(ShardSafety(n, 0.25), ShardSafety(n, 0.33));
+  }
+}
+
+TEST(ShardSafetyTest, ThirtyMinersVsThirtyThreePercentIsAlmostSafe) {
+  // Fig. 1d caption: "Given a 33% attack in a shard with 30 miners, the
+  // probability to corrupt the system is almost 0."
+  EXPECT_GT(ShardSafety(30, 0.33), 0.95);
+}
+
+TEST(ShardSafetyTest, ZeroMinersIsUnsafe) {
+  EXPECT_EQ(ShardSafety(0, 0.25), 0.0);
+}
+
+TEST(MergeCorruptionTest, FiniteSumBelowLimit) {
+  const double ps = ShardSafety(40, 0.25);
+  EXPECT_LT(MergeCorruption(0.25, ps, 5), MergeCorruptionLimit(0.25, ps));
+  EXPECT_NEAR(MergeCorruption(0.25, ps, 200), MergeCorruptionLimit(0.25, ps),
+              1e-12);
+}
+
+TEST(MergeCorruptionTest, PaperMagnitudeReachable) {
+  // Sec. IV-D: with a 25% adversary the merge failure probability is
+  // 8e-6 — find the shard size that gives that magnitude.
+  const uint64_t n = MinShardSizeForSafety(0.25, 1.0 - 6e-6, 200);
+  ASSERT_GT(n, 0u);
+  const double limit = MergeCorruptionLimit(0.25, ShardSafety(n, 0.25));
+  EXPECT_LT(limit, 1e-5);
+  EXPECT_GT(limit, 1e-8);
+}
+
+TEST(FeeProbabilityTest, MatchesBinomialHalf) {
+  EXPECT_NEAR(FeeProbability(100, 200), BinomialPmf(200, 100, 0.5), 1e-15);
+  double total = 0.0;
+  for (uint64_t t = 0; t <= 200; ++t) total += FeeProbability(t, 200);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TxCorruptionTest, MajorityThreshold) {
+  // With 4 miners, corruption needs >= 3 malicious (strictly more than
+  // floor(n/2) = 2).
+  const double expected = BinomialPmf(4, 3, 0.25) + BinomialPmf(4, 4, 0.25);
+  EXPECT_NEAR(TxCorruption(4, 0.25), expected, 1e-12);
+  EXPECT_EQ(TxCorruption(0, 0.25), 0.0);
+}
+
+TEST(TxCorruptionTest, DecreasesWithMoreValidators) {
+  EXPECT_GT(TxCorruption(4, 0.25), TxCorruption(12, 0.25));
+  EXPECT_GT(TxCorruption(12, 0.25), TxCorruption(40, 0.25));
+}
+
+TEST(SelectionCorruptionTest, FiniteBelowLimit) {
+  EXPECT_LE(SelectionCorruption(0.25, 3, 200, 9),
+            SelectionCorruptionLimit(0.25, 200, 9));
+}
+
+TEST(SelectionCorruptionTest, PaperMagnitudeReachable) {
+  // Sec. IV-D: 25% adversary, 200 total fees -> corruption ~7e-7. With
+  // enough miners per transaction the limit drops below 1e-6.
+  bool found = false;
+  for (uint64_t miners = 5; miners <= 150; ++miners) {
+    const double p = SelectionCorruptionLimit(0.25, 200, miners);
+    if (p < 1e-6 && p > 0.0) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinShardSizeTest, MonotoneBehaviour) {
+  const uint64_t n90 = MinShardSizeForSafety(0.25, 0.90, 500);
+  const uint64_t n99 = MinShardSizeForSafety(0.25, 0.99, 500);
+  ASSERT_GT(n90, 0u);
+  ASSERT_GT(n99, 0u);
+  EXPECT_LE(n90, n99);
+  EXPECT_EQ(MinShardSizeForSafety(0.49, 1.0 - 1e-30, 50), 0u);
+}
+
+}  // namespace
+}  // namespace shardchain

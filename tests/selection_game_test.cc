@@ -1,0 +1,199 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/selection_game.h"
+
+namespace shardchain {
+namespace {
+
+// --------------------------- Utilities ----------------------------------
+
+TEST(SelectionUtilityTest, MatchesEquationTwo) {
+  // U_{i,j} = f_j / (n_j + 1) with n_j competitors.
+  EXPECT_DOUBLE_EQ(SelectionUtility(100, 0), 100.0);
+  EXPECT_DOUBLE_EQ(SelectionUtility(100, 1), 50.0);
+  EXPECT_DOUBLE_EQ(SelectionUtility(100, 3), 25.0);
+}
+
+// ------------------------- Greedy baseline -------------------------------
+
+TEST(GreedySelectionTest, AllMinersTakeTheSameTopSet) {
+  const std::vector<Amount> fees{5, 50, 20, 40, 10};
+  const SelectionResult r = GreedySelection(fees, 4, 3);
+  ASSERT_EQ(r.assignment.size(), 4u);
+  const std::vector<size_t> expected{1, 2, 3};  // Fees 50, 40, 20.
+  for (const auto& set : r.assignment) EXPECT_EQ(set, expected);
+  EXPECT_EQ(r.DistinctSets(), 1u);
+}
+
+TEST(GreedySelectionTest, CapacityAbovePoolTakesAll) {
+  const std::vector<Amount> fees{5, 6};
+  const SelectionResult r = GreedySelection(fees, 2, 10);
+  EXPECT_EQ(r.assignment[0].size(), 2u);
+}
+
+// ------------------------ Round-robin oracle -----------------------------
+
+TEST(RoundRobinTest, DisjointWhenEnoughTxs) {
+  std::vector<Amount> fees(40, 1);
+  for (size_t i = 0; i < fees.size(); ++i) fees[i] = 100 + i;
+  const SelectionResult r = RoundRobinSelection(fees, 4, 10);
+  std::set<size_t> seen;
+  for (const auto& set : r.assignment) {
+    EXPECT_EQ(set.size(), 10u);
+    for (size_t j : set) EXPECT_TRUE(seen.insert(j).second);
+  }
+  EXPECT_EQ(r.DistinctSets(), 4u);
+}
+
+TEST(RoundRobinTest, FewerTxsThanMinersLeavesEmptySets) {
+  const std::vector<Amount> fees{7, 8};
+  const SelectionResult r = RoundRobinSelection(fees, 5, 10);
+  size_t nonempty = 0;
+  for (const auto& set : r.assignment) {
+    if (!set.empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 2u);
+}
+
+// ------------------------- Congestion game -------------------------------
+
+TEST(SelectionGameTest, ConvergesOnSmallInstance) {
+  Rng rng(1);
+  const std::vector<Amount> fees{10, 20, 30, 40, 50, 60};
+  const SelectionResult r = RunSelectionGame(fees, 3, {2, 1000}, &rng);
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(r.assignment.size(), 3u);
+  for (const auto& set : r.assignment) EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SelectionGameTest, EquilibriumHasNoProfitableDeviation) {
+  // Property test of the Nash condition: after convergence, no miner
+  // can improve by swapping one selected tx for any unselected one.
+  Rng rng(2);
+  std::vector<Amount> fees;
+  Rng fee_rng(3);
+  for (int i = 0; i < 30; ++i) fees.push_back(fee_rng.UniformRange(1, 100));
+  const size_t kMiners = 6;
+  const size_t kCap = 4;
+  const SelectionResult r = RunSelectionGame(fees, kMiners, {kCap, 1000}, &rng);
+  ASSERT_TRUE(r.converged);
+
+  const std::vector<uint32_t> counts = r.SelectionCounts(fees.size());
+  for (size_t i = 0; i < kMiners; ++i) {
+    const auto& mine = r.assignment[i];
+    std::set<size_t> mine_set(mine.begin(), mine.end());
+    for (size_t held : mine) {
+      const double held_share =
+          SelectionUtility(fees[held], counts[held] - 1);
+      for (size_t alt = 0; alt < fees.size(); ++alt) {
+        if (mine_set.count(alt) > 0) continue;
+        const double alt_share = SelectionUtility(fees[alt], counts[alt]);
+        EXPECT_LE(alt_share, held_share + 1e-9)
+            << "miner " << i << " should swap tx " << held << " for " << alt;
+      }
+    }
+  }
+}
+
+TEST(SelectionGameTest, MinersSpreadAcrossEqualFees) {
+  // With equal fees and capacity 1, the equilibrium spreads miners out:
+  // no transaction attracts two miners while another is free.
+  Rng rng(4);
+  const std::vector<Amount> fees(10, 50);
+  const SelectionResult r = RunSelectionGame(fees, 10, {1, 1000}, &rng);
+  ASSERT_TRUE(r.converged);
+  const auto counts = r.SelectionCounts(fees.size());
+  const uint32_t max_count = *std::max_element(counts.begin(), counts.end());
+  const uint32_t min_count = *std::min_element(counts.begin(), counts.end());
+  EXPECT_LE(max_count - min_count, 1u);
+}
+
+TEST(SelectionGameTest, DominantFeeAttractsEveryone) {
+  // Paper Sec. VI-E2: "there is a transaction set with much higher
+  // transaction fees than others, where the equilibrium is that
+  // everyone chooses that transaction set."
+  Rng rng(5);
+  const std::vector<Amount> fees{1000000, 1, 1, 1};
+  const SelectionResult r = RunSelectionGame(fees, 3, {1, 1000}, &rng);
+  ASSERT_TRUE(r.converged);
+  for (const auto& set : r.assignment) {
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set[0], 0u);
+  }
+  EXPECT_EQ(r.DistinctSets(), 1u);
+}
+
+TEST(SelectionGameTest, GameBeatsGreedyDiversity) {
+  Rng rng(6);
+  std::vector<Amount> fees;
+  Rng fee_rng(7);
+  for (int i = 0; i < 100; ++i) fees.push_back(fee_rng.Binomial(200, 0.5) + 1);
+  const SelectionResult game = RunSelectionGame(fees, 9, {10, 1000}, &rng);
+  const SelectionResult greedy = GreedySelection(fees, 9, 10);
+  EXPECT_GT(game.DistinctSets(), greedy.DistinctSets());
+}
+
+TEST(SelectionGameTest, DeterministicGivenSeed) {
+  // Parameter unification (Sec. IV-C): identical inputs -> identical
+  // outputs on every miner.
+  std::vector<Amount> fees;
+  Rng fee_rng(8);
+  for (int i = 0; i < 40; ++i) fees.push_back(fee_rng.UniformRange(1, 99));
+  Rng rng1(42);
+  Rng rng2(42);
+  const SelectionResult a = RunSelectionGame(fees, 5, {4, 1000}, &rng1);
+  const SelectionResult b = RunSelectionGame(fees, 5, {4, 1000}, &rng2);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(SelectionGameTest, EmptyInputsAreHandled) {
+  Rng rng(9);
+  const SelectionResult none = RunSelectionGame({}, 3, {2, 10}, &rng);
+  EXPECT_TRUE(none.converged);
+  EXPECT_EQ(none.DistinctSets(), 0u);
+  const SelectionResult no_miners = RunSelectionGame({1, 2}, 0, {2, 10}, &rng);
+  EXPECT_TRUE(no_miners.converged);
+  EXPECT_TRUE(no_miners.assignment.empty());
+}
+
+TEST(SelectionGameTest, SelectionCountsMatchAssignment) {
+  Rng rng(10);
+  const std::vector<Amount> fees{9, 8, 7, 6};
+  const SelectionResult r = RunSelectionGame(fees, 2, {2, 100}, &rng);
+  const auto counts = r.SelectionCounts(4);
+  uint32_t total = 0;
+  for (uint32_t c : counts) total += c;
+  EXPECT_EQ(total, 4u);  // 2 miners x capacity 2.
+}
+
+class SelectionScaleTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(SelectionScaleTest, ConvergesAndCoversCapacity) {
+  const auto [miners, txs] = GetParam();
+  Rng rng(11);
+  std::vector<Amount> fees;
+  Rng fee_rng(12);
+  for (size_t i = 0; i < txs; ++i) {
+    fees.push_back(fee_rng.UniformRange(1, 1000));
+  }
+  const SelectionResult r = RunSelectionGame(fees, miners, {10, 2000}, &rng);
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(r.assignment.size(), miners);
+  const size_t expected = std::min<size_t>(10, txs);
+  for (const auto& set : r.assignment) EXPECT_EQ(set.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SelectionScaleTest,
+    ::testing::Values(std::make_tuple(1, 5), std::make_tuple(2, 20),
+                      std::make_tuple(5, 50), std::make_tuple(9, 200),
+                      std::make_tuple(20, 100)));
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,154 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace shardchain {
+namespace {
+
+// --------------------------- EventQueue ---------------------------------
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleIn(3.0, [&] { order.push_back(3); });
+  q.ScheduleIn(1.0, [&] { order.push_back(1); });
+  q.ScheduleIn(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleIn(1.0, [&] { order.push_back(1); });
+  q.ScheduleIn(1.0, [&] { order.push_back(2); });
+  q.ScheduleIn(1.0, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleIn(1.0, [&] {
+    ++fired;
+    q.ScheduleIn(1.0, [&] { ++fired; });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleIn(1.0, [&] { ++fired; });
+  q.ScheduleIn(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.Now(), 2.0);
+  EXPECT_EQ(q.Pending(), 1u);
+}
+
+TEST(EventQueueTest, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Step());
+  EXPECT_TRUE(q.Empty());
+}
+
+// ---------------------------- Network -----------------------------------
+
+TEST(NetworkTest, RegisterAndMembers) {
+  Network net;
+  net.Register(0, 0);
+  net.Register(1, 1);
+  net.Register(2, 1);
+  EXPECT_EQ(net.NodeCount(), 3u);
+  EXPECT_EQ(net.ShardOf(2), 1u);
+  EXPECT_EQ(net.Members(1), (std::vector<NodeId>{1, 2}));
+  // Re-registration moves the node.
+  net.Register(2, 0);
+  EXPECT_EQ(net.Members(1), (std::vector<NodeId>{1}));
+}
+
+TEST(NetworkTest, SendCountsPerKind) {
+  Network net;
+  net.Register(0, 0);
+  net.Register(1, 1);
+  net.Send(0, 1, MsgKind::kCrossShardQuery);
+  net.Send(0, 1, MsgKind::kCrossShardQuery);
+  net.Send(1, 0, MsgKind::kCrossShardVote);
+  EXPECT_EQ(net.Count(MsgKind::kCrossShardQuery), 2u);
+  EXPECT_EQ(net.Count(MsgKind::kCrossShardVote), 1u);
+  EXPECT_EQ(net.Count(MsgKind::kTxGossip), 0u);
+}
+
+TEST(NetworkTest, CrossShardOnlyCountsBoundaryCrossings) {
+  Network net;
+  net.Register(0, 0);
+  net.Register(1, 0);
+  net.Register(2, 1);
+  net.Send(0, 1, MsgKind::kCrossShardVote);  // Intra-shard.
+  net.Send(0, 2, MsgKind::kCrossShardVote);  // Cross-shard.
+  EXPECT_EQ(net.Count(MsgKind::kCrossShardVote), 2u);
+  EXPECT_EQ(net.CrossShardCount(MsgKind::kCrossShardVote), 1u);
+}
+
+TEST(NetworkTest, BroadcastReachesEveryoneElse) {
+  Network net;
+  for (NodeId n = 0; n < 5; ++n) net.Register(n, n % 2);
+  net.Broadcast(0, MsgKind::kLeaderBroadcast);
+  EXPECT_EQ(net.Count(MsgKind::kLeaderBroadcast), 4u);
+}
+
+TEST(NetworkTest, MulticastShardStaysInShard) {
+  Network net;
+  net.Register(0, 1);
+  net.Register(1, 1);
+  net.Register(2, 2);
+  net.MulticastShard(0, 1, MsgKind::kBlockGossip);
+  EXPECT_EQ(net.Count(MsgKind::kBlockGossip), 1u);
+  EXPECT_EQ(net.CrossShardCount(MsgKind::kBlockGossip), 0u);
+}
+
+TEST(NetworkTest, CoordinationExcludesGossip) {
+  Network net;
+  net.Register(0, 0);
+  net.Register(1, 1);
+  net.Send(0, 1, MsgKind::kTxGossip);
+  net.Send(0, 1, MsgKind::kBlockGossip);
+  EXPECT_EQ(net.CoordinationMessages(), 0u);
+  net.Send(0, 1, MsgKind::kLeaderStat);
+  net.Send(1, 0, MsgKind::kLeaderBroadcast);
+  net.Send(0, 1, MsgKind::kGameGossip);
+  EXPECT_EQ(net.CoordinationMessages(), 3u);
+  EXPECT_DOUBLE_EQ(net.CommunicationTimesPerShard(2), 1.5);
+}
+
+TEST(NetworkTest, ResetCountersClears) {
+  Network net;
+  net.Register(0, 0);
+  net.Register(1, 1);
+  net.Send(0, 1, MsgKind::kCrossShardQuery);
+  net.ResetCounters();
+  EXPECT_EQ(net.Count(MsgKind::kCrossShardQuery), 0u);
+  EXPECT_EQ(net.CoordinationMessages(), 0u);
+  EXPECT_EQ(net.NodeCount(), 2u);  // Registrations survive.
+}
+
+TEST(NetworkTest, MsgKindNamesCovered) {
+  EXPECT_STREQ(MsgKindName(MsgKind::kTxGossip), "TxGossip");
+  EXPECT_STREQ(MsgKindName(MsgKind::kBlockGossip), "BlockGossip");
+  EXPECT_STREQ(MsgKindName(MsgKind::kCrossShardQuery), "CrossShardQuery");
+  EXPECT_STREQ(MsgKindName(MsgKind::kCrossShardVote), "CrossShardVote");
+  EXPECT_STREQ(MsgKindName(MsgKind::kLeaderStat), "LeaderStat");
+  EXPECT_STREQ(MsgKindName(MsgKind::kLeaderBroadcast), "LeaderBroadcast");
+  EXPECT_STREQ(MsgKindName(MsgKind::kGameGossip), "GameGossip");
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,116 @@
+// Cross-validation: the closed-form round-model predictions must agree
+// exactly with the simulator in the deterministic regimes.
+
+#include <gtest/gtest.h>
+
+#include "analysis/throughput_model.h"
+#include "common/rng.h"
+#include "sim/mining_sim.h"
+
+namespace shardchain {
+namespace {
+
+ShardSpec Spec(ShardId id, size_t miners, size_t txs) {
+  ShardSpec spec;
+  spec.id = id;
+  spec.num_miners = miners;
+  spec.tx_fees.assign(txs, 10);
+  return spec;
+}
+
+model::RoundModelParams Params(double calibration = 1.0) {
+  model::RoundModelParams p;
+  p.round_seconds = 60.0;
+  p.txs_per_block = 10;
+  p.calibration_power = calibration;
+  return p;
+}
+
+MiningSimConfig SimConfig(double calibration = 1.0) {
+  MiningSimConfig config;
+  config.round_seconds = 60.0;
+  config.txs_per_block = 10;
+  config.calibration_power = calibration;
+  return config;
+}
+
+TEST(ThroughputModelTest, GreedyFormulaBasics) {
+  const auto p = Params();
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(200, 9, p), 1200.0);
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(1, 1, p), 60.0);
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(11, 1, p), 120.0);
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(0, 5, p), 0.0);
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(5, 0, p), 0.0);
+}
+
+TEST(ThroughputModelTest, CalibrationSlowdown) {
+  const auto p = Params(4.0);
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(20, 2, p), 240.0);
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(20, 4, p), 120.0);
+  EXPECT_DOUBLE_EQ(model::GreedyConfirmationTime(20, 8, p), 120.0);
+}
+
+TEST(ThroughputModelTest, DisjointFormula) {
+  const auto p = Params();
+  EXPECT_DOUBLE_EQ(model::DisjointConfirmationTime(200, 9, p), 180.0);
+  EXPECT_DOUBLE_EQ(model::DisjointConfirmationTime(200, 1, p), 1200.0);
+}
+
+class ModelVsSimTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ModelVsSimTest, GreedySimMatchesFormulaExactly) {
+  const auto [miners, txs] = GetParam();
+  Rng rng(miners * 1000 + txs);
+  const SimResult sim =
+      RunMiningSim({Spec(0, miners, txs)}, SimConfig(), &rng);
+  EXPECT_DOUBLE_EQ(sim.makespan,
+                   model::GreedyConfirmationTime(txs, miners, Params()));
+}
+
+TEST_P(ModelVsSimTest, RoundRobinSimMatchesDisjointFormula) {
+  const auto [miners, txs] = GetParam();
+  MiningSimConfig config = SimConfig();
+  config.policy = SelectionPolicy::kRoundRobin;
+  Rng rng(miners * 2000 + txs);
+  const SimResult sim = RunMiningSim({Spec(0, miners, txs)}, config, &rng);
+  EXPECT_DOUBLE_EQ(sim.makespan,
+                   model::DisjointConfirmationTime(txs, miners, Params()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelVsSimTest,
+    ::testing::Values(std::make_tuple(1, 20), std::make_tuple(2, 55),
+                      std::make_tuple(4, 100), std::make_tuple(9, 200),
+                      std::make_tuple(3, 7)));
+
+TEST(ThroughputModelTest, ShardedMakespanMatchesSim) {
+  std::vector<ShardSpec> specs{Spec(0, 1, 22), Spec(1, 1, 35),
+                               Spec(2, 1, 9)};
+  Rng rng(5);
+  const SimResult sim = RunMiningSim(specs, SimConfig(), &rng);
+  EXPECT_DOUBLE_EQ(sim.makespan,
+                   model::ShardedMakespan({22, 35, 9}, {1, 1, 1}, Params()));
+}
+
+TEST(ThroughputModelTest, ImprovementPrediction) {
+  // The paper's even 9-shard split: 1200 s vs 180 s -> 6.67x.
+  const std::vector<size_t> txs(9, 22);
+  const std::vector<size_t> miners(9, 1);
+  EXPECT_NEAR(model::PredictedImprovement(txs, miners, 9, Params()), 6.6,
+              0.2);
+}
+
+TEST(ThroughputModelTest, EmptyBlockPredictionMatchesSim) {
+  MiningSimConfig config = SimConfig();
+  config.window_seconds = 600.0;
+  Rng rng(6);
+  const SimResult sim = RunMiningSim({Spec(0, 1, 5)}, config, &rng);
+  EXPECT_EQ(sim.TotalEmptyBlocks(),
+            model::PredictedEmptyBlocks(5, 1, 600.0, Params()));
+  EXPECT_EQ(model::PredictedEmptyBlocks(5, 1, 60.0, Params()), 0u);
+  EXPECT_EQ(model::PredictedEmptyBlocks(100, 1, 600.0, Params()), 0u);
+}
+
+}  // namespace
+}  // namespace shardchain

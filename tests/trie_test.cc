@@ -1,0 +1,300 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "state/trie.h"
+
+namespace shardchain {
+namespace {
+
+Bytes B(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(TrieTest, EmptyTrie) {
+  MerklePatriciaTrie trie;
+  EXPECT_TRUE(trie.Empty());
+  EXPECT_EQ(trie.Size(), 0u);
+  EXPECT_TRUE(trie.RootHash().IsZero());
+  EXPECT_FALSE(trie.Get(B("missing")).has_value());
+}
+
+TEST(TrieTest, SinglePutGet) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("key"), B("value"));
+  EXPECT_EQ(trie.Size(), 1u);
+  ASSERT_TRUE(trie.Get(B("key")).has_value());
+  EXPECT_EQ(*trie.Get(B("key")), B("value"));
+  EXPECT_FALSE(trie.RootHash().IsZero());
+}
+
+TEST(TrieTest, OverwriteKeepsSize) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("key"), B("v1"));
+  const Hash256 h1 = trie.RootHash();
+  trie.Put(B("key"), B("v2"));
+  EXPECT_EQ(trie.Size(), 1u);
+  EXPECT_EQ(*trie.Get(B("key")), B("v2"));
+  EXPECT_NE(trie.RootHash(), h1);
+}
+
+TEST(TrieTest, PrefixKeysCoexist) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("do"), B("verb"));
+  trie.Put(B("dog"), B("animal"));
+  trie.Put(B("doge"), B("coin"));
+  EXPECT_EQ(trie.Size(), 3u);
+  EXPECT_EQ(*trie.Get(B("do")), B("verb"));
+  EXPECT_EQ(*trie.Get(B("dog")), B("animal"));
+  EXPECT_EQ(*trie.Get(B("doge")), B("coin"));
+  EXPECT_FALSE(trie.Get(B("d")).has_value());
+  EXPECT_FALSE(trie.Get(B("dogs")).has_value());
+}
+
+TEST(TrieTest, DivergentKeys) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("horse"), B("stallion"));
+  trie.Put(B("house"), B("building"));
+  EXPECT_EQ(*trie.Get(B("horse")), B("stallion"));
+  EXPECT_EQ(*trie.Get(B("house")), B("building"));
+}
+
+TEST(TrieTest, RootIsOrderIndependent) {
+  std::vector<std::pair<Bytes, Bytes>> kvs;
+  for (int i = 0; i < 40; ++i) {
+    kvs.emplace_back(B("key-" + std::to_string(i)),
+                     B("val-" + std::to_string(i * 7)));
+  }
+  MerklePatriciaTrie a;
+  for (const auto& [k, v] : kvs) a.Put(k, v);
+  MerklePatriciaTrie b;
+  for (auto it = kvs.rbegin(); it != kvs.rend(); ++it) b.Put(it->first, it->second);
+  EXPECT_EQ(a.RootHash(), b.RootHash());
+}
+
+TEST(TrieTest, RootChangesWithAnyValue) {
+  MerklePatriciaTrie a;
+  a.Put(B("k1"), B("x"));
+  a.Put(B("k2"), B("y"));
+  MerklePatriciaTrie b;
+  b.Put(B("k1"), B("x"));
+  b.Put(B("k2"), B("z"));
+  EXPECT_NE(a.RootHash(), b.RootHash());
+}
+
+TEST(TrieTest, DeleteRestoresPriorRoot) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("alpha"), B("1"));
+  trie.Put(B("beta"), B("2"));
+  const Hash256 before = trie.RootHash();
+  trie.Put(B("gamma"), B("3"));
+  EXPECT_NE(trie.RootHash(), before);
+  EXPECT_TRUE(trie.Delete(B("gamma")));
+  EXPECT_EQ(trie.RootHash(), before);
+  EXPECT_EQ(trie.Size(), 2u);
+}
+
+TEST(TrieTest, DeleteMissingReturnsFalse) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("alpha"), B("1"));
+  EXPECT_FALSE(trie.Delete(B("beta")));
+  EXPECT_FALSE(trie.Delete(B("alphaa")));
+  EXPECT_FALSE(trie.Delete(B("alph")));
+  EXPECT_EQ(trie.Size(), 1u);
+}
+
+TEST(TrieTest, DeleteToEmpty) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("only"), B("1"));
+  EXPECT_TRUE(trie.Delete(B("only")));
+  EXPECT_TRUE(trie.Empty());
+  EXPECT_TRUE(trie.RootHash().IsZero());
+}
+
+TEST(TrieTest, EntriesSortedByKey) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("zebra"), B("1"));
+  trie.Put(B("ant"), B("2"));
+  trie.Put(B("mole"), B("3"));
+  trie.Put(B("an"), B("4"));
+  const auto entries = trie.Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(
+      entries.begin(), entries.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  EXPECT_EQ(entries[0].first, B("an"));
+  EXPECT_EQ(entries[3].first, B("zebra"));
+}
+
+TEST(TrieTest, CopyIsDeepAndEqual) {
+  MerklePatriciaTrie a;
+  a.Put(B("k1"), B("v1"));
+  a.Put(B("k2"), B("v2"));
+  MerklePatriciaTrie b = a;
+  EXPECT_EQ(a.RootHash(), b.RootHash());
+  b.Put(B("k3"), B("v3"));
+  EXPECT_NE(a.RootHash(), b.RootHash());
+  EXPECT_FALSE(a.Get(B("k3")).has_value());
+}
+
+// -------------------------- Random fuzzing ------------------------------
+
+class TrieFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrieFuzzTest, MatchesStdMapUnderRandomOps) {
+  Rng rng(GetParam());
+  MerklePatriciaTrie trie;
+  std::map<Bytes, Bytes> model;
+  for (int op = 0; op < 600; ++op) {
+    const uint64_t key_id = rng.UniformInt(64);
+    const Bytes key = B("key-" + std::to_string(key_id));
+    const uint32_t action = static_cast<uint32_t>(rng.UniformInt(3));
+    if (action == 0) {  // Put.
+      const Bytes value = B("v" + std::to_string(rng.UniformInt(1000)));
+      trie.Put(key, value);
+      model[key] = value;
+    } else if (action == 1) {  // Delete.
+      EXPECT_EQ(trie.Delete(key), model.erase(key) > 0);
+    } else {  // Get.
+      auto it = model.find(key);
+      auto got = trie.Get(key);
+      EXPECT_EQ(got.has_value(), it != model.end());
+      if (got.has_value() && it != model.end()) {
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+    EXPECT_EQ(trie.Size(), model.size());
+  }
+  // Final contents identical and in order.
+  const auto entries = trie.Entries();
+  ASSERT_EQ(entries.size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(entries[i].first, k);
+    EXPECT_EQ(entries[i].second, v);
+    ++i;
+  }
+}
+
+TEST_P(TrieFuzzTest, RootHashMatchesRebuild) {
+  // Root after random inserts+deletes equals the root of a fresh trie
+  // holding the surviving entries — history independence.
+  Rng rng(GetParam() + 1000);
+  MerklePatriciaTrie trie;
+  std::map<Bytes, Bytes> model;
+  for (int op = 0; op < 300; ++op) {
+    const Bytes key = B("k" + std::to_string(rng.UniformInt(48)));
+    if (rng.Bernoulli(0.7)) {
+      const Bytes value = B("v" + std::to_string(rng.UniformInt(100)));
+      trie.Put(key, value);
+      model[key] = value;
+    } else {
+      trie.Delete(key);
+      model.erase(key);
+    }
+  }
+  MerklePatriciaTrie rebuilt;
+  for (const auto& [k, v] : model) rebuilt.Put(k, v);
+  EXPECT_EQ(trie.RootHash(), rebuilt.RootHash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----------------------------- Proofs -----------------------------------
+
+TEST(TrieProofTest, ProvesPresentKeys) {
+  MerklePatriciaTrie trie;
+  for (int i = 0; i < 30; ++i) {
+    trie.Put(B("acct-" + std::to_string(i)), B("bal-" + std::to_string(i)));
+  }
+  const Hash256 root = trie.RootHash();
+  for (int i = 0; i < 30; ++i) {
+    const Bytes key = B("acct-" + std::to_string(i));
+    const auto proof = trie.Prove(key);
+    auto verified = MerklePatriciaTrie::VerifyProof(root, key, proof);
+    ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+    ASSERT_TRUE(verified->has_value());
+    EXPECT_EQ(**verified, B("bal-" + std::to_string(i)));
+  }
+}
+
+TEST(TrieProofTest, ProvesAbsentKeys) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("alpha"), B("1"));
+  trie.Put(B("beta"), B("2"));
+  trie.Put(B("gamma"), B("3"));
+  const Hash256 root = trie.RootHash();
+  for (const char* missing : {"delta", "alphaa", "alp", "zeta"}) {
+    const auto proof = trie.Prove(B(missing));
+    auto verified = MerklePatriciaTrie::VerifyProof(root, B(missing), proof);
+    ASSERT_TRUE(verified.ok())
+        << missing << ": " << verified.status().ToString();
+    EXPECT_FALSE(verified->has_value()) << missing;
+  }
+}
+
+TEST(TrieProofTest, RejectsTamperedProof) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("key1"), B("value1"));
+  trie.Put(B("key2"), B("value2"));
+  auto proof = trie.Prove(B("key1"));
+  ASSERT_FALSE(proof.empty());
+  proof.back().encoded.back() ^= 0x01;
+  EXPECT_FALSE(
+      MerklePatriciaTrie::VerifyProof(trie.RootHash(), B("key1"), proof).ok());
+}
+
+TEST(TrieProofTest, RejectsProofAgainstWrongRoot) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("key1"), B("value1"));
+  const auto proof = trie.Prove(B("key1"));
+  Hash256 wrong = trie.RootHash();
+  wrong.bytes[0] ^= 0xff;
+  EXPECT_FALSE(MerklePatriciaTrie::VerifyProof(wrong, B("key1"), proof).ok());
+}
+
+TEST(TrieProofTest, CannotClaimAbsentKeyPresent) {
+  // A proof for key A must not verify as a proof for key B.
+  MerklePatriciaTrie trie;
+  trie.Put(B("aa"), B("1"));
+  trie.Put(B("ab"), B("2"));
+  const auto proof = trie.Prove(B("aa"));
+  auto verified =
+      MerklePatriciaTrie::VerifyProof(trie.RootHash(), B("ab"), proof);
+  // Either rejected outright or resolves to "absent"/different value —
+  // never to key aa's value under key ab... the branch hash walk fails.
+  if (verified.ok() && verified->has_value()) {
+    EXPECT_NE(**verified, B("1"));
+  }
+}
+
+TEST(TrieProofTest, EmptyTrieProof) {
+  MerklePatriciaTrie trie;
+  const auto proof = trie.Prove(B("anything"));
+  EXPECT_TRUE(proof.empty());
+  auto verified = MerklePatriciaTrie::VerifyProof(Hash256::Zero(),
+                                                  B("anything"), proof);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_FALSE(verified->has_value());
+}
+
+TEST(TrieProofTest, ProofSizeIsLogarithmic) {
+  MerklePatriciaTrie trie;
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes key(8);
+    for (auto& b : key) b = static_cast<uint8_t>(rng.UniformInt(256));
+    trie.Put(key, B("v"));
+  }
+  // Any fresh random key's proof touches only the path, far fewer nodes
+  // than the entry count.
+  Bytes probe(8, 0xab);
+  const auto proof = trie.Prove(probe);
+  EXPECT_LT(proof.size(), 12u);
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,423 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "contract/assembler.h"
+#include "contract/registry.h"
+#include "contract/vm.h"
+#include "state/statedb.h"
+
+namespace shardchain {
+namespace {
+
+Address Addr(uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+Bytes MustAssemble(const std::string& src) {
+  Result<Bytes> code = Assemble(src);
+  EXPECT_TRUE(code.ok()) << code.status().ToString();
+  return code.ok() ? *code : Bytes{};
+}
+
+/// Runs `src` with no parties, default context, returning the receipt.
+Result<ExecReceipt> RunSrc(const std::string& src,
+                        std::vector<int64_t> args = {},
+                        Amount call_value = 0, StateDB* state = nullptr) {
+  ContractProgram program;
+  program.code = MustAssemble(src);
+  CallContext ctx;
+  ctx.contract = Addr(0xcc);
+  ctx.caller = Addr(0xaa);
+  ctx.args = std::move(args);
+  ctx.call_value = call_value;
+  StateDB local;
+  StateDB* db = state != nullptr ? state : &local;
+  if (call_value > 0) db->Mint(ctx.caller, call_value);
+  return Vm::Execute(program, ctx, db);
+}
+
+int64_t TopOf(const Result<ExecReceipt>& r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->stack.empty());
+  return r->stack.back();
+}
+
+// --------------------------- Arithmetic --------------------------------
+
+TEST(VmTest, PushAdd) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 2\nPUSH 3\nADD\nSTOP")), 5);
+}
+
+TEST(VmTest, SubIsOrdered) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 10\nPUSH 3\nSUB\nSTOP")), 7);
+}
+
+TEST(VmTest, MulDivMod) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 6\nPUSH 7\nMUL\nSTOP")), 42);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 17\nPUSH 5\nDIV\nSTOP")), 3);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 17\nPUSH 5\nMOD\nSTOP")), 2);
+}
+
+TEST(VmTest, NegativeImmediates) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH -5\nPUSH 3\nADD\nSTOP")), -2);
+}
+
+TEST(VmTest, DivisionByZeroReverts) {
+  EXPECT_TRUE(RunSrc("PUSH 1\nPUSH 0\nDIV\nSTOP").status().IsFailedPrecondition());
+  EXPECT_TRUE(RunSrc("PUSH 1\nPUSH 0\nMOD\nSTOP").status().IsFailedPrecondition());
+}
+
+// -------------------------- Comparisons --------------------------------
+
+TEST(VmTest, ComparisonOps) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 2\nPUSH 3\nLT\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 3\nPUSH 2\nGT\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 3\nPUSH 3\nLE\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 3\nPUSH 3\nGE\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 3\nPUSH 3\nEQ\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 3\nPUSH 4\nNEQ\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 3\nPUSH 2\nLT\nSTOP")), 0);
+}
+
+TEST(VmTest, BooleanOps) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 1\nPUSH 0\nAND\nSTOP")), 0);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 1\nPUSH 0\nOR\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 0\nNOT\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 7\nNOT\nSTOP")), 0);
+}
+
+// --------------------------- Stack ops ---------------------------------
+
+TEST(VmTest, DupSwapPop) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 5\nDUP\nADD\nSTOP")), 10);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 1\nPUSH 2\nSWAP\nSUB\nSTOP")), 1);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 9\nPUSH 8\nPOP\nSTOP")), 9);
+}
+
+TEST(VmTest, StackUnderflowIsCorruption) {
+  EXPECT_TRUE(RunSrc("ADD\nSTOP").status().IsCorruption());
+  EXPECT_TRUE(RunSrc("POP\nSTOP").status().IsCorruption());
+  EXPECT_TRUE(RunSrc("DUP\nSTOP").status().IsCorruption());
+}
+
+// --------------------------- Control flow ------------------------------
+
+TEST(VmTest, JumpSkipsCode) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 1\nJUMP end\nPUSH 99\nend:\nSTOP")), 1);
+}
+
+TEST(VmTest, JumpITakenAndNotTaken) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 7\nPUSH 1\nJUMPI end\nPOP\nPUSH 8\nend:\nSTOP")),
+            7);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 7\nPUSH 0\nJUMPI end\nPOP\nPUSH 8\nend:\nSTOP")),
+            8);
+}
+
+TEST(VmTest, RequirePassesNonZero) {
+  EXPECT_TRUE(RunSrc("PUSH 1\nREQUIRE\nSTOP").ok());
+}
+
+TEST(VmTest, RequireFailsZero) {
+  EXPECT_TRUE(RunSrc("PUSH 0\nREQUIRE\nSTOP").status().IsFailedPrecondition());
+}
+
+TEST(VmTest, RevertAborts) {
+  EXPECT_TRUE(RunSrc("REVERT").status().IsFailedPrecondition());
+}
+
+TEST(VmTest, ImplicitStopAtCodeEnd) {
+  EXPECT_EQ(TopOf(RunSrc("PUSH 4")), 4);
+}
+
+TEST(VmTest, InfiniteLoopHitsGasLimit) {
+  const auto r = RunSrc("loop:\nJUMP loop");
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+// ----------------------------- Args ------------------------------------
+
+TEST(VmTest, ArgsAreReadable) {
+  EXPECT_EQ(TopOf(RunSrc("ARG 0\nARG 1\nADD\nSTOP", {30, 12})), 42);
+}
+
+TEST(VmTest, OutOfRangeArgFails) {
+  EXPECT_TRUE(RunSrc("ARG 2\nSTOP", {1, 2}).status().IsOutOfRange());
+}
+
+TEST(VmTest, CallValueReadable) {
+  EXPECT_EQ(TopOf(RunSrc("CALLVALUE\nSTOP", {}, 55)), 55);
+}
+
+// --------------------------- State ops ---------------------------------
+
+TEST(VmTest, CallValueMovesToContract) {
+  StateDB db;
+  const auto r = RunSrc("STOP", {}, 70, &db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(db.BalanceOf(Addr(0xcc)), 70u);
+  EXPECT_EQ(db.BalanceOf(Addr(0xaa)), 0u);
+}
+
+TEST(VmTest, RevertRollsBackCallValue) {
+  StateDB db;
+  const auto r = RunSrc("REVERT", {}, 70, &db);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(db.BalanceOf(Addr(0xcc)), 0u);
+  EXPECT_EQ(db.BalanceOf(Addr(0xaa)), 70u);
+}
+
+TEST(VmTest, StorageRoundTrip) {
+  StateDB db;
+  ASSERT_TRUE(RunSrc("PUSH 123\nPUSH 9\nSSTORE\nSTOP", {}, 0, &db).ok());
+  EXPECT_EQ(db.StorageGet(Addr(0xcc), 9), 123);
+  EXPECT_EQ(TopOf(RunSrc("PUSH 9\nSLOAD\nSTOP", {}, 0, &db)), 123);
+}
+
+TEST(VmTest, SelfAndCallerBalance) {
+  StateDB db;
+  db.Mint(Addr(0xcc), 500);
+  db.Mint(Addr(0xaa), 300);
+  EXPECT_EQ(TopOf(RunSrc("SELFBALANCE\nSTOP", {}, 0, &db)), 500);
+  EXPECT_EQ(TopOf(RunSrc("CALLERBALANCE\nSTOP", {}, 0, &db)), 300);
+}
+
+TEST(VmTest, TransferToPartyAndCaller) {
+  StateDB db;
+  ContractProgram program;
+  program.parties = {Addr(0xbb)};
+  program.code = MustAssemble(
+      "PUSH 30\nPUSH 0\nTRANSFER\n"     // 30 to party 0
+      "PUSH 20\nTRANSFERCALLER\nSTOP"); // 20 back to caller
+  db.Mint(Addr(0xcc), 100);
+  CallContext ctx;
+  ctx.contract = Addr(0xcc);
+  ctx.caller = Addr(0xaa);
+  ASSERT_TRUE(Vm::Execute(program, ctx, &db).ok());
+  EXPECT_EQ(db.BalanceOf(Addr(0xbb)), 30u);
+  EXPECT_EQ(db.BalanceOf(Addr(0xaa)), 20u);
+  EXPECT_EQ(db.BalanceOf(Addr(0xcc)), 50u);
+}
+
+TEST(VmTest, TransferBeyondBalanceReverts) {
+  StateDB db;
+  ContractProgram program;
+  program.parties = {Addr(0xbb)};
+  program.code = MustAssemble("PUSH 10\nPUSH 0\nTRANSFER\nSTOP");
+  CallContext ctx;
+  ctx.contract = Addr(0xcc);
+  ctx.caller = Addr(0xaa);
+  EXPECT_TRUE(Vm::Execute(program, ctx, &db).status().IsFailedPrecondition());
+}
+
+TEST(VmTest, GasAccumulates) {
+  const auto r = RunSrc("PUSH 1\nPUSH 2\nADD\nSTOP");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->gas_used, 4 * Vm::kGasPerOp);
+}
+
+TEST(VmTest, OutOfGasRollsBack) {
+  StateDB db;
+  ContractProgram program;
+  program.code = MustAssemble("PUSH 1\nPUSH 2\nSSTORE\nloop:\nJUMP loop");
+  CallContext ctx;
+  ctx.contract = Addr(0xcc);
+  ctx.caller = Addr(0xaa);
+  ctx.gas_limit = 1000;
+  EXPECT_TRUE(Vm::Execute(program, ctx, &db).status().IsInternal());
+  EXPECT_EQ(db.StorageGet(Addr(0xcc), 2), 0);
+}
+
+// ------------------------ Args encode/decode ----------------------------
+
+TEST(VmTest, ArgsRoundTrip) {
+  const std::vector<int64_t> args{1, -2, 3000000000LL};
+  Result<std::vector<int64_t>> back = Vm::DecodeArgs(Vm::EncodeArgs(args));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, args);
+}
+
+TEST(VmTest, DecodeArgsRejectsRaggedPayload) {
+  EXPECT_TRUE(Vm::DecodeArgs({1, 2, 3}).status().IsInvalidArgument());
+}
+
+// --------------------------- Assembler ---------------------------------
+
+TEST(AssemblerTest, CommentsAndBlanksIgnored) {
+  const Bytes code = MustAssemble("; header\n\nPUSH 1 ; trailing\n\nSTOP\n");
+  EXPECT_EQ(code.size(), 10u);  // PUSH imm8 + STOP.
+}
+
+TEST(AssemblerTest, UnknownMnemonicRejected) {
+  EXPECT_TRUE(Assemble("FROBNICATE").status().IsInvalidArgument());
+}
+
+TEST(AssemblerTest, UndefinedLabelRejected) {
+  EXPECT_TRUE(Assemble("JUMP nowhere").status().IsInvalidArgument());
+}
+
+TEST(AssemblerTest, DuplicateLabelRejected) {
+  EXPECT_TRUE(Assemble("a:\na:\nSTOP").status().IsInvalidArgument());
+}
+
+TEST(AssemblerTest, MissingImmediateRejected) {
+  EXPECT_TRUE(Assemble("PUSH").status().IsInvalidArgument());
+}
+
+TEST(AssemblerTest, BadIndexRejected) {
+  EXPECT_TRUE(Assemble("ARG 300").status().IsInvalidArgument());
+  EXPECT_TRUE(Assemble("ARG -1").status().IsInvalidArgument());
+}
+
+TEST(AssemblerTest, UnexpectedOperandRejected) {
+  EXPECT_TRUE(Assemble("STOP 5").status().IsInvalidArgument());
+}
+
+TEST(AssemblerTest, CaseInsensitiveMnemonics) {
+  EXPECT_TRUE(Assemble("push 1\nstop").ok());
+}
+
+TEST(AssemblerTest, DisassembleRoundTrip) {
+  const std::string src =
+      "PUSH 42\nARG 0\nADD\nPUSH 0\nSSTORE\nJUMP end\nPUSH 1\nend:\nSTOP\n";
+  const Bytes code = MustAssemble(src);
+  Result<std::string> text = Disassemble(code);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("PUSH 42"), std::string::npos);
+  EXPECT_NE(text->find("SSTORE"), std::string::npos);
+  EXPECT_NE(text->find("JUMP"), std::string::npos);
+}
+
+TEST(AssemblerTest, DisassembleRejectsGarbage) {
+  EXPECT_TRUE(Disassemble({0xfe}).status().IsCorruption());
+}
+
+// ------------------------ Contract templates ----------------------------
+
+TEST(RegistryTest, DeployAndCallUnconditionalTransfer) {
+  StateDB db;
+  const Address creator = Addr(1);
+  const Address dest = Addr(2);
+  Result<Address> contract = ContractRegistry::Deploy(
+      &db, creator, contracts::UnconditionalTransfer(dest));
+  ASSERT_TRUE(contract.ok());
+  EXPECT_TRUE(db.IsContract(*contract));
+
+  db.Mint(Addr(3), 100);
+  Transaction tx;
+  tx.kind = TxKind::kContractCall;
+  tx.sender = Addr(3);
+  tx.recipient = *contract;
+  tx.value = 60;
+  ASSERT_TRUE(ContractRegistry::Call(&db, tx).ok());
+  EXPECT_EQ(db.BalanceOf(dest), 60u);
+  EXPECT_EQ(db.BalanceOf(Addr(3)), 40u);
+}
+
+TEST(RegistryTest, ConditionalTransferRespectsThreshold) {
+  StateDB db;
+  const Address recipient = Addr(2);
+  Result<Address> contract = ContractRegistry::Deploy(
+      &db, Addr(1), contracts::ConditionalTransfer(recipient, 50));
+  ASSERT_TRUE(contract.ok());
+
+  db.Mint(Addr(3), 200);
+  Transaction tx;
+  tx.kind = TxKind::kContractCall;
+  tx.sender = Addr(3);
+  tx.recipient = *contract;
+  tx.value = 30;
+  // recipient balance 0 < 50: transfer goes through.
+  ASSERT_TRUE(ContractRegistry::Call(&db, tx).ok());
+  EXPECT_EQ(db.BalanceOf(recipient), 30u);
+
+  // Push recipient above the threshold; next call must revert and
+  // leave the caller's funds untouched.
+  db.Mint(recipient, 100);
+  const Amount caller_before = db.BalanceOf(Addr(3));
+  EXPECT_FALSE(ContractRegistry::Call(&db, tx).ok());
+  EXPECT_EQ(db.BalanceOf(Addr(3)), caller_before);
+}
+
+TEST(RegistryTest, EscrowDepositAndRelease) {
+  StateDB db;
+  const Address beneficiary = Addr(9);
+  Result<Address> contract =
+      ContractRegistry::Deploy(&db, Addr(1), contracts::Escrow(beneficiary));
+  ASSERT_TRUE(contract.ok());
+
+  db.Mint(Addr(3), 100);
+  Transaction deposit;
+  deposit.kind = TxKind::kContractCall;
+  deposit.sender = Addr(3);
+  deposit.recipient = *contract;
+  deposit.value = 40;
+  deposit.payload = Vm::EncodeArgs({0});
+  ASSERT_TRUE(ContractRegistry::Call(&db, deposit).ok());
+  ASSERT_TRUE(ContractRegistry::Call(&db, deposit).ok());
+  EXPECT_EQ(db.StorageGet(*contract, 0), 80);
+
+  Transaction release;
+  release.kind = TxKind::kContractCall;
+  release.sender = Addr(3);
+  release.recipient = *contract;
+  release.payload = Vm::EncodeArgs({1});
+  ASSERT_TRUE(ContractRegistry::Call(&db, release).ok());
+  EXPECT_EQ(db.BalanceOf(beneficiary), 80u);
+  EXPECT_EQ(db.StorageGet(*contract, 0), 0);
+}
+
+TEST(RegistryTest, CallOnNonContractFails) {
+  StateDB db;
+  Transaction tx;
+  tx.kind = TxKind::kContractCall;
+  tx.sender = Addr(1);
+  tx.recipient = Addr(2);
+  EXPECT_TRUE(ContractRegistry::Call(&db, tx).status().IsNotFound());
+}
+
+TEST(RegistryTest, CallRejectsWrongKind) {
+  StateDB db;
+  Transaction tx;
+  tx.kind = TxKind::kDirectTransfer;
+  EXPECT_TRUE(ContractRegistry::Call(&db, tx).status().IsInvalidArgument());
+}
+
+TEST(RegistryTest, DeployBumpsCreatorNonce) {
+  StateDB db;
+  const Address creator = Addr(1);
+  Result<Address> c1 = ContractRegistry::Deploy(
+      &db, creator, contracts::UnconditionalTransfer(Addr(2)));
+  Result<Address> c2 = ContractRegistry::Deploy(
+      &db, creator, contracts::UnconditionalTransfer(Addr(2)));
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+  EXPECT_EQ(db.NonceOf(creator), 2u);
+}
+
+TEST(ProgramTest, SerializeDeserializeRoundTrip) {
+  ContractProgram program;
+  program.parties = {Addr(1), Addr(2), Addr(3)};
+  program.code = MustAssemble("PUSH 1\nSTOP");
+  Result<ContractProgram> back =
+      ContractProgram::Deserialize(program.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->parties, program.parties);
+  EXPECT_EQ(back->code, program.code);
+}
+
+TEST(ProgramTest, DeserializeRejectsTruncation) {
+  ContractProgram program;
+  program.parties = {Addr(1)};
+  program.code = MustAssemble("STOP");
+  Bytes raw = program.Serialize();
+  raw.resize(raw.size() - 1);
+  EXPECT_TRUE(ContractProgram::Deserialize(raw).status().IsCorruption());
+  EXPECT_TRUE(ContractProgram::Deserialize({0x01}).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace shardchain
