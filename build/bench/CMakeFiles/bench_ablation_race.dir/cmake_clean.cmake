@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_race.dir/bench_ablation_race.cc.o"
+  "CMakeFiles/bench_ablation_race.dir/bench_ablation_race.cc.o.d"
+  "bench_ablation_race"
+  "bench_ablation_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_callgraph.dir/bench_ext_callgraph.cc.o"
+  "CMakeFiles/bench_ext_callgraph.dir/bench_ext_callgraph.cc.o.d"
+  "bench_ext_callgraph"
+  "bench_ext_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1d_safety.dir/bench_fig1d_safety.cc.o"
+  "CMakeFiles/bench_fig1d_safety.dir/bench_fig1d_safety.cc.o.d"
+  "bench_fig1d_safety"
+  "bench_fig1d_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1d_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

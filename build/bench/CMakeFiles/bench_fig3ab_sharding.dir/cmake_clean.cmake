@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3ab_sharding.dir/bench_fig3ab_sharding.cc.o"
+  "CMakeFiles/bench_fig3ab_sharding.dir/bench_fig3ab_sharding.cc.o.d"
+  "bench_fig3ab_sharding"
+  "bench_fig3ab_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3ab_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3cd_merging.dir/bench_fig3cd_merging.cc.o"
+  "CMakeFiles/bench_fig3cd_merging.dir/bench_fig3cd_merging.cc.o.d"
+  "bench_fig3cd_merging"
+  "bench_fig3cd_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3cd_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

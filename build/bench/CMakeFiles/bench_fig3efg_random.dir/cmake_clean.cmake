@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3efg_random.dir/bench_fig3efg_random.cc.o"
+  "CMakeFiles/bench_fig3efg_random.dir/bench_fig3efg_random.cc.o.d"
+  "bench_fig3efg_random"
+  "bench_fig3efg_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3efg_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_chainspace.dir/bench_fig4a_chainspace.cc.o"
+  "CMakeFiles/bench_fig4a_chainspace.dir/bench_fig4a_chainspace.cc.o.d"
+  "bench_fig4a_chainspace"
+  "bench_fig4a_chainspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_chainspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4c_comm_merge.dir/bench_fig4c_comm_merge.cc.o"
+  "CMakeFiles/bench_fig4c_comm_merge.dir/bench_fig4c_comm_merge.cc.o.d"
+  "bench_fig4c_comm_merge"
+  "bench_fig4c_comm_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4c_comm_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

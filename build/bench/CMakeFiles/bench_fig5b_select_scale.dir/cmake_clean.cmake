@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_select_scale.dir/bench_fig5b_select_scale.cc.o"
+  "CMakeFiles/bench_fig5b_select_scale.dir/bench_fig5b_select_scale.cc.o.d"
+  "bench_fig5b_select_scale"
+  "bench_fig5b_select_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_select_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

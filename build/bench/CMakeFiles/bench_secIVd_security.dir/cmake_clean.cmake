@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secIVd_security.dir/bench_secIVd_security.cc.o"
+  "CMakeFiles/bench_secIVd_security.dir/bench_secIVd_security.cc.o.d"
+  "bench_secIVd_security"
+  "bench_secIVd_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVd_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_miners.dir/bench_table1_miners.cc.o"
+  "CMakeFiles/bench_table1_miners.dir/bench_table1_miners.cc.o.d"
+  "bench_table1_miners"
+  "bench_table1_miners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_miners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attack_simulation.dir/attack_simulation.cpp.o"
+  "CMakeFiles/example_attack_simulation.dir/attack_simulation.cpp.o.d"
+  "example_attack_simulation"
+  "example_attack_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_contract_playground.dir/contract_playground.cpp.o"
+  "CMakeFiles/example_contract_playground.dir/contract_playground.cpp.o.d"
+  "example_contract_playground"
+  "example_contract_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_contract_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

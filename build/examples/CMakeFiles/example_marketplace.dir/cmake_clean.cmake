@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_marketplace.dir/marketplace.cpp.o"
+  "CMakeFiles/example_marketplace.dir/marketplace.cpp.o.d"
+  "example_marketplace"
+  "example_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_throughput_study.dir/throughput_study.cpp.o"
+  "CMakeFiles/example_throughput_study.dir/throughput_study.cpp.o.d"
+  "example_throughput_study"
+  "example_throughput_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_throughput_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

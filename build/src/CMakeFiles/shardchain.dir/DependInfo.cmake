@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/security.cc" "src/CMakeFiles/shardchain.dir/analysis/security.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/analysis/security.cc.o.d"
+  "/root/repo/src/analysis/storage.cc" "src/CMakeFiles/shardchain.dir/analysis/storage.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/analysis/storage.cc.o.d"
+  "/root/repo/src/analysis/throughput_model.cc" "src/CMakeFiles/shardchain.dir/analysis/throughput_model.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/analysis/throughput_model.cc.o.d"
+  "/root/repo/src/baseline/chainspace.cc" "src/CMakeFiles/shardchain.dir/baseline/chainspace.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/baseline/chainspace.cc.o.d"
+  "/root/repo/src/baseline/ethereum.cc" "src/CMakeFiles/shardchain.dir/baseline/ethereum.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/baseline/ethereum.cc.o.d"
+  "/root/repo/src/chain/ledger.cc" "src/CMakeFiles/shardchain.dir/chain/ledger.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/chain/ledger.cc.o.d"
+  "/root/repo/src/chain/snapshot.cc" "src/CMakeFiles/shardchain.dir/chain/snapshot.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/chain/snapshot.cc.o.d"
+  "/root/repo/src/common/hex.cc" "src/CMakeFiles/shardchain.dir/common/hex.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/common/hex.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/shardchain.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/shardchain.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/shardchain.dir/common/status.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/common/status.cc.o.d"
+  "/root/repo/src/consensus/difficulty.cc" "src/CMakeFiles/shardchain.dir/consensus/difficulty.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/consensus/difficulty.cc.o.d"
+  "/root/repo/src/consensus/pow.cc" "src/CMakeFiles/shardchain.dir/consensus/pow.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/consensus/pow.cc.o.d"
+  "/root/repo/src/contract/analyzer.cc" "src/CMakeFiles/shardchain.dir/contract/analyzer.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/contract/analyzer.cc.o.d"
+  "/root/repo/src/contract/assembler.cc" "src/CMakeFiles/shardchain.dir/contract/assembler.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/contract/assembler.cc.o.d"
+  "/root/repo/src/contract/callgraph.cc" "src/CMakeFiles/shardchain.dir/contract/callgraph.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/contract/callgraph.cc.o.d"
+  "/root/repo/src/contract/naive_classifier.cc" "src/CMakeFiles/shardchain.dir/contract/naive_classifier.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/contract/naive_classifier.cc.o.d"
+  "/root/repo/src/contract/registry.cc" "src/CMakeFiles/shardchain.dir/contract/registry.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/contract/registry.cc.o.d"
+  "/root/repo/src/contract/vm.cc" "src/CMakeFiles/shardchain.dir/contract/vm.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/contract/vm.cc.o.d"
+  "/root/repo/src/core/beacon.cc" "src/CMakeFiles/shardchain.dir/core/beacon.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/beacon.cc.o.d"
+  "/root/repo/src/core/epoch.cc" "src/CMakeFiles/shardchain.dir/core/epoch.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/epoch.cc.o.d"
+  "/root/repo/src/core/merging_game.cc" "src/CMakeFiles/shardchain.dir/core/merging_game.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/merging_game.cc.o.d"
+  "/root/repo/src/core/miner_assignment.cc" "src/CMakeFiles/shardchain.dir/core/miner_assignment.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/miner_assignment.cc.o.d"
+  "/root/repo/src/core/selection_game.cc" "src/CMakeFiles/shardchain.dir/core/selection_game.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/selection_game.cc.o.d"
+  "/root/repo/src/core/shard_formation.cc" "src/CMakeFiles/shardchain.dir/core/shard_formation.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/shard_formation.cc.o.d"
+  "/root/repo/src/core/sharding_system.cc" "src/CMakeFiles/shardchain.dir/core/sharding_system.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/sharding_system.cc.o.d"
+  "/root/repo/src/core/unification.cc" "src/CMakeFiles/shardchain.dir/core/unification.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/core/unification.cc.o.d"
+  "/root/repo/src/crypto/keys.cc" "src/CMakeFiles/shardchain.dir/crypto/keys.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/crypto/keys.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/CMakeFiles/shardchain.dir/crypto/merkle.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/crypto/merkle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/shardchain.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/vrf.cc" "src/CMakeFiles/shardchain.dir/crypto/vrf.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/crypto/vrf.cc.o.d"
+  "/root/repo/src/net/gossip.cc" "src/CMakeFiles/shardchain.dir/net/gossip.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/net/gossip.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/shardchain.dir/net/network.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/net/network.cc.o.d"
+  "/root/repo/src/sim/arrival.cc" "src/CMakeFiles/shardchain.dir/sim/arrival.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/sim/arrival.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/shardchain.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/mining_sim.cc" "src/CMakeFiles/shardchain.dir/sim/mining_sim.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/sim/mining_sim.cc.o.d"
+  "/root/repo/src/sim/pow_race.cc" "src/CMakeFiles/shardchain.dir/sim/pow_race.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/sim/pow_race.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/CMakeFiles/shardchain.dir/sim/workload.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/sim/workload.cc.o.d"
+  "/root/repo/src/state/statedb.cc" "src/CMakeFiles/shardchain.dir/state/statedb.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/state/statedb.cc.o.d"
+  "/root/repo/src/state/trie.cc" "src/CMakeFiles/shardchain.dir/state/trie.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/state/trie.cc.o.d"
+  "/root/repo/src/txpool/txpool.cc" "src/CMakeFiles/shardchain.dir/txpool/txpool.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/txpool/txpool.cc.o.d"
+  "/root/repo/src/types/block.cc" "src/CMakeFiles/shardchain.dir/types/block.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/types/block.cc.o.d"
+  "/root/repo/src/types/codec.cc" "src/CMakeFiles/shardchain.dir/types/codec.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/types/codec.cc.o.d"
+  "/root/repo/src/types/transaction.cc" "src/CMakeFiles/shardchain.dir/types/transaction.cc.o" "gcc" "src/CMakeFiles/shardchain.dir/types/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assignment_unification_test.cc" "tests/CMakeFiles/shardchain_tests.dir/assignment_unification_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/assignment_unification_test.cc.o.d"
+  "/root/repo/tests/beacon_test.cc" "tests/CMakeFiles/shardchain_tests.dir/beacon_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/beacon_test.cc.o.d"
+  "/root/repo/tests/callgraph_test.cc" "tests/CMakeFiles/shardchain_tests.dir/callgraph_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/callgraph_test.cc.o.d"
+  "/root/repo/tests/codec_epoch_test.cc" "tests/CMakeFiles/shardchain_tests.dir/codec_epoch_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/codec_epoch_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/shardchain_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/shardchain_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/shardchain_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/gossip_test.cc" "tests/CMakeFiles/shardchain_tests.dir/gossip_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/gossip_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/shardchain_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ledger_test.cc" "tests/CMakeFiles/shardchain_tests.dir/ledger_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/ledger_test.cc.o.d"
+  "/root/repo/tests/merging_game_test.cc" "tests/CMakeFiles/shardchain_tests.dir/merging_game_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/merging_game_test.cc.o.d"
+  "/root/repo/tests/mining_sim_test.cc" "tests/CMakeFiles/shardchain_tests.dir/mining_sim_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/mining_sim_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/shardchain_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/shardchain_tests.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/security_test.cc.o.d"
+  "/root/repo/tests/selection_game_test.cc" "tests/CMakeFiles/shardchain_tests.dir/selection_game_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/selection_game_test.cc.o.d"
+  "/root/repo/tests/sharding_system_test.cc" "tests/CMakeFiles/shardchain_tests.dir/sharding_system_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/sharding_system_test.cc.o.d"
+  "/root/repo/tests/sim_net_test.cc" "tests/CMakeFiles/shardchain_tests.dir/sim_net_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/sim_net_test.cc.o.d"
+  "/root/repo/tests/snapshot_naive_test.cc" "tests/CMakeFiles/shardchain_tests.dir/snapshot_naive_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/snapshot_naive_test.cc.o.d"
+  "/root/repo/tests/throughput_model_test.cc" "tests/CMakeFiles/shardchain_tests.dir/throughput_model_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/throughput_model_test.cc.o.d"
+  "/root/repo/tests/trie_test.cc" "tests/CMakeFiles/shardchain_tests.dir/trie_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/trie_test.cc.o.d"
+  "/root/repo/tests/types_state_test.cc" "tests/CMakeFiles/shardchain_tests.dir/types_state_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/types_state_test.cc.o.d"
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/shardchain_tests.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/shardchain_tests.dir/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shardchain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
