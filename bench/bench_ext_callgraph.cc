@@ -63,7 +63,7 @@ int main() {
           for (int rep = 0; rep < 50; ++rep) {
             for (const Transaction& tx : probes) {
               Address contract;
-              sink += graph.IsShardable(tx, &contract) ? 1 : 0;
+              sink = sink + (graph.IsShardable(tx, &contract) ? 1 : 0);
             }
           }
         },
@@ -74,7 +74,7 @@ int main() {
         [&] {
           for (const Transaction& tx : probes) {
             Address contract;
-            sink += naive.IsShardable(tx, &contract) ? 1 : 0;
+            sink = sink + (naive.IsShardable(tx, &contract) ? 1 : 0);
           }
         },
         probes.size());

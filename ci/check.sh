@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full build/test matrix a change must pass before
+# merging.
+#
+#   1. Release build with -Werror, full ctest (includes the detlint
+#      static scan of the consensus-critical directories).
+#   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
+#      full ctest (exercises the determinism harness under sanitizers).
+#
+# Usage: ci/check.sh [build-dir-prefix]   (default: build-ci)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_matrix_leg() {
+  local dir="$1"; shift
+  echo "==== configure $dir ($*) ===="
+  cmake -B "$dir" -S . "$@"
+  echo "==== build $dir ===="
+  cmake --build "$dir" -j "$jobs"
+  echo "==== test $dir ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_matrix_leg "$prefix-release" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSHARDCHAIN_WERROR=ON
+
+run_matrix_leg "$prefix-asan" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  "-DSHARDCHAIN_SANITIZE=address;undefined"
+
+# Standalone determinism lint run with the machine-readable report, so
+# CI artifacts include the findings even on success.
+echo "==== detlint report ===="
+"$prefix-release/tools/detlint" --root . \
+  --report "$prefix-release/detlint_report.json" \
+  src/core src/consensus src/crypto src/types src/contract
+echo "report: $prefix-release/detlint_report.json"
+
+echo "All checks passed."

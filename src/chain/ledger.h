@@ -103,6 +103,9 @@ class Ledger {
   ChainConfig config_;
   Hash256 genesis_hash_;
   Hash256 tip_hash_;
+  /// Keyed lookups and parent-hash walks only — the block tree is
+  /// never iterated in bucket order, so fork choice stays a pure
+  /// function of Append order (determinism audit, see tools/detlint).
   std::unordered_map<Hash256, Node> nodes_;
 };
 

@@ -1,5 +1,7 @@
 #include "contract/callgraph.h"
 
+#include <algorithm>
+
 namespace shardchain {
 
 const char* SenderClassName(SenderClass c) {
@@ -20,8 +22,9 @@ void CallGraph::Record(const Transaction& tx) {
   UserInfo& info = users_[tx.sender];
   switch (tx.kind) {
     case TxKind::kContractCall:
-      if (info.contracts.insert(tx.recipient).second) {
-        info.contract_order.push_back(tx.recipient);
+      if (std::find(info.contracts.begin(), info.contracts.end(),
+                    tx.recipient) == info.contracts.end()) {
+        info.contracts.push_back(tx.recipient);
       }
       break;
     case TxKind::kDirectTransfer:
@@ -50,7 +53,7 @@ std::optional<Address> CallGraph::SingleContractOf(
   if (it == users_.end()) return std::nullopt;
   const UserInfo& info = it->second;
   if (info.has_direct || info.contracts.size() != 1) return std::nullopt;
-  return info.contract_order.front();
+  return info.contracts.front();
 }
 
 SenderClass CallGraph::ClassifyWith(const Address& sender,
@@ -91,7 +94,7 @@ bool CallGraph::IsShardable(const Transaction& tx, Address* contract) const {
 std::vector<Address> CallGraph::ContractsOf(const Address& sender) const {
   auto it = users_.find(sender);
   if (it == users_.end()) return {};
-  return it->second.contract_order;
+  return it->second.contracts;
 }
 
 }  // namespace shardchain

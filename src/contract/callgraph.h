@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "types/address.h"
@@ -63,11 +62,18 @@ class CallGraph {
 
  private:
   struct UserInfo {
-    std::unordered_set<Address> contracts;
-    std::vector<Address> contract_order;  // Insertion order for reporting.
+    /// Distinct contracts in insertion order. A sender touches a
+    /// handful of contracts at most (two already makes her
+    /// non-shardable), so a scanned vector beats a hash set AND keeps
+    /// every traversal deterministic — classification feeds
+    /// consensus-visible routing (Sec. III-A/III-C).
+    std::vector<Address> contracts;
     bool has_direct = false;
   };
 
+  /// Keyed lookups only; never iterated, so the unordered map cannot
+  /// leak its ordering into consensus-visible output.
+  /// detlint:allow(unordered-container): lookup-only, never iterated
   std::unordered_map<Address, UserInfo> users_;
 };
 

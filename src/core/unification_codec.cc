@@ -1,0 +1,208 @@
+#include "core/unification_codec.h"
+
+#include <bit>
+#include <cstdint>
+
+#include "common/hex.h"
+
+namespace shardchain {
+namespace codec {
+
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern (big-endian u64): exact,
+// locale-free, and byte-stable across every conforming platform.
+void AppendDouble(Bytes* out, double v) {
+  AppendUint64(out, std::bit_cast<uint64_t>(v));
+}
+
+Result<double> ReadDouble(Reader* r) {
+  uint64_t bits = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(bits, r->ReadU64());
+  return std::bit_cast<double>(bits);
+}
+
+// A count prefix that must be plausible against the remaining buffer
+// (each element needs at least `min_elem_bytes`), so corrupt input
+// cannot drive a huge reserve.
+Result<size_t> ReadCount(Reader* r, size_t min_elem_bytes) {
+  uint64_t count = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(count, r->ReadU64());
+  if (count > r->remaining() / min_elem_bytes) {
+    return Status::Corruption("count exceeds buffer");
+  }
+  return static_cast<size_t>(count);
+}
+
+void AppendIndexVector(Bytes* out, const std::vector<size_t>& v) {
+  AppendUint64(out, v.size());
+  for (size_t x : v) AppendUint64(out, x);
+}
+
+Result<std::vector<size_t>> ReadIndexVector(Reader* r) {
+  std::vector<size_t> out;
+  size_t count = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(count, ReadCount(r, 8));
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t x = 0;
+    SHARDCHAIN_ASSIGN_OR_RETURN(x, r->ReadU64());
+    out.push_back(static_cast<size_t>(x));
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes EncodeUnifiedParameters(const UnifiedParameters& params) {
+  Bytes out;
+  out.insert(out.end(), params.randomness.bytes.begin(),
+             params.randomness.bytes.end());
+  AppendUint64(&out, params.shard_sizes.size());
+  for (uint64_t s : params.shard_sizes) AppendUint64(&out, s);
+  AppendUint64(&out, params.tx_fees.size());
+  for (Amount f : params.tx_fees) AppendUint64(&out, f);
+  AppendUint64(&out, params.num_miners);
+
+  const MergingGameConfig& m = params.merge_config;
+  AppendUint64(&out, m.min_shard_size);
+  AppendDouble(&out, m.shard_reward);
+  AppendDouble(&out, m.merge_cost);
+  AppendDouble(&out, m.eta);
+  AppendUint64(&out, m.subslots);
+  AppendDouble(&out, m.tolerance);
+  AppendUint64(&out, m.max_slots);
+  AppendDouble(&out, m.initial_prob);
+  AppendUint64(&out, m.final_draw_retries);
+  out.push_back(m.prefer_minimal_coalition ? 1 : 0);
+  AppendDouble(&out, m.prob_floor);
+
+  const SelectionGameConfig& s = params.select_config;
+  AppendUint64(&out, s.capacity);
+  AppendUint64(&out, s.max_sweeps);
+  return out;
+}
+
+Result<UnifiedParameters> DecodeUnifiedParameters(const Bytes& data) {
+  Reader r(data);
+  UnifiedParameters params;
+  SHARDCHAIN_ASSIGN_OR_RETURN(params.randomness, r.ReadHash());
+  size_t shards = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(shards, ReadCount(&r, 8));
+  params.shard_sizes.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    uint64_t s = 0;
+    SHARDCHAIN_ASSIGN_OR_RETURN(s, r.ReadU64());
+    params.shard_sizes.push_back(s);
+  }
+  size_t fees = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(fees, ReadCount(&r, 8));
+  params.tx_fees.reserve(fees);
+  for (size_t i = 0; i < fees; ++i) {
+    uint64_t f = 0;
+    SHARDCHAIN_ASSIGN_OR_RETURN(f, r.ReadU64());
+    params.tx_fees.push_back(f);
+  }
+  uint64_t miners = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(miners, r.ReadU64());
+  params.num_miners = static_cast<size_t>(miners);
+
+  MergingGameConfig& m = params.merge_config;
+  SHARDCHAIN_ASSIGN_OR_RETURN(m.min_shard_size, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(m.shard_reward, ReadDouble(&r));
+  SHARDCHAIN_ASSIGN_OR_RETURN(m.merge_cost, ReadDouble(&r));
+  SHARDCHAIN_ASSIGN_OR_RETURN(m.eta, ReadDouble(&r));
+  uint64_t subslots = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(subslots, r.ReadU64());
+  m.subslots = static_cast<size_t>(subslots);
+  SHARDCHAIN_ASSIGN_OR_RETURN(m.tolerance, ReadDouble(&r));
+  uint64_t max_slots = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(max_slots, r.ReadU64());
+  m.max_slots = static_cast<size_t>(max_slots);
+  SHARDCHAIN_ASSIGN_OR_RETURN(m.initial_prob, ReadDouble(&r));
+  uint64_t retries = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(retries, r.ReadU64());
+  m.final_draw_retries = static_cast<size_t>(retries);
+  uint8_t prefer = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(prefer, r.ReadByte());
+  if (prefer > 1) return Status::Corruption("bad bool byte");
+  m.prefer_minimal_coalition = prefer == 1;
+  SHARDCHAIN_ASSIGN_OR_RETURN(m.prob_floor, ReadDouble(&r));
+
+  SelectionGameConfig& s = params.select_config;
+  uint64_t capacity = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(capacity, r.ReadU64());
+  s.capacity = static_cast<size_t>(capacity);
+  uint64_t sweeps = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(sweeps, r.ReadU64());
+  s.max_sweeps = static_cast<size_t>(sweeps);
+
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after params");
+  return params;
+}
+
+Bytes EncodeSelectionPlan(const SelectionResult& plan) {
+  Bytes out;
+  AppendUint64(&out, plan.assignment.size());
+  for (const std::vector<size_t>& set : plan.assignment) {
+    AppendIndexVector(&out, set);
+  }
+  AppendUint64(&out, plan.improvement_moves);
+  out.push_back(plan.converged ? 1 : 0);
+  return out;
+}
+
+Result<SelectionResult> DecodeSelectionPlan(const Bytes& data) {
+  Reader r(data);
+  SelectionResult plan;
+  size_t miners = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(miners, ReadCount(&r, 8));
+  plan.assignment.reserve(miners);
+  for (size_t i = 0; i < miners; ++i) {
+    std::vector<size_t> set;
+    SHARDCHAIN_ASSIGN_OR_RETURN(set, ReadIndexVector(&r));
+    plan.assignment.push_back(std::move(set));
+  }
+  uint64_t moves = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(moves, r.ReadU64());
+  plan.improvement_moves = static_cast<size_t>(moves);
+  uint8_t converged = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(converged, r.ReadByte());
+  if (converged > 1) return Status::Corruption("bad bool byte");
+  plan.converged = converged == 1;
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after plan");
+  return plan;
+}
+
+Bytes EncodeMergePlan(const IterativeMergeResult& plan) {
+  Bytes out;
+  AppendUint64(&out, plan.new_shards.size());
+  for (const std::vector<size_t>& group : plan.new_shards) {
+    AppendIndexVector(&out, group);
+  }
+  AppendIndexVector(&out, plan.leftover);
+  AppendUint64(&out, plan.total_slots);
+  return out;
+}
+
+Result<IterativeMergeResult> DecodeMergePlan(const Bytes& data) {
+  Reader r(data);
+  IterativeMergeResult plan;
+  size_t groups = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(groups, ReadCount(&r, 8));
+  plan.new_shards.reserve(groups);
+  for (size_t i = 0; i < groups; ++i) {
+    std::vector<size_t> group;
+    SHARDCHAIN_ASSIGN_OR_RETURN(group, ReadIndexVector(&r));
+    plan.new_shards.push_back(std::move(group));
+  }
+  SHARDCHAIN_ASSIGN_OR_RETURN(plan.leftover, ReadIndexVector(&r));
+  uint64_t slots = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(slots, r.ReadU64());
+  plan.total_slots = static_cast<size_t>(slots);
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after plan");
+  return plan;
+}
+
+}  // namespace codec
+}  // namespace shardchain

@@ -1,0 +1,44 @@
+#ifndef SHARDCHAIN_CORE_UNIFICATION_CODEC_H_
+#define SHARDCHAIN_CORE_UNIFICATION_CODEC_H_
+
+#include "common/result.h"
+#include "core/merging_game.h"
+#include "core/selection_game.h"
+#include "core/unification.h"
+#include "types/codec.h"
+
+namespace shardchain {
+namespace codec {
+
+/// \brief Canonical wire encodings for the Sec. IV-C unification
+/// messages: the leader's broadcast of unified parameters, and the
+/// locally computed merge/selection plans every miner derives from it.
+///
+/// These encodings are the *byte-equality oracle* of the determinism
+/// audit: two honest miners fed the same UnifiedParameters must produce
+/// plans whose encodings are identical byte-for-byte (see
+/// tests/determinism_harness_test.cc). Every field is written in a
+/// fixed order with fixed-width big-endian integers; doubles travel as
+/// their IEEE-754 bit pattern, so the encoding is exact — no text
+/// round-off, no locale.
+
+/// The leader's parameter broadcast (randomness, shards set,
+/// transactions set, miners set cardinality, game configs).
+Bytes EncodeUnifiedParameters(const UnifiedParameters& params);
+Result<UnifiedParameters> DecodeUnifiedParameters(const Bytes& data);
+
+/// A miner's transaction-assignment message: the consensus-visible
+/// output of Algorithm 2 under unification. Includes the per-miner
+/// index sets plus convergence metadata.
+Bytes EncodeSelectionPlan(const SelectionResult& plan);
+Result<SelectionResult> DecodeSelectionPlan(const Bytes& data);
+
+/// The merge plan: the consensus-visible output of Algorithms 1/3
+/// under unification (new-shard groups, leftover shards, slot count).
+Bytes EncodeMergePlan(const IterativeMergeResult& plan);
+Result<IterativeMergeResult> DecodeMergePlan(const Bytes& data);
+
+}  // namespace codec
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CORE_UNIFICATION_CODEC_H_

@@ -91,7 +91,12 @@ class GossipNetwork {
 
   GossipConfig config_;
   Rng rng_;
+  /// Neighbour lists are kept sorted: forwarding fans out in NodeId
+  /// order, so a flood's delivery schedule is a pure function of the
+  /// topology and seed (determinism audit, see tools/detlint).
   std::vector<std::vector<NodeId>> adjacency_;
+  /// Lookup-only tables — never iterated, so their unordered layout
+  /// cannot influence delivery order.
   std::unordered_map<uint64_t, double> link_latency_;  // key = from<<32|to.
   std::unordered_map<Hash256, std::unordered_set<NodeId>> seen_;
   Handler handler_;

@@ -40,12 +40,11 @@ std::vector<NodeId> Network::Members(ShardId shard) const {
   for (const auto& [node, s] : shard_of_) {
     if (s == shard) out.push_back(node);
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return out;  // Already ascending: shard_of_ is ordered by NodeId.
 }
 
 void Network::Account(NodeId from, NodeId to, MsgKind kind) {
-  const uint8_t k = static_cast<uint8_t>(kind);
+  const size_t k = static_cast<size_t>(kind);
   ++total_[k];
   if (ShardOf(from) != ShardOf(to)) ++cross_shard_[k];
 }
@@ -67,13 +66,11 @@ void Network::MulticastShard(NodeId from, ShardId shard, MsgKind kind) {
 }
 
 uint64_t Network::Count(MsgKind kind) const {
-  auto it = total_.find(static_cast<uint8_t>(kind));
-  return it == total_.end() ? 0 : it->second;
+  return total_[static_cast<size_t>(kind)];
 }
 
 uint64_t Network::CrossShardCount(MsgKind kind) const {
-  auto it = cross_shard_.find(static_cast<uint8_t>(kind));
-  return it == cross_shard_.end() ? 0 : it->second;
+  return cross_shard_[static_cast<size_t>(kind)];
 }
 
 uint64_t Network::CoordinationMessages() const {
@@ -94,8 +91,8 @@ double Network::CommunicationTimesPerShard(size_t shard_count) const {
 }
 
 void Network::ResetCounters() {
-  total_.clear();
-  cross_shard_.clear();
+  total_.fill(0);
+  cross_shard_.fill(0);
 }
 
 }  // namespace shardchain

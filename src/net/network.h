@@ -1,10 +1,11 @@
 #ifndef SHARDCHAIN_NET_NETWORK_H_
 #define SHARDCHAIN_NET_NETWORK_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +29,9 @@ enum class MsgKind : uint8_t {
   kLeaderBroadcast = 5,     ///< Leader's randomness/parameter broadcast.
   kGameGossip = 6,          ///< Per-iteration exchanges in Alg. 2/3.
 };
+
+/// Number of MsgKind values (counters are arrays indexed by kind).
+inline constexpr size_t kMsgKindCount = 7;
 
 const char* MsgKindName(MsgKind kind);
 
@@ -81,9 +85,12 @@ class Network {
  private:
   void Account(NodeId from, NodeId to, MsgKind kind);
 
-  std::unordered_map<NodeId, ShardId> shard_of_;
-  std::unordered_map<uint8_t, uint64_t> total_;
-  std::unordered_map<uint8_t, uint64_t> cross_shard_;
+  /// Ordered by NodeId so Broadcast/MulticastShard walk the membership
+  /// in one fixed order on every miner — delivery and accounting order
+  /// must not depend on hash-bucket layout (Sec. IV-C determinism).
+  std::map<NodeId, ShardId> shard_of_;
+  std::array<uint64_t, kMsgKindCount> total_{};
+  std::array<uint64_t, kMsgKindCount> cross_shard_{};
 };
 
 }  // namespace shardchain

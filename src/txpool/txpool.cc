@@ -7,17 +7,21 @@ Status TxPool::Add(const Transaction& tx) {
   if (by_id_.count(id) > 0) {
     return Status::AlreadyExists("transaction already pooled");
   }
+  const FeeKey key{tx.fee, id};
   if (by_id_.size() >= capacity_) {
-    // The cheapest entry is the last in fee order.
+    // The cheapest entry is the last in fee order. Compare full FeeKeys,
+    // not bare fees: deciding fee ties by arrival order would make the
+    // retained set depend on gossip timing, and a full pool would then
+    // feed different tx_fees into the unified parameters on different
+    // miners (see tests/determinism_harness_test.cc).
     auto worst = std::prev(by_fee_.end());
-    if (worst->first.fee >= tx.fee) {
+    if (!(key < worst->first)) {
       return Status::FailedPrecondition(
-          "pool full of transactions with higher fees");
+          "pool full of transactions ranked higher");
     }
     by_id_.erase(worst->first.id);
     by_fee_.erase(worst);
   }
-  const FeeKey key{tx.fee, id};
   by_fee_.emplace(key, tx);
   by_id_.emplace(id, key);
   return Status::OK();

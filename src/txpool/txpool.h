@@ -25,7 +25,9 @@ class TxPool {
   explicit TxPool(size_t capacity = 1 << 20) : capacity_(capacity) {}
 
   /// Adds a transaction. Fails with AlreadyExists on duplicate id, or
-  /// FailedPrecondition if the pool is full of strictly pricier txs.
+  /// FailedPrecondition if the pool is full of higher-ranked txs (fee
+  /// desc, id asc — the same total order emission uses, so the
+  /// retained set is independent of arrival order).
   Status Add(const Transaction& tx);
 
   /// Removes a transaction by id; returns NotFound if absent.
@@ -59,6 +61,9 @@ class TxPool {
   };
 
   size_t capacity_;
+  /// All emission (TopByFee/All) walks by_fee_, whose FeeKey order is a
+  /// deterministic total order; by_id_ is a lookup-only index and is
+  /// never iterated (determinism audit, see tools/detlint).
   std::map<FeeKey, Transaction> by_fee_;
   std::unordered_map<Hash256, FeeKey> by_id_;
 };

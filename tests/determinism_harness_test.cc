@@ -1,0 +1,181 @@
+// Runtime determinism harness (the dynamic half of the determinism
+// audit; the static half is tools/detlint). Two independent "miners"
+// run the full unification pipeline — shard formation over the
+// confirmed history, pool assembly, then Algorithms 1-3 from the
+// leader-broadcast unified inputs — with everything that is genuinely
+// order-free shuffled differently on each side: pool insertion order,
+// duplicate submissions, interleaved evictions. Sec. IV-C only works
+// if the consensus-visible outputs are nevertheless *byte-identical*,
+// so the assertions compare the codec encodings, not just the structs.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/shard_formation.h"
+#include "core/unification_codec.h"
+#include "txpool/txpool.h"
+
+namespace shardchain {
+namespace {
+
+Address Addr(uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+// A mixed confirmed history: single-contract callers (shardable),
+// multi-contract callers and direct transfers (MaxShard). Routed in
+// this fixed order by every miner — the history order IS consensus
+// state, so the harness never shuffles it.
+std::vector<Transaction> ConfirmedHistory() {
+  std::vector<Transaction> txs;
+  for (uint8_t user = 1; user <= 30; ++user) {
+    Transaction tx;
+    tx.sender = Addr(user);
+    tx.kind = TxKind::kContractCall;
+    tx.recipient = Addr(static_cast<uint8_t>(0xC0 + user % 5));
+    tx.fee = 10 + user;
+    tx.nonce = user;
+    txs.push_back(tx);
+  }
+  // A few direct transfers and one multi-contract sender.
+  for (uint8_t user = 1; user <= 4; ++user) {
+    Transaction tx;
+    tx.sender = Addr(static_cast<uint8_t>(0x40 + user));
+    tx.kind = TxKind::kDirectTransfer;
+    tx.recipient = Addr(static_cast<uint8_t>(0x50 + user));
+    tx.value = 100;
+    tx.fee = 5;
+    tx.nonce = user;
+    txs.push_back(tx);
+  }
+  Transaction hopper;
+  hopper.sender = Addr(2);  // Already called contract 0xC2 above.
+  hopper.kind = TxKind::kContractCall;
+  hopper.recipient = Addr(0xC4);
+  hopper.fee = 99;
+  hopper.nonce = 77;
+  txs.push_back(hopper);
+  return txs;
+}
+
+// The unconfirmed transactions whose *arrival order at a given miner*
+// is arbitrary — exactly the nondeterminism the pool must absorb.
+std::vector<Transaction> PendingTransactions() {
+  std::vector<Transaction> txs;
+  for (uint8_t i = 1; i <= 40; ++i) {
+    Transaction tx;
+    tx.sender = Addr(static_cast<uint8_t>(0x80 + i));
+    tx.kind = TxKind::kContractCall;
+    tx.recipient = Addr(static_cast<uint8_t>(0xC0 + i % 5));
+    tx.fee = 3 * (i % 11) + 7;  // Plenty of fee ties to stress the order.
+    tx.nonce = i;
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+/// One miner's full local pipeline run. `shuffle_seed` perturbs only
+/// what a real network would perturb: gossip arrival order and
+/// redundant deliveries.
+struct PipelineRun {
+  Bytes params_wire;
+  Bytes merge_wire;
+  Bytes select_wire;
+};
+
+PipelineRun RunPipeline(uint64_t shuffle_seed) {
+  Rng rng(shuffle_seed);
+
+  // Confirmed history replays in consensus order on every miner.
+  ShardFormation formation;
+  for (const Transaction& tx : ConfirmedHistory()) formation.Route(tx);
+
+  // Pool fills in whatever order gossip happened to deliver, including
+  // duplicate deliveries (ignored) sprinkled throughout.
+  std::vector<Transaction> pending = PendingTransactions();
+  rng.Shuffle(&pending);
+  TxPool pool;
+  for (const Transaction& tx : pending) {
+    EXPECT_TRUE(pool.Add(tx).ok());
+    if (rng.UniformDouble() < 0.3) {
+      EXPECT_TRUE(pool.Add(tx).IsAlreadyExists());  // Redundant delivery.
+    }
+  }
+
+  // The leader's unified broadcast, assembled from local state.
+  UnifiedParameters params;
+  params.randomness = Sha256Digest("determinism-harness-epoch");
+  params.shard_sizes = formation.ShardSizes();
+  for (const Transaction& tx : pool.All()) params.tx_fees.push_back(tx.fee);
+  params.num_miners = 6;
+  params.merge_config.min_shard_size = 12;
+  params.merge_config.subslots = 16;
+  params.merge_config.max_slots = 120;
+  params.select_config.capacity = 4;
+
+  PipelineRun run;
+  run.params_wire = codec::EncodeUnifiedParameters(params);
+  run.merge_wire = codec::EncodeMergePlan(ComputeMergePlan(params));
+  run.select_wire = codec::EncodeSelectionPlan(ComputeSelectionPlan(params));
+  return run;
+}
+
+TEST(DeterminismHarnessTest, ShuffledArrivalOrdersYieldIdenticalBytes) {
+  const PipelineRun a = RunPipeline(0xA11CE);
+  const PipelineRun b = RunPipeline(0xB0B);
+  EXPECT_EQ(a.params_wire, b.params_wire);
+  EXPECT_EQ(a.merge_wire, b.merge_wire);
+  EXPECT_EQ(a.select_wire, b.select_wire);
+}
+
+TEST(DeterminismHarnessTest, ManyIndependentMinersAgree) {
+  const PipelineRun reference = RunPipeline(1);
+  for (uint64_t seed = 2; seed <= 8; ++seed) {
+    const PipelineRun run = RunPipeline(seed);
+    EXPECT_EQ(run.params_wire, reference.params_wire) << "seed=" << seed;
+    EXPECT_EQ(run.merge_wire, reference.merge_wire) << "seed=" << seed;
+    EXPECT_EQ(run.select_wire, reference.select_wire) << "seed=" << seed;
+  }
+}
+
+TEST(DeterminismHarnessTest, DecodedBroadcastReplaysToIdenticalPlans) {
+  // A receiving miner decodes the leader's broadcast off the wire and
+  // must replay Algorithms 1-3 to the very bytes the leader computed.
+  const PipelineRun leader = RunPipeline(0x5EED);
+  Result<UnifiedParameters> received =
+      codec::DecodeUnifiedParameters(leader.params_wire);
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(codec::EncodeMergePlan(ComputeMergePlan(*received)),
+            leader.merge_wire);
+  EXPECT_EQ(codec::EncodeSelectionPlan(ComputeSelectionPlan(*received)),
+            leader.select_wire);
+}
+
+TEST(DeterminismHarnessTest, PoolEmissionIsArrivalOrderFree) {
+  // The narrow invariant under the harness: TxPool::All() is a
+  // canonical total order (fee desc, id asc) no matter how the pool
+  // was filled — including after evicting under capacity pressure.
+  std::vector<Transaction> pending = PendingTransactions();
+
+  TxPool forward(32);
+  for (const Transaction& tx : pending) (void)forward.Add(tx);
+
+  std::reverse(pending.begin(), pending.end());
+  TxPool backward(32);
+  for (const Transaction& tx : pending) (void)backward.Add(tx);
+
+  const std::vector<Transaction> a = forward.All();
+  const std::vector<Transaction> b = backward.All();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Id(), b[i].Id()) << "position " << i;
+  }
+}
+
+}  // namespace
+}  // namespace shardchain

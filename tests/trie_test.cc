@@ -13,6 +13,15 @@ namespace {
 
 Bytes B(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
+// Builds "<prefix><n>" without std::string::operator+, which GCC 12
+// misanalyzes when fully inlined at -O3 (spurious -Wrestrict /
+// -Wstringop-overread, gcc PR 105651) — keeps -Werror builds clean.
+Bytes Key(const char* prefix, uint64_t n) {
+  std::string s(prefix);
+  s += std::to_string(n);
+  return B(s);
+}
+
 TEST(TrieTest, EmptyTrie) {
   MerklePatriciaTrie trie;
   EXPECT_TRUE(trie.Empty());
@@ -64,8 +73,8 @@ TEST(TrieTest, DivergentKeys) {
 TEST(TrieTest, RootIsOrderIndependent) {
   std::vector<std::pair<Bytes, Bytes>> kvs;
   for (int i = 0; i < 40; ++i) {
-    kvs.emplace_back(B("key-" + std::to_string(i)),
-                     B("val-" + std::to_string(i * 7)));
+    kvs.emplace_back(Key("key-", i),
+                     Key("val-", i * 7));
   }
   MerklePatriciaTrie a;
   for (const auto& [k, v] : kvs) a.Put(k, v);
@@ -149,10 +158,10 @@ TEST_P(TrieFuzzTest, MatchesStdMapUnderRandomOps) {
   std::map<Bytes, Bytes> model;
   for (int op = 0; op < 600; ++op) {
     const uint64_t key_id = rng.UniformInt(64);
-    const Bytes key = B("key-" + std::to_string(key_id));
+    const Bytes key = Key("key-", key_id);
     const uint32_t action = static_cast<uint32_t>(rng.UniformInt(3));
     if (action == 0) {  // Put.
-      const Bytes value = B("v" + std::to_string(rng.UniformInt(1000)));
+      const Bytes value = Key("v", rng.UniformInt(1000));
       trie.Put(key, value);
       model[key] = value;
     } else if (action == 1) {  // Delete.
@@ -185,9 +194,9 @@ TEST_P(TrieFuzzTest, RootHashMatchesRebuild) {
   MerklePatriciaTrie trie;
   std::map<Bytes, Bytes> model;
   for (int op = 0; op < 300; ++op) {
-    const Bytes key = B("k" + std::to_string(rng.UniformInt(48)));
+    const Bytes key = Key("k", rng.UniformInt(48));
     if (rng.Bernoulli(0.7)) {
-      const Bytes value = B("v" + std::to_string(rng.UniformInt(100)));
+      const Bytes value = Key("v", rng.UniformInt(100));
       trie.Put(key, value);
       model[key] = value;
     } else {
@@ -208,16 +217,16 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TrieFuzzTest,
 TEST(TrieProofTest, ProvesPresentKeys) {
   MerklePatriciaTrie trie;
   for (int i = 0; i < 30; ++i) {
-    trie.Put(B("acct-" + std::to_string(i)), B("bal-" + std::to_string(i)));
+    trie.Put(Key("acct-", i), Key("bal-", i));
   }
   const Hash256 root = trie.RootHash();
   for (int i = 0; i < 30; ++i) {
-    const Bytes key = B("acct-" + std::to_string(i));
+    const Bytes key = Key("acct-", i);
     const auto proof = trie.Prove(key);
     auto verified = MerklePatriciaTrie::VerifyProof(root, key, proof);
     ASSERT_TRUE(verified.ok()) << verified.status().ToString();
     ASSERT_TRUE(verified->has_value());
-    EXPECT_EQ(**verified, B("bal-" + std::to_string(i)));
+    EXPECT_EQ(**verified, Key("bal-", i));
   }
 }
 

@@ -1,0 +1,166 @@
+// Round-trip coverage for the Sec. IV-C unification messages: the
+// unified-input broadcast and the merge/selection plans. These
+// encodings are the byte-equality oracle the determinism harness
+// relies on, so encode→decode→encode must be the identity on bytes.
+
+#include <gtest/gtest.h>
+
+#include "core/unification_codec.h"
+
+namespace shardchain {
+namespace {
+
+UnifiedParameters SampleParams() {
+  UnifiedParameters params;
+  params.randomness = Sha256Digest("codec-epoch");
+  params.shard_sizes = {8, 9, 7, 0, 19, 5};
+  params.tx_fees = {10, 40, 20, 90, 60, 30, 70, 50};
+  params.num_miners = 5;
+  params.merge_config.min_shard_size = 21;
+  params.merge_config.shard_reward = 101.5;
+  params.merge_config.merge_cost = 19.25;
+  params.merge_config.eta = 0.0625;
+  params.merge_config.subslots = 48;
+  params.merge_config.tolerance = 1e-4;
+  params.merge_config.max_slots = 321;
+  params.merge_config.initial_prob = 0.375;
+  params.merge_config.final_draw_retries = 17;
+  params.merge_config.prefer_minimal_coalition = true;
+  params.merge_config.prob_floor = 0.0009765625;
+  params.select_config.capacity = 4;
+  params.select_config.max_sweeps = 123;
+  return params;
+}
+
+TEST(UnificationCodecTest, ParametersRoundTrip) {
+  const UnifiedParameters params = SampleParams();
+  const Bytes wire = codec::EncodeUnifiedParameters(params);
+  Result<UnifiedParameters> decoded = codec::DecodeUnifiedParameters(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  EXPECT_EQ(decoded->randomness, params.randomness);
+  EXPECT_EQ(decoded->shard_sizes, params.shard_sizes);
+  EXPECT_EQ(decoded->tx_fees, params.tx_fees);
+  EXPECT_EQ(decoded->num_miners, params.num_miners);
+  EXPECT_EQ(decoded->merge_config.min_shard_size,
+            params.merge_config.min_shard_size);
+  EXPECT_EQ(decoded->merge_config.shard_reward,
+            params.merge_config.shard_reward);
+  EXPECT_EQ(decoded->merge_config.merge_cost, params.merge_config.merge_cost);
+  EXPECT_EQ(decoded->merge_config.eta, params.merge_config.eta);
+  EXPECT_EQ(decoded->merge_config.subslots, params.merge_config.subslots);
+  EXPECT_EQ(decoded->merge_config.tolerance, params.merge_config.tolerance);
+  EXPECT_EQ(decoded->merge_config.max_slots, params.merge_config.max_slots);
+  EXPECT_EQ(decoded->merge_config.initial_prob,
+            params.merge_config.initial_prob);
+  EXPECT_EQ(decoded->merge_config.final_draw_retries,
+            params.merge_config.final_draw_retries);
+  EXPECT_EQ(decoded->merge_config.prefer_minimal_coalition,
+            params.merge_config.prefer_minimal_coalition);
+  EXPECT_EQ(decoded->merge_config.prob_floor, params.merge_config.prob_floor);
+  EXPECT_EQ(decoded->select_config.capacity, params.select_config.capacity);
+  EXPECT_EQ(decoded->select_config.max_sweeps,
+            params.select_config.max_sweeps);
+
+  // Re-encoding the decoded struct is the byte identity.
+  EXPECT_EQ(codec::EncodeUnifiedParameters(*decoded), wire);
+}
+
+TEST(UnificationCodecTest, ParametersSeedSurvivesTransport) {
+  // The decoded broadcast must derive the same game seeds — this is
+  // exactly what lets a receiving miner replay Algorithms 1-3.
+  const UnifiedParameters params = SampleParams();
+  Result<UnifiedParameters> decoded =
+      codec::DecodeUnifiedParameters(codec::EncodeUnifiedParameters(params));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->SeedFor("merge"), params.SeedFor("merge"));
+  EXPECT_EQ(decoded->SeedFor("select"), params.SeedFor("select"));
+}
+
+TEST(UnificationCodecTest, SelectionPlanRoundTrip) {
+  SelectionResult plan;
+  plan.assignment = {{0, 3, 5}, {}, {1, 2}, {4}};
+  plan.improvement_moves = 12;
+  plan.converged = true;
+  const Bytes wire = codec::EncodeSelectionPlan(plan);
+  Result<SelectionResult> decoded = codec::DecodeSelectionPlan(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->assignment, plan.assignment);
+  EXPECT_EQ(decoded->improvement_moves, plan.improvement_moves);
+  EXPECT_EQ(decoded->converged, plan.converged);
+  EXPECT_EQ(codec::EncodeSelectionPlan(*decoded), wire);
+}
+
+TEST(UnificationCodecTest, ComputedSelectionPlanRoundTrips) {
+  // Not just hand-built structs: the actual Algorithm 2 output.
+  const UnifiedParameters params = SampleParams();
+  const SelectionResult plan = ComputeSelectionPlan(params);
+  const Bytes wire = codec::EncodeSelectionPlan(plan);
+  Result<SelectionResult> decoded = codec::DecodeSelectionPlan(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->assignment, plan.assignment);
+  EXPECT_EQ(codec::EncodeSelectionPlan(*decoded), wire);
+}
+
+TEST(UnificationCodecTest, MergePlanRoundTrip) {
+  IterativeMergeResult plan;
+  plan.new_shards = {{0, 2, 4}, {1, 5}};
+  plan.leftover = {3};
+  plan.total_slots = 77;
+  const Bytes wire = codec::EncodeMergePlan(plan);
+  Result<IterativeMergeResult> decoded = codec::DecodeMergePlan(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->new_shards, plan.new_shards);
+  EXPECT_EQ(decoded->leftover, plan.leftover);
+  EXPECT_EQ(decoded->total_slots, plan.total_slots);
+  EXPECT_EQ(codec::EncodeMergePlan(*decoded), wire);
+}
+
+TEST(UnificationCodecTest, ComputedMergePlanRoundTrips) {
+  const UnifiedParameters params = SampleParams();
+  const IterativeMergeResult plan = ComputeMergePlan(params);
+  const Bytes wire = codec::EncodeMergePlan(plan);
+  Result<IterativeMergeResult> decoded = codec::DecodeMergePlan(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->new_shards, plan.new_shards);
+  EXPECT_EQ(decoded->leftover, plan.leftover);
+  EXPECT_EQ(codec::EncodeMergePlan(*decoded), wire);
+}
+
+// ----------------------- Corruption rejection ---------------------------
+
+TEST(UnificationCodecTest, RejectsTruncatedParameters) {
+  Bytes wire = codec::EncodeUnifiedParameters(SampleParams());
+  for (size_t cut : {size_t{0}, size_t{1}, wire.size() / 2,
+                     wire.size() - 1}) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(codec::DecodeUnifiedParameters(truncated).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(UnificationCodecTest, RejectsTrailingGarbage) {
+  Bytes wire = codec::EncodeSelectionPlan(SelectionResult{});
+  wire.push_back(0xAB);
+  EXPECT_FALSE(codec::DecodeSelectionPlan(wire).ok());
+}
+
+TEST(UnificationCodecTest, RejectsAbsurdCounts) {
+  // A count prefix far beyond the buffer must fail cleanly instead of
+  // driving a huge allocation.
+  Bytes wire;
+  AppendUint64(&wire, ~uint64_t{0});
+  EXPECT_FALSE(codec::DecodeSelectionPlan(wire).ok());
+  EXPECT_FALSE(codec::DecodeMergePlan(wire).ok());
+}
+
+TEST(UnificationCodecTest, RejectsBadBoolByte) {
+  SelectionResult plan;
+  plan.assignment = {{0}};
+  Bytes wire = codec::EncodeSelectionPlan(plan);
+  wire.back() = 7;  // converged must be 0 or 1.
+  EXPECT_FALSE(codec::DecodeSelectionPlan(wire).ok());
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,61 @@
+// Fixture for the detlint self-test: every rule must fire at least
+// once in this file, UNSUPPRESSED. The detlint_detects_hazards CTest
+// case runs the scanner over this file and expects a nonzero exit.
+// This file is never compiled into any target.
+
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Consensus {
+  // Rule: unordered-container.
+  std::unordered_map<int, double> weights;
+  std::unordered_set<long> members;
+
+  double Total() const {
+    double sum = 0.0;
+    // Rules: unordered-iteration + order-dependent-accumulation.
+    for (const auto& [id, w] : weights) {
+      sum += w;
+    }
+    return sum;
+  }
+
+  long First() const {
+    // Rule: unordered-iteration (explicit iterator form).
+    return *members.begin();
+  }
+};
+
+inline int BadSeed() {
+  // Rule: std-rand.
+  std::srand(42);
+  return std::rand();
+}
+
+inline unsigned HardwareEntropy() {
+  // Rule: random-device.
+  std::random_device rd;
+  return rd();
+}
+
+inline long Now() {
+  // Rule: wall-clock.
+  return std::time(nullptr);
+}
+
+struct Node {
+  int value;
+};
+
+// Rule: pointer-keyed-order — iteration order is allocation order.
+inline std::map<Node*, int> ranks;
+inline std::set<const Node*> visited;
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture for the detlint self-test: the same hazard patterns as
+// hazards.cc, but every one carries a detlint:allow() waiver — the
+// detlint_honors_suppressions CTest case expects a clean exit. This
+// file is never compiled into any target.
+
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Cache {
+  // Lookup-only cache; never iterated.
+  // detlint:allow(unordered-container): lookup-only, order never observed
+  std::unordered_map<int, int> table;
+
+  int Sum() const {
+    int total = 0;
+    // detlint:allow(unordered-iteration)
+    for (const auto& [k, v] : table) {
+      total += v;  // detlint:allow(order-dependent-accumulation)
+    }
+    return total;
+  }
+};
+
+inline long Stamp() {
+  return std::time(nullptr);  // detlint:allow(wall-clock): log-only path
+}
+
+inline int Noise() {
+  // detlint:allow(std-rand): test fixture, not consensus code
+  return std::rand();
+}
+
+}  // namespace fixture
