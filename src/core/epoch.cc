@@ -20,20 +20,46 @@ Hash256 EpochManager::NextSeed() const {
 
 Result<EpochRecord> EpochManager::Advance(
     const std::vector<LeaderCandidate>& candidates,
-    const std::vector<double>& fractions) {
+    const std::vector<double>& fractions, size_t view) {
   if (fractions.empty()) {
     return Status::InvalidArgument("epoch needs at least one shard fraction");
   }
   const Hash256 seed = NextSeed();
-  Result<size_t> leader = ElectLeader(candidates, seed);
-  if (!leader.ok()) return leader.status();
+  Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+  if (!ranked.ok()) return ranked.status();
+  if (view >= ranked->size()) {
+    return Status::OutOfRange("view " + std::to_string(view) +
+                              " exceeds the " +
+                              std::to_string(ranked->size()) +
+                              " valid failover candidates");
+  }
+  const size_t leader = (*ranked)[view];
 
   EpochRecord record;
   record.number = history_.size() + 1;
   record.seed = seed;
-  record.leader_index = *leader;
-  record.randomness = candidates[*leader].vrf.value;
+  record.leader_index = leader;
+  record.view = static_cast<uint32_t>(view);
+  record.randomness = candidates[leader].vrf.value;
   record.fractions = fractions;
+  history_.push_back(record);
+  return record;
+}
+
+Hash256 EpochManager::FallbackRandomness(const Hash256& seed) {
+  Sha256 h;
+  h.Update("shardchain.epoch.fallback.v1");
+  h.Update(seed.bytes.data(), seed.bytes.size());
+  return h.Finalize();
+}
+
+Result<EpochRecord> EpochManager::AdvanceFallback() {
+  EpochRecord record;
+  record.number = history_.size() + 1;
+  record.seed = NextSeed();
+  record.randomness = FallbackRandomness(record.seed);
+  record.fallback = true;
+  record.fractions = {100.0};  // Everyone validates in the MaxShard.
   history_.push_back(record);
   return record;
 }
@@ -45,11 +71,47 @@ Status EpochManager::VerifyRecord(const EpochRecord& record,
   if (record.seed != DeriveSeed(prev_randomness, record.number)) {
     return Status::Unauthorized("epoch seed does not chain from history");
   }
+  if (record.fallback) {
+    if (record.randomness != FallbackRandomness(record.seed)) {
+      return Status::Unauthorized(
+          "fallback randomness does not derive from the seed");
+    }
+    return Status::OK();
+  }
   if (proof.value != record.randomness) {
     return Status::Unauthorized("recorded randomness is not the VRF value");
   }
   if (!VrfVerify(leader_key, record.seed, proof)) {
     return Status::Unauthorized("leader VRF proof does not verify");
+  }
+  return Status::OK();
+}
+
+Status EpochManager::VerifyView(const std::vector<LeaderCandidate>& candidates,
+                                const Hash256& seed,
+                                const std::vector<bool>& live,
+                                size_t claimed_view,
+                                size_t claimed_leader_index) {
+  if (live.size() != candidates.size()) {
+    return Status::InvalidArgument("live flags must parallel candidates");
+  }
+  Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+  if (!ranked.ok()) return ranked.status();
+  if (claimed_view >= ranked->size()) {
+    return Status::OutOfRange("claimed view exceeds the candidate ranking");
+  }
+  if ((*ranked)[claimed_view] != claimed_leader_index) {
+    return Status::Unauthorized(
+        "claimed leader is not the candidate ranked at the claimed view");
+  }
+  if (!live[claimed_leader_index]) {
+    return Status::Unauthorized("claimed leader is not live");
+  }
+  for (size_t v = 0; v < claimed_view; ++v) {
+    if (live[(*ranked)[v]]) {
+      return Status::Unauthorized(
+          "a live candidate ranked below the claimed view was skipped");
+    }
   }
   return Status::OK();
 }

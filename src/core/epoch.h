@@ -22,6 +22,15 @@ struct EpochRecord {
   Hash256 seed;        ///< H(prev randomness ‖ epoch number).
   Hash256 randomness;  ///< Leader's verified VRF value on the seed.
   size_t leader_index = 0;
+  /// View changes performed before this record: 0 means the elected
+  /// leader broadcast in time; v > 0 means the v lowest-ticket
+  /// candidates were presumed dead and the (v+1)-th ranked one led.
+  uint32_t view = 0;
+  /// True for a leaderless degraded epoch: no broadcast arrived by the
+  /// deadline and every miner fell back to the MaxShard (full
+  /// validation). `randomness` is then derived from the seed alone and
+  /// `leader_index` is meaningless.
+  bool fallback = false;
   std::vector<double> fractions;  ///< β_i broadcast by the leader.
 };
 
@@ -46,8 +55,24 @@ class EpochManager {
   /// Advances one epoch: elects the leader among `candidates`
   /// (VRF-evaluated on NextSeed()), records the epoch with the
   /// leader-provided `fractions`, and returns the new record.
+  ///
+  /// `view` selects the failover leader: view 0 is the lowest valid
+  /// VRF ticket, view v the (v+1)-th lowest — used after v broadcast
+  /// timeouts (leader failover). Fails if fewer than view+1 candidates
+  /// carry valid proofs.
   Result<EpochRecord> Advance(const std::vector<LeaderCandidate>& candidates,
-                              const std::vector<double>& fractions);
+                              const std::vector<double>& fractions,
+                              size_t view = 0);
+
+  /// Advances one epoch WITHOUT a leader: the MaxShard fallback for an
+  /// epoch whose broadcast never arrived. The randomness is derived
+  /// from the seed alone (public, no VRF) and the single fraction 100
+  /// sends every miner to the MaxShard for full validation. Keeps the
+  /// seed chain unbroken so the next epoch elects normally.
+  Result<EpochRecord> AdvanceFallback();
+
+  /// The randomness a fallback record must carry for `seed`.
+  static Hash256 FallbackRandomness(const Hash256& seed);
 
   /// History access.
   size_t EpochCount() const { return history_.size(); }
@@ -59,10 +84,24 @@ class EpochManager {
   /// Verifies that `record` is internally consistent with `proof`
   /// from the claimed leader: the seed chains from `prev_randomness`
   /// and the randomness is the leader's valid VRF output on it.
+  /// Fallback records verify structurally instead (leaderless): the
+  /// seed chains and the randomness equals FallbackRandomness(seed);
+  /// `leader_key`/`proof` are ignored for them.
   static Status VerifyRecord(const EpochRecord& record,
                              const Hash256& prev_randomness,
                              const PublicKey& leader_key,
                              const VrfOutput& proof);
+
+  /// The view-change acceptance rule (Sec. IV-C liveness): a claimed
+  /// (view, leader) pair is valid iff the leader is the lowest-ranked
+  /// *live* candidate — every better-ranked candidate is marked dead in
+  /// `live` (parallel to `candidates`) and the claimed one is alive.
+  /// Honest miners accept exactly one view per epoch this way: a
+  /// failed leader cannot be impersonated and a live one cannot be
+  /// skipped.
+  static Status VerifyView(const std::vector<LeaderCandidate>& candidates,
+                           const Hash256& seed, const std::vector<bool>& live,
+                           size_t claimed_view, size_t claimed_leader_index);
 
   /// A miner's shard for the CURRENT epoch (fractions + randomness
   /// from the newest record).

@@ -1,26 +1,33 @@
 #include "core/miner_assignment.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace shardchain {
 
 Result<size_t> ElectLeader(const std::vector<LeaderCandidate>& candidates,
                            const Hash256& seed) {
-  size_t best = candidates.size();
-  double best_ticket = 2.0;  // Tickets live in [0, 1).
+  Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+  if (!ranked.ok()) return ranked.status();
+  return ranked->front();
+}
+
+Result<std::vector<size_t>> RankCandidates(
+    const std::vector<LeaderCandidate>& candidates, const Hash256& seed) {
+  std::vector<size_t> ranked;
+  ranked.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
     const LeaderCandidate& c = candidates[i];
-    if (!VrfVerify(c.public_key, seed, c.vrf)) continue;
-    const double ticket = VrfTicket(c.vrf.value);
-    if (ticket < best_ticket) {
-      best_ticket = ticket;
-      best = i;
-    }
+    if (VrfVerify(c.public_key, seed, c.vrf)) ranked.push_back(i);
   }
-  if (best == candidates.size()) {
+  if (ranked.empty()) {
     return Status::NotFound("no candidate with a valid VRF proof");
   }
-  return best;
+  std::stable_sort(ranked.begin(), ranked.end(), [&](size_t a, size_t b) {
+    return VrfTicket(candidates[a].vrf.value) <
+           VrfTicket(candidates[b].vrf.value);
+  });
+  return ranked;
 }
 
 uint32_t RandHoundDraw(const Hash256& randomness, const Hash256& miner_id) {

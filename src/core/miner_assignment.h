@@ -35,6 +35,14 @@ struct LeaderCandidate {
 Result<size_t> ElectLeader(const std::vector<LeaderCandidate>& candidates,
                            const Hash256& seed);
 
+/// Full failover ranking: indices of every candidate with a valid VRF
+/// proof on `seed`, ordered by ascending ticket (ties broken by index).
+/// ranked[0] is the elected leader; ranked[v] is the leader of view v
+/// after v view changes (see EpochManager::VerifyView). Fails if no
+/// candidate is valid.
+Result<std::vector<size_t>> RankCandidates(
+    const std::vector<LeaderCandidate>& candidates, const Hash256& seed);
+
 /// RandHound-lite: miners are "separated to 100 groups evenly"; returns
 /// this miner's group, a deterministic uniform draw in [1, 100] from
 /// the leader randomness and the miner's key fingerprint.

@@ -67,6 +67,33 @@ Status ShardingSystem::BeginEpoch(uint64_t epoch_nonce) {
   // Leader broadcast of (randomness, fractions): one message per node.
   net_.Broadcast(leader_, MsgKind::kLeaderBroadcast);
   epoch_active_ = true;
+  fallback_epoch_ = false;
+  return Status::OK();
+}
+
+Status ShardingSystem::BeginFallbackEpoch() {
+  if (miners_.empty()) {
+    return Status::FailedPrecondition("no miners registered");
+  }
+  Result<EpochRecord> record = epochs_.AdvanceFallback();
+  if (!record.ok()) return record.status();
+  randomness_ = record->randomness;
+  fractions_ = record->fractions;
+  leader_ = 0;  // Meaningless in a leaderless epoch.
+
+  // The single 100% fraction routes every draw to the MaxShard; the
+  // assignment still runs so membership checks verify as usual.
+  std::vector<Hash256> ids;
+  ids.reserve(miners_.size());
+  for (const MinerRecord& m : miners_) ids.push_back(m.id);
+  const std::vector<ShardId> assignment =
+      AssignAllMiners(randomness_, ids, fractions_, &net_);
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    miners_[i].shard = assignment[i];
+  }
+  // No leader broadcast: the fallback needs no message to agree on.
+  epoch_active_ = true;
+  fallback_epoch_ = true;
   return Status::OK();
 }
 

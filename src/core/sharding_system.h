@@ -73,6 +73,19 @@ class ShardingSystem {
   /// determines the randomness.
   Status BeginEpoch(uint64_t epoch_nonce);
 
+  /// Graceful degradation (the liveness safety net): starts an epoch in
+  /// which EVERY miner serves the MaxShard and fully validates — the
+  /// paper's catch-all shard as safe mode. Used when no verified leader
+  /// broadcast (unified parameters) arrived by the epoch deadline:
+  /// instead of stalling, all miners derive the same leaderless
+  /// randomness from the seed chain and proceed with unsharded
+  /// validation for one epoch. The seed chain stays unbroken, so the
+  /// next BeginEpoch elects a leader normally.
+  Status BeginFallbackEpoch();
+
+  /// True while the current epoch is a MaxShard fallback epoch.
+  bool CurrentEpochIsFallback() const { return fallback_epoch_; }
+
   /// The epoch history (randomness chaining, leader records).
   const EpochManager& epochs() const { return epochs_; }
 
@@ -155,6 +168,7 @@ class ShardingSystem {
   std::map<ShardId, ShardState> shards_;
 
   bool epoch_active_ = false;
+  bool fallback_epoch_ = false;
   NodeId leader_ = 0;
   Hash256 randomness_;
   std::vector<double> fractions_;

@@ -1,0 +1,100 @@
+#include "net/faults.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace shardchain {
+
+namespace {
+
+uint64_t PackLink(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config, uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  for (const auto& [node, when] : config_.crashes) {
+    auto it = crash_time_.find(node);
+    if (it == crash_time_.end()) {
+      crash_time_[node] = when;
+    } else {
+      it->second = std::min(it->second, when);
+    }
+  }
+  islands_.reserve(config_.partitions.size());
+  for (const PartitionWindow& window : config_.partitions) {
+    islands_.emplace_back(window.island.begin(), window.island.end());
+  }
+}
+
+bool FaultPlan::IsCrashed(NodeId node, SimTime now) const {
+  auto it = crash_time_.find(node);
+  return it != crash_time_.end() && now >= it->second;
+}
+
+bool FaultPlan::LinkCut(NodeId a, NodeId b, SimTime now) const {
+  for (size_t i = 0; i < config_.partitions.size(); ++i) {
+    const PartitionWindow& w = config_.partitions[i];
+    if (now < w.start || now >= w.end) continue;
+    const bool a_in = islands_[i].count(a) > 0;
+    const bool b_in = islands_[i].count(b) > 0;
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+uint64_t FaultPlan::Mix(NodeId from, NodeId to, uint64_t counter,
+                        uint64_t domain) const {
+  // SplitMix64 over a state folding in every input: one mixing step per
+  // word keeps decisions independent across links and attempts.
+  uint64_t state = seed_ ^ (domain * 0x9e3779b97f4a7c15ULL);
+  (void)SplitMix64(&state);
+  state ^= PackLink(from, to);
+  (void)SplitMix64(&state);
+  state ^= counter;
+  return SplitMix64(&state);
+}
+
+double FaultPlan::UnitCoin(NodeId from, NodeId to, uint64_t counter,
+                           uint64_t domain) const {
+  // 53 high bits into [0, 1), same construction as Rng::UniformDouble.
+  return static_cast<double>(Mix(from, to, counter, domain) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+bool FaultPlan::ShouldDrop(NodeId from, NodeId to) {
+  if (config_.drop_probability <= 0.0) return false;
+  const uint64_t counter = drop_counter_[PackLink(from, to)]++;
+  const bool drop = UnitCoin(from, to, counter, 1) < config_.drop_probability;
+  if (drop) ++drops_injected_;
+  return drop;
+}
+
+bool FaultPlan::ShouldDuplicate(NodeId from, NodeId to) {
+  if (config_.duplicate_probability <= 0.0) return false;
+  const uint64_t counter = dup_counter_[PackLink(from, to)]++;
+  const bool dup =
+      UnitCoin(from, to, counter, 2) < config_.duplicate_probability;
+  if (dup) ++duplicates_injected_;
+  return dup;
+}
+
+double FaultPlan::DelayMultiplier(NodeId from, NodeId to) const {
+  if (config_.delay_multiplier_max <= 1.0) return 1.0;
+  // Fixed per link (counter 0): a slow link is consistently slow.
+  const double u = UnitCoin(from, to, 0, 3);
+  return 1.0 + u * (config_.delay_multiplier_max - 1.0);
+}
+
+bool FaultPlan::Lost(NodeId from, NodeId to, SimTime now) {
+  if (LinkCut(from, to, now)) {
+    ++cuts_hit_;
+    return true;
+  }
+  return ShouldDrop(from, to);
+}
+
+}  // namespace shardchain

@@ -1,0 +1,110 @@
+#ifndef SHARDCHAIN_NET_FAULTS_H_
+#define SHARDCHAIN_NET_FAULTS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+#include "types/block.h"
+
+namespace shardchain {
+
+/// \brief One partition episode: during [start, end) every link between
+/// `island` and the rest of the network is cut. Links inside the island
+/// (and inside the complement) keep working.
+struct PartitionWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  std::vector<NodeId> island;
+};
+
+/// \brief Declarative fault schedule for one simulation run.
+///
+/// Everything is fixed up front — probabilities, crash times, partition
+/// windows — so a chaos run is reproducible from (config, seed) alone.
+struct FaultConfig {
+  /// Per-link, per-attempt probability that a message is lost.
+  double drop_probability = 0.0;
+  /// Per-link, per-delivery probability that a second copy arrives.
+  double duplicate_probability = 0.0;
+  /// Per-link latency multipliers are drawn uniformly from
+  /// [1, delay_multiplier_max] (1.0 disables extra delay).
+  double delay_multiplier_max = 1.0;
+  /// Nodes that crash, with their (sim-time) crash instants. A crashed
+  /// node neither sends, relays, nor receives from that time on.
+  std::vector<std::pair<NodeId, SimTime>> crashes;
+  /// Partition schedule (may overlap; a link is cut if ANY active
+  /// window cuts it).
+  std::vector<PartitionWindow> partitions;
+};
+
+/// \brief Deterministic fault injector shared by GossipNetwork and
+/// Network.
+///
+/// Every random decision is a pure function of (seed, link, per-link
+/// attempt counter) via SplitMix64, so outcomes do not depend on the
+/// global interleaving of calls across links — two runs with the same
+/// plan and the same per-link traffic see the same faults, which keeps
+/// chaos tests byte-reproducible.
+class FaultPlan {
+ public:
+  FaultPlan(FaultConfig config, uint64_t seed);
+
+  /// True once `node`'s crash instant has passed.
+  bool IsCrashed(NodeId node, SimTime now) const;
+
+  /// True while an active partition window separates `a` from `b`.
+  bool LinkCut(NodeId a, NodeId b, SimTime now) const;
+
+  /// Seeded coin: should this send attempt on (from → to) be lost?
+  /// Advances the link's attempt counter.
+  bool ShouldDrop(NodeId from, NodeId to);
+
+  /// Seeded coin: should this delivery be duplicated? Advances the
+  /// link's attempt counter.
+  bool ShouldDuplicate(NodeId from, NodeId to);
+
+  /// The link's fixed latency multiplier in [1, delay_multiplier_max].
+  double DelayMultiplier(NodeId from, NodeId to) const;
+
+  /// Convenience: the message is lost right now on (from → to), either
+  /// to a partition cut or to a random drop. Advances the drop counter
+  /// only when the link is up (cuts are not coin flips).
+  bool Lost(NodeId from, NodeId to, SimTime now);
+
+  const FaultConfig& config() const { return config_; }
+
+  // --- Injection statistics (for reports and tests) -------------------
+  uint64_t drops_injected() const { return drops_injected_; }
+  uint64_t duplicates_injected() const { return duplicates_injected_; }
+  uint64_t cuts_hit() const { return cuts_hit_; }
+
+ private:
+  /// Mixes (seed, link key, counter) into one well-distributed word.
+  uint64_t Mix(NodeId from, NodeId to, uint64_t counter,
+               uint64_t domain) const;
+  double UnitCoin(NodeId from, NodeId to, uint64_t counter,
+                  uint64_t domain) const;
+
+  FaultConfig config_;
+  uint64_t seed_;
+  /// Crash instants, ordered by node id (lookup-only).
+  std::map<NodeId, SimTime> crash_time_;
+  /// Partition islands as sets for O(log n) membership tests.
+  std::vector<std::set<NodeId>> islands_;
+  /// Per-link attempt counters; ordered map keyed on the packed link id
+  /// (lookup-only — never iterated).
+  std::map<uint64_t, uint64_t> drop_counter_;
+  std::map<uint64_t, uint64_t> dup_counter_;
+
+  uint64_t drops_injected_ = 0;
+  uint64_t duplicates_injected_ = 0;
+  uint64_t cuts_hit_ = 0;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_NET_FAULTS_H_

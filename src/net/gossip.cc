@@ -20,6 +20,8 @@ GossipNetwork::GossipNetwork(size_t num_nodes, const GossipConfig& config,
     : config_(config), rng_(rng->Fork()) {
   assert(num_nodes > 0);
   adjacency_.resize(num_nodes);
+  // Membership filter during construction; never iterated.
+  // detlint:allow(unordered-container): lookup-only edge filter.
   std::vector<std::unordered_set<NodeId>> peers(num_nodes);
 
   auto connect = [&](NodeId a, NodeId b) {
@@ -77,20 +79,108 @@ bool GossipNetwork::IsConnected() const {
   return count == adjacency_.size();
 }
 
-void GossipNetwork::Deliver(NodeId from, NodeId to, const Hash256& id,
-                            std::shared_ptr<const Bytes> payload,
+void GossipNetwork::SchedulePending(const Hash256& id, double delay,
+                                    EventQueue* queue,
+                                    std::function<void()> fn) {
+  auto it = floods_.find(id);
+  assert(it != floods_.end());
+  ++it->second.pending;
+  queue->ScheduleIn(delay, [this, id, fn = std::move(fn)] {
+    fn();
+    // The callback may have scheduled further events (raising pending);
+    // prune only when this was the last one.
+    auto entry = floods_.find(id);
+    assert(entry != floods_.end() && entry->second.pending > 0);
+    if (--entry->second.pending == 0) {
+      floods_.erase(entry);
+    }
+  });
+}
+
+bool GossipNetwork::FloodComplete(const FloodState& state,
+                                  SimTime now) const {
+  for (NodeId node = 0; node < adjacency_.size(); ++node) {
+    if (state.reached.count(node) > 0) continue;
+    if (faults_ != nullptr && faults_->IsCrashed(node, now)) continue;
+    return false;
+  }
+  return true;
+}
+
+void GossipNetwork::SendCopy(NodeId from, NodeId to, const Hash256& id,
+                             size_t attempt, EventQueue* queue) {
+  const SimTime now = queue->Now();
+  if (faults_ != nullptr && faults_->IsCrashed(from, now)) {
+    return;  // Crashed senders fall silent, including pending retries.
+  }
+  ++messages_sent_;
+  if (attempt > 0) ++retransmissions_;
+  double latency = link_latency_.at(LinkKey(from, to));
+  if (faults_ != nullptr) {
+    latency *= faults_->DelayMultiplier(from, to);
+    if (faults_->Lost(from, to, now)) {
+      ++messages_lost_;
+      if (attempt < config_.max_retransmits) {
+        // Exponential backoff: the sender retries the copy until the
+        // link recovers or the budget runs out.
+        const double backoff =
+            config_.retransmit_backoff * static_cast<double>(1ULL << attempt);
+        SchedulePending(id, backoff, queue, [this, from, to, id, attempt,
+                                             queue] {
+          SendCopy(from, to, id, attempt + 1, queue);
+        });
+      }
+      return;
+    }
+    if (faults_->ShouldDuplicate(from, to)) {
+      // The duplicate trails the original; receivers dedup on receipt.
+      SchedulePending(id, latency * 1.5, queue, [this, from, to, id, queue] {
+        Receive(from, to, id, queue);
+      });
+    }
+  }
+  SchedulePending(id, latency, queue, [this, from, to, id, queue] {
+    Receive(from, to, id, queue);
+  });
+}
+
+void GossipNetwork::Receive(NodeId from, NodeId to, const Hash256& id,
                             EventQueue* queue) {
-  auto& reached = seen_[id];
-  if (!reached.insert(to).second) return;  // Duplicate: dropped.
-  if (handler_) handler_(to, *payload, queue->Now());
+  auto it = floods_.find(id);
+  assert(it != floods_.end());
+  FloodState& state = it->second;
+  if (faults_ != nullptr && faults_->IsCrashed(to, queue->Now())) {
+    return;  // Crashed receivers take nothing.
+  }
+  if (!state.reached.insert(to).second) return;  // Duplicate: dropped.
+  if (handler_) handler_(to, *state.payload, queue->Now());
   // Forward to every neighbour except the sender.
   for (NodeId next : adjacency_[to]) {
     if (next == from) continue;
-    ++messages_sent_;
-    const double latency = link_latency_.at(LinkKey(to, next));
-    queue->ScheduleIn(latency, [this, to, next, id, payload, queue] {
-      Deliver(to, next, id, payload, queue);
-    });
+    SendCopy(to, next, id, 0, queue);
+  }
+}
+
+void GossipNetwork::RepairRound(const Hash256& id, EventQueue* queue) {
+  auto it = floods_.find(id);
+  assert(it != floods_.end());
+  FloodState& state = it->second;
+  const SimTime now = queue->Now();
+  if (FloodComplete(state, now)) return;  // All live nodes served.
+  // Every holder re-offers the message to neighbours that lack it, in
+  // node-id order (deterministic; the receipt set is only probed).
+  for (NodeId node = 0; node < adjacency_.size(); ++node) {
+    if (state.reached.count(node) == 0) continue;
+    if (faults_ != nullptr && faults_->IsCrashed(node, now)) continue;
+    for (NodeId next : adjacency_[node]) {
+      if (state.reached.count(next) > 0) continue;
+      ++repair_sends_;
+      SendCopy(node, next, id, 0, queue);
+    }
+  }
+  if (++state.repair_round < config_.anti_entropy_rounds) {
+    SchedulePending(id, config_.anti_entropy_period, queue,
+                    [this, id, queue] { RepairRound(id, queue); });
   }
 }
 
@@ -98,12 +188,17 @@ Hash256 GossipNetwork::Publish(NodeId origin, Bytes payload,
                                EventQueue* queue) {
   assert(queue != nullptr && origin < adjacency_.size());
   const Hash256 id = Sha256Digest(payload);
-  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  FloodState& state = floods_[id];
+  state.payload = std::make_shared<const Bytes>(std::move(payload));
   // The origin "receives" its own message immediately (no self-send
   // counted), then floods.
-  queue->ScheduleIn(0.0, [this, origin, id, shared, queue] {
-    Deliver(origin, origin, id, shared, queue);
+  SchedulePending(id, 0.0, queue, [this, origin, id, queue] {
+    Receive(origin, origin, id, queue);
   });
+  if (faults_ != nullptr && config_.anti_entropy_rounds > 0) {
+    SchedulePending(id, config_.anti_entropy_period, queue,
+                    [this, id, queue] { RepairRound(id, queue); });
+  }
   return id;
 }
 
@@ -112,6 +207,9 @@ GossipNetwork::SpreadReport GossipNetwork::MeasureSpread(NodeId origin,
                                                          EventQueue* queue) {
   SpreadReport report;
   const uint64_t sent_before = messages_sent_;
+  const uint64_t retrans_before = retransmissions_;
+  const uint64_t repair_before = repair_sends_;
+  const uint64_t lost_before = messages_lost_;
   std::vector<double> arrival_times;
   arrival_times.reserve(adjacency_.size());
   Handler saved = handler_;
@@ -125,6 +223,9 @@ GossipNetwork::SpreadReport GossipNetwork::MeasureSpread(NodeId origin,
 
   report.reached = arrival_times.size();
   report.messages = messages_sent_ - sent_before;
+  report.retransmissions = retransmissions_ - retrans_before;
+  report.repair_sends = repair_sends_ - repair_before;
+  report.lost = messages_lost_ - lost_before;
   if (!arrival_times.empty()) {
     std::sort(arrival_times.begin(), arrival_times.end());
     report.time_to_all = arrival_times.back() - start;

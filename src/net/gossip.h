@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "crypto/sha256.h"
+#include "net/faults.h"
 #include "net/network.h"
 #include "sim/event_queue.h"
 
@@ -25,6 +26,18 @@ struct GossipConfig {
   /// If true every link takes exactly `link_latency`; otherwise each
   /// hop samples an exponential with that mean.
   bool deterministic_latency = false;
+
+  // --- Loss recovery (active only while a FaultPlan is attached) -----
+  /// Maximum retransmissions of one lost copy on one link.
+  size_t max_retransmits = 6;
+  /// First retransmission delay; doubles on every further attempt.
+  double retransmit_backoff = 0.05;
+  /// Interval between anti-entropy repair rounds after a Publish.
+  double anti_entropy_period = 0.25;
+  /// Repair rounds per flood (bounds the repair work; the flood is
+  /// abandoned as incomplete if nodes are still unreachable after
+  /// them — e.g. crashed or partitioned beyond the schedule).
+  size_t anti_entropy_rounds = 64;
 };
 
 /// \brief A flooding gossip overlay over the discrete-event queue.
@@ -34,6 +47,14 @@ struct GossipConfig {
 /// forwards to hers, duplicates are dropped. The measured time-to-all
 /// is the `propagation_delay` the PoW race simulator consumes — this
 /// module grounds that number instead of guessing it.
+///
+/// With a FaultPlan attached (SetFaultPlan) the overlay additionally
+/// models loss and recovers from it: a lost copy is retransmitted with
+/// exponential backoff (simulator omniscience stands in for the
+/// ack/timeout a real transport would use), and periodic bounded
+/// anti-entropy rounds let any node that holds a message re-offer it to
+/// neighbours that still lack it, so floods complete under message
+/// loss, crashed relays, and healed partitions.
 class GossipNetwork {
  public:
   /// Called on each node's FIRST receipt of a message.
@@ -58,14 +79,32 @@ class GossipNetwork {
   /// node id is passed in).
   void SetHandler(Handler handler) { handler_ = std::move(handler); }
 
+  /// Attaches a fault injector (non-owning; nullptr restores the
+  /// perfect network). Must outlive any queue runs.
+  void SetFaultPlan(FaultPlan* faults) { faults_ = faults; }
+
   /// Starts a flood of `payload` from `origin` at the queue's current
   /// time. Delivery events are scheduled on `queue`; run it to
   /// propagate. Returns the message id (payload hash).
   Hash256 Publish(NodeId origin, Bytes payload, EventQueue* queue);
 
-  /// Total point-to-point sends so far (duplicates included — the real
-  /// bandwidth cost of flooding).
+  /// Total point-to-point sends so far (duplicates and retransmissions
+  /// included — the real bandwidth cost of flooding).
   uint64_t MessagesSent() const { return messages_sent_; }
+
+  /// Retransmissions of lost copies so far (subset of MessagesSent).
+  uint64_t Retransmissions() const { return retransmissions_; }
+
+  /// Sends performed by anti-entropy repair rounds (subset of
+  /// MessagesSent).
+  uint64_t RepairSends() const { return repair_sends_; }
+
+  /// Copies lost to drops or partition cuts so far.
+  uint64_t MessagesLost() const { return messages_lost_; }
+
+  /// Floods whose per-node receipt state is still retained (pruned to 0
+  /// once every scheduled event of the flood has run).
+  size_t ActiveFloods() const { return floods_.size(); }
 
   /// \brief Outcome of a measured flood.
   struct SpreadReport {
@@ -73,6 +112,9 @@ class GossipNetwork {
     double time_to_all = 0.0;   ///< When every node had it.
     uint64_t messages = 0;      ///< Sends attributable to this flood.
     size_t reached = 0;
+    uint64_t retransmissions = 0;  ///< Backoff retries of lost copies.
+    uint64_t repair_sends = 0;     ///< Anti-entropy repair traffic.
+    uint64_t lost = 0;             ///< Copies dropped or cut en route.
   };
 
   /// Publishes and runs the queue to completion, reporting spread
@@ -80,14 +122,33 @@ class GossipNetwork {
   SpreadReport MeasureSpread(NodeId origin, Bytes payload, EventQueue* queue);
 
  private:
-  struct Link {
-    NodeId to;
-    double latency;
+  /// Per-flood receipt and lifecycle state. `pending` counts scheduled
+  /// events still referencing the flood; when it returns to zero no
+  /// further delivery can occur and the whole entry is pruned —
+  /// GossipNetwork's memory use is bounded by in-flight floods, not by
+  /// history.
+  struct FloodState {
+    /// Membership tests only; iteration goes through node-id order.
+    /// detlint:allow(unordered-container): lookup-only receipt set.
+    std::unordered_set<NodeId> reached;
+    std::shared_ptr<const Bytes> payload;
+    size_t pending = 0;
+    size_t repair_round = 0;
   };
 
   double SampleLatency(double base, Rng* rng) const;
-  void Deliver(NodeId from, NodeId to, const Hash256& id,
-               std::shared_ptr<const Bytes> payload, EventQueue* queue);
+  /// Schedules `fn` while holding a pending reference on flood `id`.
+  void SchedulePending(const Hash256& id, double delay, EventQueue* queue,
+                       std::function<void()> fn);
+  /// Fires when a copy of `id` arrives at `to` (first receipt forwards).
+  void Receive(NodeId from, NodeId to, const Hash256& id, EventQueue* queue);
+  /// One copy on one link, at the current queue time; handles faults,
+  /// latency, duplicates, and schedules backoff retries on loss.
+  void SendCopy(NodeId from, NodeId to, const Hash256& id, size_t attempt,
+                EventQueue* queue);
+  /// One anti-entropy repair round for flood `id`.
+  void RepairRound(const Hash256& id, EventQueue* queue);
+  bool FloodComplete(const FloodState& state, SimTime now) const;
 
   GossipConfig config_;
   Rng rng_;
@@ -97,10 +158,17 @@ class GossipNetwork {
   std::vector<std::vector<NodeId>> adjacency_;
   /// Lookup-only tables — never iterated, so their unordered layout
   /// cannot influence delivery order.
+  /// detlint:allow(unordered-container): lookup-only latency table.
   std::unordered_map<uint64_t, double> link_latency_;  // key = from<<32|to.
-  std::unordered_map<Hash256, std::unordered_set<NodeId>> seen_;
+  /// Keyed lookups only; repair rounds walk nodes in id order.
+  /// detlint:allow(unordered-container): lookup-only flood table.
+  std::unordered_map<Hash256, FloodState> floods_;
   Handler handler_;
+  FaultPlan* faults_ = nullptr;
   uint64_t messages_sent_ = 0;
+  uint64_t retransmissions_ = 0;
+  uint64_t repair_sends_ = 0;
+  uint64_t messages_lost_ = 0;
 };
 
 }  // namespace shardchain

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/faults.h"
+
 namespace shardchain {
 
 const char* MsgKindName(MsgKind kind) {
@@ -31,8 +33,7 @@ void Network::Register(NodeId node, ShardId shard) {
 
 ShardId Network::ShardOf(NodeId node) const {
   auto it = shard_of_.find(node);
-  assert(it != shard_of_.end() && "unregistered node");
-  return it->second;
+  return it == shard_of_.end() ? kUnassignedShard : it->second;
 }
 
 std::vector<NodeId> Network::Members(ShardId shard) const {
@@ -49,19 +50,36 @@ void Network::Account(NodeId from, NodeId to, MsgKind kind) {
   if (ShardOf(from) != ShardOf(to)) ++cross_shard_[k];
 }
 
-void Network::Send(NodeId from, NodeId to, MsgKind kind) {
-  Account(from, to, kind);
+bool Network::Suppressed(NodeId from, NodeId to, SimTime now) {
+  if (faults_ == nullptr) return false;
+  if (faults_->IsCrashed(from, now) || faults_->IsCrashed(to, now) ||
+      faults_->LinkCut(from, to, now)) {
+    ++suppressed_;
+    return true;
+  }
+  return false;
 }
 
-void Network::Broadcast(NodeId from, MsgKind kind) {
+bool Network::Send(NodeId from, NodeId to, MsgKind kind, SimTime now) {
+  if (Suppressed(from, to, now)) return false;
+  Account(from, to, kind);
+  return true;
+}
+
+void Network::Broadcast(NodeId from, MsgKind kind, SimTime now) {
   for (const auto& [node, shard] : shard_of_) {
-    if (node != from) Account(from, node, kind);
+    if (node != from && !Suppressed(from, node, now)) {
+      Account(from, node, kind);
+    }
   }
 }
 
-void Network::MulticastShard(NodeId from, ShardId shard, MsgKind kind) {
+void Network::MulticastShard(NodeId from, ShardId shard, MsgKind kind,
+                             SimTime now) {
   for (const auto& [node, s] : shard_of_) {
-    if (s == shard && node != from) Account(from, node, kind);
+    if (s == shard && node != from && !Suppressed(from, node, now)) {
+      Account(from, node, kind);
+    }
   }
 }
 

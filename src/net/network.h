@@ -16,6 +16,11 @@ namespace shardchain {
 /// Node identifier within the simulated network.
 using NodeId = uint32_t;
 
+/// Shard reported for nodes the network has never seen. Registration
+/// assigns real shards; `ShardOf` is total and returns this sentinel
+/// instead of faulting on unknown nodes.
+inline constexpr ShardId kUnassignedShard = ~ShardId{0};
+
 /// Message categories, so experiments can attribute traffic. The
 /// paper's "communication times" metric (Fig. 4) counts cross-shard
 /// coordination messages; block/tx gossip inside a shard is the
@@ -35,6 +40,8 @@ inline constexpr size_t kMsgKindCount = 7;
 
 const char* MsgKindName(MsgKind kind);
 
+class FaultPlan;
+
 /// \brief A simulated message-passing network with per-kind, per-shard
 /// accounting.
 ///
@@ -42,6 +49,10 @@ const char* MsgKindName(MsgKind kind);
 /// discrete-event layer); what the experiments need from this class is
 /// *counting*: "communication times per shard" (Fig. 4b/4c) is
 /// cross-shard message count divided by shard count.
+///
+/// With a FaultPlan attached, sends involving a crashed endpoint or
+/// crossing an active partition are suppressed instead of counted —
+/// the accounting then reflects the traffic that actually flows.
 class Network {
  public:
   Network() = default;
@@ -50,21 +61,32 @@ class Network {
   /// (used after merging).
   void Register(NodeId node, ShardId shard);
 
+  /// Total: returns kUnassignedShard for nodes never registered.
   ShardId ShardOf(NodeId node) const;
   size_t NodeCount() const { return shard_of_.size(); }
 
   /// Nodes currently assigned to `shard`.
   std::vector<NodeId> Members(ShardId shard) const;
 
-  /// Records a point-to-point message.
-  void Send(NodeId from, NodeId to, MsgKind kind);
+  /// Attaches a fault injector (non-owning; nullptr restores perfect
+  /// delivery). `now` arguments below are evaluated against its crash
+  /// and partition schedules.
+  void SetFaultPlan(FaultPlan* faults) { faults_ = faults; }
+
+  /// Records a point-to-point message. Returns false (and counts
+  /// nothing) when the attached fault plan suppresses it.
+  bool Send(NodeId from, NodeId to, MsgKind kind, SimTime now = 0.0);
 
   /// Records a broadcast from `from` to every other node (counted as
-  /// N-1 messages).
-  void Broadcast(NodeId from, MsgKind kind);
+  /// N-1 messages, minus any the fault plan suppresses).
+  void Broadcast(NodeId from, MsgKind kind, SimTime now = 0.0);
 
   /// Records a multicast to every node in `shard` other than `from`.
-  void MulticastShard(NodeId from, ShardId shard, MsgKind kind);
+  void MulticastShard(NodeId from, ShardId shard, MsgKind kind,
+                      SimTime now = 0.0);
+
+  /// Messages suppressed by the fault plan so far.
+  uint64_t SuppressedCount() const { return suppressed_; }
 
   /// Total messages of `kind`.
   uint64_t Count(MsgKind kind) const;
@@ -84,6 +106,7 @@ class Network {
 
  private:
   void Account(NodeId from, NodeId to, MsgKind kind);
+  bool Suppressed(NodeId from, NodeId to, SimTime now);
 
   /// Ordered by NodeId so Broadcast/MulticastShard walk the membership
   /// in one fixed order on every miner — delivery and accounting order
@@ -91,6 +114,8 @@ class Network {
   std::map<NodeId, ShardId> shard_of_;
   std::array<uint64_t, kMsgKindCount> total_{};
   std::array<uint64_t, kMsgKindCount> cross_shard_{};
+  FaultPlan* faults_ = nullptr;
+  uint64_t suppressed_ = 0;
 };
 
 }  // namespace shardchain

@@ -82,6 +82,7 @@ ArrivalResult RunArrivalSim(const ArrivalConfig& config, Rng* rng) {
     }
 
     rng->Shuffle(&miner_order);
+    // detlint:allow(unordered-container): membership tests only.
     std::unordered_set<size_t> confirmed_this_round;
     for (size_t m : miner_order) {
       const auto& set = sets[m];

@@ -130,6 +130,7 @@ ShardMetrics SimulateShard(const ShardSpec& spec,
     // arrival order. A block conflicting with an earlier commit of the
     // same round is a stale fork.
     rng->Shuffle(&miner_order);
+    // detlint:allow(unordered-container): membership tests only.
     std::unordered_set<size_t> confirmed_this_round;
     std::vector<bool> removed(live.size(), false);
     for (size_t m : miner_order) {

@@ -141,5 +141,52 @@ TEST(BeaconTest, TranscriptVerificationCatchesLies) {
                   .IsUnauthorized());
 }
 
+TEST(BeaconTest, EveryCommitterWithholdsWhenNobodyReveals) {
+  // Total reveal failure (e.g. every committer crashed in the reveal
+  // phase): Finalize fails, and ALL committers are named withholders.
+  RandomnessBeacon beacon(1);
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_TRUE(
+        beacon.Commit(n, RandomnessBeacon::CommitmentFor(Share(n))).ok());
+  }
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  EXPECT_TRUE(beacon.Finalize().status().IsFailedPrecondition());
+  EXPECT_EQ(beacon.Withholders(), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_FALSE(beacon.output().has_value());
+}
+
+TEST(BeaconTest, TamperedRevealBytesFailTranscriptVerification) {
+  std::map<NodeId, Hash256> commitments;
+  std::map<NodeId, Bytes> reveals;
+  RandomnessBeacon beacon;
+  for (NodeId n = 0; n < 3; ++n) {
+    reveals[n] = Share(50 + n);
+    commitments[n] = RandomnessBeacon::CommitmentFor(reveals[n]);
+    ASSERT_TRUE(beacon.Commit(n, commitments[n]).ok());
+  }
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_TRUE(beacon.Reveal(n, reveals[n]).ok());
+  }
+  const Hash256 honest = *beacon.Finalize();
+  ASSERT_TRUE(
+      RandomnessBeacon::VerifyTranscript(commitments, reveals, honest).ok());
+
+  // Flipping one byte of an EXISTING reveal breaks its commitment
+  // binding — a transcript forger cannot substitute shares in place.
+  reveals[1].back() ^= 1;
+  EXPECT_FALSE(
+      RandomnessBeacon::VerifyTranscript(commitments, reveals, honest).ok());
+}
+
+TEST(BeaconTest, FinalizeTwiceRejected) {
+  RandomnessBeacon beacon;
+  ASSERT_TRUE(beacon.Commit(0, RandomnessBeacon::CommitmentFor(Share(1))).ok());
+  ASSERT_TRUE(beacon.CloseCommits().ok());
+  ASSERT_TRUE(beacon.Reveal(0, Share(1)).ok());
+  ASSERT_TRUE(beacon.Finalize().ok());
+  EXPECT_TRUE(beacon.Finalize().status().IsFailedPrecondition());
+}
+
 }  // namespace
 }  // namespace shardchain

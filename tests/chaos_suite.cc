@@ -1,0 +1,216 @@
+// Seeded chaos suite (ctest label: chaos): randomized fault schedules
+// against the epoch liveness simulator, asserting the no-split
+// invariant — after every epoch, ALL honest live miners hold either a
+// byte-identical codec-encoded plan or the identical MaxShard
+// fallback, never a mixture. Schedules stay inside the recoverable
+// envelope the harness guarantees: at most 1/3 of miners crashed or
+// islanded, per-link drop probability at most 30%, and partitions that
+// heal before the decision deadline.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/liveness.h"
+
+namespace shardchain {
+namespace {
+
+LivenessConfig ChaosConfig() {
+  LivenessConfig config;
+  config.num_miners = 18;
+  config.gossip.deterministic_latency = true;
+  return config;
+}
+
+/// Draws a fault schedule inside the recoverable envelope. `ranking`
+/// lets the schedule target real would-be leaders.
+FaultConfig DrawFaults(const LivenessConfig& config, Rng* rng,
+                       const std::vector<NodeId>& ranking) {
+  FaultConfig faults;
+  faults.drop_probability = 0.30 * rng->UniformDouble();
+  faults.duplicate_probability = 0.20 * rng->UniformDouble();
+  faults.delay_multiplier_max = 1.0 + 1.5 * rng->UniformDouble();
+
+  const size_t n = config.num_miners;
+  const size_t max_faulty = n / 3;  // Crashed + islanded together.
+  size_t budget = rng->UniformInt(max_faulty + 1);
+
+  // Crashes: half the budget, biased toward the top of the failover
+  // ranking so leader deaths actually happen. Crash instants range
+  // over the whole epoch (beacon phases, broadcast slots, decision).
+  std::set<NodeId> faulty;
+  const size_t num_crashes = rng->UniformInt(budget / 2 + 1);
+  for (size_t i = 0; i < num_crashes; ++i) {
+    const NodeId victim = rng->Bernoulli(0.5) && i < ranking.size()
+                              ? ranking[i]
+                              : static_cast<NodeId>(rng->UniformInt(n));
+    if (!faulty.insert(victim).second) continue;
+    const double when = config.decision_deadline * rng->UniformDouble();
+    faults.crashes.push_back({victim, when});
+  }
+  budget -= std::min(budget, faults.crashes.size());
+
+  // One partition window islanding the remaining budget, healing at
+  // least 2 s before the decision deadline so repair can cross.
+  if (budget > 0 && rng->Bernoulli(0.7)) {
+    PartitionWindow window;
+    window.start =
+        rng->UniformDouble() * (config.decision_deadline - 4.0);
+    window.end = window.start +
+                 rng->UniformDouble() *
+                     (config.decision_deadline - 2.0 - window.start);
+    while (window.island.size() < budget) {
+      const NodeId node = static_cast<NodeId>(rng->UniformInt(n));
+      if (!faulty.insert(node).second) continue;
+      window.island.push_back(node);
+    }
+    if (!window.island.empty()) faults.partitions.push_back(window);
+  }
+  return faults;
+}
+
+/// The no-split invariant: every live miner's decision is identical.
+void AssertNoSplit(const EpochOutcome& out, uint64_t seed, int epoch) {
+  ASSERT_TRUE(out.converged)
+      << "SPLIT at chaos seed " << seed << " epoch " << epoch;
+  const MinerDecision* ref = nullptr;
+  size_t live = 0;
+  for (const MinerDecision& d : out.decisions) {
+    if (!d.live) continue;
+    ++live;
+    if (ref == nullptr) {
+      ref = &d;
+      continue;
+    }
+    ASSERT_EQ(d.fallback, ref->fallback)
+        << "fallback split at seed " << seed << " epoch " << epoch;
+    ASSERT_EQ(d.plan, ref->plan)
+        << "plan bytes split at seed " << seed << " epoch " << epoch;
+    ASSERT_EQ(d.randomness, ref->randomness)
+        << "randomness split at seed " << seed << " epoch " << epoch;
+  }
+  ASSERT_GT(live, 0u) << "envelope must leave live miners (seed " << seed
+                      << ")";
+}
+
+TEST(ChaosSuite, TwentyFiveSeededSchedulesNeverSplit) {
+  const LivenessConfig config = ChaosConfig();
+  size_t fallback_epochs = 0;
+  size_t view_changes = 0;
+  size_t lossy_epochs = 0;
+
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    EpochLivenessSim sim(config, seed);
+    Rng rng(0x9e3779b97f4a7c15ull ^ seed);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      const std::vector<NodeId> ranking = sim.NextRanking();
+      const FaultConfig fault_config = DrawFaults(config, &rng, ranking);
+      FaultPlan plan(fault_config, seed * 1000 + epoch);
+      const EpochOutcome out = sim.RunEpoch(&plan);
+
+      AssertNoSplit(out, seed, epoch);
+      for (const MinerDecision& d : out.decisions) {
+        if (!d.live) continue;
+        if (d.fallback) {
+          ++fallback_epochs;
+        } else if (d.view > 0) {
+          ++view_changes;
+        }
+        break;
+      }
+      if (out.messages_lost > 0) ++lossy_epochs;
+    }
+  }
+  // The envelope must actually exercise the recovery paths, not just
+  // happy-path epochs.
+  EXPECT_GT(lossy_epochs, 10u) << "schedules too gentle to mean anything";
+  EXPECT_GT(view_changes + fallback_epochs, 0u)
+      << "no schedule ever dethroned a leader";
+}
+
+TEST(ChaosSuite, SameSeedSameOutcomeByteForByte) {
+  const LivenessConfig config = ChaosConfig();
+  auto run = [&config]() {
+    EpochLivenessSim sim(config, 42);
+    Rng rng(42);
+    std::vector<Bytes> plans;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      const FaultConfig fault_config =
+          DrawFaults(config, &rng, sim.NextRanking());
+      FaultPlan plan(fault_config, 4242 + epoch);
+      const EpochOutcome out = sim.RunEpoch(&plan);
+      for (const MinerDecision& d : out.decisions) {
+        plans.push_back(d.plan);
+      }
+    }
+    return plans;
+  };
+  EXPECT_EQ(run(), run()) << "chaos runs must be reproducible from seeds";
+}
+
+TEST(ChaosSuite, LeaderKilledMidBroadcastRecoversByViewChange) {
+  // The acceptance-criterion schedule: the elected leader dies exactly
+  // at its broadcast instant (its own publish is suppressed — the
+  // flood never starts), under simultaneous message loss. The network
+  // must recover via view change, not fallback, and not split.
+  const LivenessConfig config = ChaosConfig();
+  EpochLivenessSim sim(config, 7);
+  const std::vector<NodeId> ranking = sim.NextRanking();
+  ASSERT_GE(ranking.size(), 2u);
+
+  FaultConfig faults;
+  faults.drop_probability = 0.25;
+  faults.crashes = {{ranking[0], config.ViewBroadcastTime(0)}};
+  FaultPlan plan(faults, 77);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  AssertNoSplit(out, 7, 0);
+  EXPECT_FALSE(out.decisions[ranking[0]].live);
+  bool saw_live = false;
+  for (const MinerDecision& d : out.decisions) {
+    if (!d.live) continue;
+    saw_live = true;
+    EXPECT_FALSE(d.fallback) << "view change, not fallback, must recover";
+    EXPECT_EQ(d.view, 1u);
+  }
+  EXPECT_TRUE(saw_live);
+  EXPECT_EQ(sim.epochs().Current()->view, 1u);
+  EXPECT_GT(out.messages_lost, 0u);
+}
+
+TEST(ChaosSuite, PartitionAcrossBroadcastHealsWithoutSplit) {
+  // A third of the miners are islanded across the view-0 broadcast
+  // slot; after the heal, anti-entropy must deliver the SAME view-0
+  // broadcast to the island — not leave it to fall back.
+  const LivenessConfig config = ChaosConfig();
+  EpochLivenessSim sim(config, 11);
+  const std::vector<NodeId> ranking = sim.NextRanking();
+
+  PartitionWindow window;
+  window.start = config.beacon_reveal_close;
+  window.end = config.decision_deadline - 3.0;
+  for (NodeId n = 0; window.island.size() < config.num_miners / 3; ++n) {
+    if (n == ranking[0]) continue;  // Keep the leader on the main side.
+    window.island.push_back(n);
+  }
+  FaultConfig faults;
+  faults.partitions = {window};
+  FaultPlan plan(faults, 111);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  AssertNoSplit(out, 11, 0);
+  for (const MinerDecision& d : out.decisions) {
+    EXPECT_TRUE(d.live);
+    EXPECT_FALSE(d.fallback) << "healed island must catch up, not fall back";
+    EXPECT_EQ(d.view, 0u);
+  }
+  EXPECT_GT(out.repair_sends + out.retransmissions, 0u)
+      << "recovery traffic must have crossed the healed boundary";
+}
+
+}  // namespace
+}  // namespace shardchain

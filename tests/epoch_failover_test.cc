@@ -1,0 +1,218 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/epoch.h"
+#include "core/miner_assignment.h"
+#include "core/sharding_system.h"
+#include "crypto/keys.h"
+#include "crypto/vrf.h"
+
+namespace shardchain {
+namespace {
+
+std::vector<KeyPair> MakeKeys(size_t n) {
+  std::vector<KeyPair> keys;
+  for (size_t i = 0; i < n; ++i) keys.push_back(KeyPair::FromSeed(2000 + i));
+  return keys;
+}
+
+std::vector<LeaderCandidate> Evaluate(const std::vector<KeyPair>& keys,
+                                      const Hash256& seed) {
+  std::vector<LeaderCandidate> out;
+  for (const KeyPair& k : keys) {
+    out.push_back(LeaderCandidate{k.public_key(), VrfEvaluate(k, seed)});
+  }
+  return out;
+}
+
+// --- RankCandidates -------------------------------------------------
+
+TEST(RankCandidatesTest, RankingHeadsWithTheElectedLeader) {
+  const auto keys = MakeKeys(8);
+  const Hash256 seed = Sha256Digest("ranking-seed");
+  const auto candidates = Evaluate(keys, seed);
+
+  Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+  ASSERT_TRUE(ranked.ok());
+  Result<size_t> leader = ElectLeader(candidates, seed);
+  ASSERT_TRUE(leader.ok());
+  EXPECT_EQ(ranked->front(), *leader);
+}
+
+TEST(RankCandidatesTest, RankingIsAPermutationOrderedByTicket) {
+  const auto keys = MakeKeys(10);
+  const Hash256 seed = Sha256Digest("permutation-seed");
+  const auto candidates = Evaluate(keys, seed);
+
+  Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), candidates.size());
+  std::vector<bool> present(candidates.size(), false);
+  for (size_t idx : *ranked) present[idx] = true;
+  for (bool p : present) EXPECT_TRUE(p);
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_LE(VrfTicket(candidates[(*ranked)[i - 1]].vrf.value),
+              VrfTicket(candidates[(*ranked)[i]].vrf.value));
+  }
+}
+
+TEST(RankCandidatesTest, InvalidProofsAreExcluded) {
+  const auto keys = MakeKeys(4);
+  const Hash256 seed = Sha256Digest("invalid-proof-seed");
+  auto candidates = Evaluate(keys, seed);
+  // Corrupt candidate 1's proof: its ticket must vanish from the
+  // ranking.
+  candidates[1].vrf.value.bytes[0] ^= 0xff;
+
+  Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 3u);
+  for (size_t idx : *ranked) EXPECT_NE(idx, 1u);
+}
+
+// --- EpochManager view-change failover ------------------------------
+
+TEST(EpochFailoverTest, AdvancePicksTheViewRankedLeader) {
+  const auto keys = MakeKeys(6);
+  const std::vector<double> fractions{50.0, 50.0};
+
+  for (size_t view = 0; view < 3; ++view) {
+    EpochManager manager(Sha256Digest("failover-genesis"));
+    const Hash256 seed = manager.NextSeed();
+    const auto candidates = Evaluate(keys, seed);
+    Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+    ASSERT_TRUE(ranked.ok());
+
+    Result<EpochRecord> record = manager.Advance(candidates, fractions, view);
+    ASSERT_TRUE(record.ok()) << "view " << view;
+    EXPECT_EQ(record->leader_index, (*ranked)[view]);
+    EXPECT_EQ(record->view, view);
+    EXPECT_EQ(record->randomness, candidates[(*ranked)[view]].vrf.value);
+  }
+}
+
+TEST(EpochFailoverTest, ViewBeyondCandidatesIsOutOfRange) {
+  const auto keys = MakeKeys(3);
+  EpochManager manager(Sha256Digest("failover-genesis"));
+  const auto candidates = Evaluate(keys, manager.NextSeed());
+  Result<EpochRecord> record =
+      manager.Advance(candidates, {100.0}, /*view=*/3);
+  EXPECT_TRUE(record.status().IsOutOfRange());
+}
+
+TEST(EpochFailoverTest, VerifyViewAcceptsExactlyTheLowestLiveCandidate) {
+  const auto keys = MakeKeys(5);
+  const Hash256 seed = Sha256Digest("view-verify-seed");
+  const auto candidates = Evaluate(keys, seed);
+  Result<std::vector<size_t>> ranked = RankCandidates(candidates, seed);
+  ASSERT_TRUE(ranked.ok());
+
+  // All live: only view 0 with the top-ranked leader verifies.
+  std::vector<bool> live(5, true);
+  EXPECT_TRUE(EpochManager::VerifyView(candidates, seed, live, 0,
+                                       (*ranked)[0])
+                  .ok());
+  EXPECT_FALSE(EpochManager::VerifyView(candidates, seed, live, 1,
+                                        (*ranked)[1])
+                   .ok())
+      << "skipping a live leader must be rejected";
+
+  // Kill the top-ranked leader: view 1 with the runner-up verifies,
+  // view 0 does not (dead leader), and impersonation fails.
+  live[(*ranked)[0]] = false;
+  EXPECT_TRUE(EpochManager::VerifyView(candidates, seed, live, 1,
+                                       (*ranked)[1])
+                  .ok());
+  EXPECT_FALSE(EpochManager::VerifyView(candidates, seed, live, 0,
+                                        (*ranked)[0])
+                   .ok());
+  EXPECT_FALSE(EpochManager::VerifyView(candidates, seed, live, 1,
+                                        (*ranked)[2])
+                   .ok())
+      << "a wrong leader at the claimed view must be rejected";
+
+  // Mismatched live vector length is an argument error.
+  EXPECT_TRUE(EpochManager::VerifyView(candidates, seed, {true}, 0,
+                                       (*ranked)[0])
+                  .IsInvalidArgument());
+}
+
+// --- Fallback epochs ------------------------------------------------
+
+TEST(EpochFallbackTest, FallbackKeepsTheSeedChainUnbroken) {
+  const auto keys = MakeKeys(4);
+  EpochManager manager(Sha256Digest("fallback-genesis"));
+
+  // Epoch 1: normal. Epoch 2: fallback. Epoch 3: normal again.
+  Result<EpochRecord> e1 =
+      manager.Advance(Evaluate(keys, manager.NextSeed()), {100.0});
+  ASSERT_TRUE(e1.ok());
+
+  Result<EpochRecord> e2 = manager.AdvanceFallback();
+  ASSERT_TRUE(e2.ok());
+  EXPECT_TRUE(e2->fallback);
+  EXPECT_EQ(e2->number, 2u);
+  EXPECT_EQ(e2->randomness, EpochManager::FallbackRandomness(e2->seed));
+  EXPECT_EQ(e2->fractions, std::vector<double>{100.0});
+  // The record verifies structurally without any leader key.
+  EXPECT_TRUE(EpochManager::VerifyRecord(*e2, e1->randomness,
+                                         keys[0].public_key(), VrfOutput{})
+                  .ok());
+  // A tampered fallback randomness is caught.
+  EpochRecord forged = *e2;
+  forged.randomness.bytes[0] ^= 1;
+  EXPECT_FALSE(EpochManager::VerifyRecord(forged, e1->randomness,
+                                          keys[0].public_key(), VrfOutput{})
+                   .ok());
+
+  // Every miner lands in the MaxShard during the fallback epoch.
+  for (size_t i = 0; i < 6; ++i) {
+    Result<ShardId> shard =
+        manager.CurrentShardOf(Sha256Digest("miner-" + std::to_string(i)));
+    ASSERT_TRUE(shard.ok());
+    EXPECT_EQ(*shard, kMaxShardId);
+  }
+
+  Result<EpochRecord> e3 =
+      manager.Advance(Evaluate(keys, manager.NextSeed()), {100.0});
+  ASSERT_TRUE(e3.ok());
+  EXPECT_FALSE(e3->fallback);
+  EXPECT_EQ(e3->number, 3u);
+}
+
+TEST(ShardingSystemFallbackTest, FallbackEpochFullyValidatesInMaxShard) {
+  ShardingSystem system(ShardingSystemConfig{}, 99);
+  for (int i = 0; i < 5; ++i) system.AddMiner();
+  const Address alice = Address::FromHash(Sha256Digest("alice"));
+  const Address bob = Address::FromHash(Sha256Digest("bob"));
+  system.Mint(alice, 1000);
+
+  ASSERT_TRUE(system.BeginFallbackEpoch().ok());
+  EXPECT_TRUE(system.EpochActive());
+  EXPECT_TRUE(system.CurrentEpochIsFallback());
+  for (NodeId m = 0; m < 5; ++m) {
+    EXPECT_EQ(system.ShardOfMiner(m), kMaxShardId)
+        << "fallback must send every miner to the MaxShard";
+  }
+
+  // The degraded epoch still makes progress: txs route and blocks mine.
+  Transaction tx;
+  tx.kind = TxKind::kDirectTransfer;
+  tx.sender = alice;
+  tx.recipient = bob;
+  tx.value = 10;
+  tx.fee = 1;
+  Result<ShardId> routed = system.SubmitTransaction(tx);
+  ASSERT_TRUE(routed.ok());
+  Result<Hash256> mined = system.MineBlock(2);
+  ASSERT_TRUE(mined.ok());
+
+  // The next normal epoch clears the degraded mode.
+  ASSERT_TRUE(system.BeginEpoch(1).ok());
+  EXPECT_FALSE(system.CurrentEpochIsFallback());
+  EXPECT_EQ(system.epochs().EpochCount(), 2u);
+}
+
+}  // namespace
+}  // namespace shardchain

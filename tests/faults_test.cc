@@ -1,0 +1,293 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/faults.h"
+#include "net/gossip.h"
+#include "net/network.h"
+
+namespace shardchain {
+namespace {
+
+Bytes Payload(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// --- FaultPlan ------------------------------------------------------
+
+TEST(FaultPlanTest, DecisionsAreDeterministicPerLink) {
+  FaultConfig config;
+  config.drop_probability = 0.4;
+  config.duplicate_probability = 0.2;
+  config.delay_multiplier_max = 3.0;
+
+  FaultPlan a(config, 77);
+  FaultPlan b(config, 77);
+  // Interleave the links differently in the two plans: per-link
+  // counters must make the outcomes identical anyway.
+  std::vector<bool> drops_a, drops_b;
+  for (int i = 0; i < 50; ++i) {
+    drops_a.push_back(a.ShouldDrop(1, 2));
+    drops_a.push_back(a.ShouldDrop(3, 4));
+  }
+  for (int i = 0; i < 50; ++i) drops_b.push_back(b.ShouldDrop(1, 2));
+  for (int i = 0; i < 50; ++i) drops_b.push_back(b.ShouldDrop(3, 4));
+  // Same per-link sequences, different global interleaving: compare
+  // per link.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(drops_a[2 * i], drops_b[i]) << "link 1->2 attempt " << i;
+    EXPECT_EQ(drops_a[2 * i + 1], drops_b[50 + i]) << "link 3->4 attempt " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.DelayMultiplier(5, 6), b.DelayMultiplier(5, 6));
+}
+
+TEST(FaultPlanTest, DifferentSeedsDifferentCoins) {
+  FaultConfig config;
+  config.drop_probability = 0.5;
+  FaultPlan a(config, 1);
+  FaultPlan b(config, 2);
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.ShouldDrop(0, 1) != b.ShouldDrop(0, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, DropRateTracksProbability) {
+  FaultConfig config;
+  config.drop_probability = 0.3;
+  FaultPlan plan(config, 9);
+  int drops = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (plan.ShouldDrop(0, 1)) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+  EXPECT_EQ(plan.drops_injected(), static_cast<uint64_t>(drops));
+}
+
+TEST(FaultPlanTest, CrashesTakeEffectAtTheirInstant) {
+  FaultConfig config;
+  config.crashes = {{3, 1.5}, {7, 0.0}};
+  FaultPlan plan(config, 1);
+  EXPECT_FALSE(plan.IsCrashed(3, 1.0));
+  EXPECT_TRUE(plan.IsCrashed(3, 1.5));
+  EXPECT_TRUE(plan.IsCrashed(3, 99.0));
+  EXPECT_TRUE(plan.IsCrashed(7, 0.0));
+  EXPECT_FALSE(plan.IsCrashed(0, 99.0));
+}
+
+TEST(FaultPlanTest, PartitionCutsIslandBoundaryOnly) {
+  FaultConfig config;
+  config.partitions = {{1.0, 2.0, {0, 1, 2}}};
+  FaultPlan plan(config, 1);
+  // Before and after the window: nothing is cut.
+  EXPECT_FALSE(plan.LinkCut(0, 5, 0.5));
+  EXPECT_FALSE(plan.LinkCut(0, 5, 2.0));
+  // Inside the window: island <-> rest is cut, intra-side links work.
+  EXPECT_TRUE(plan.LinkCut(0, 5, 1.5));
+  EXPECT_TRUE(plan.LinkCut(5, 0, 1.5));
+  EXPECT_FALSE(plan.LinkCut(0, 1, 1.5));
+  EXPECT_FALSE(plan.LinkCut(5, 6, 1.5));
+}
+
+TEST(FaultPlanTest, DelayMultiplierStaysInRange) {
+  FaultConfig config;
+  config.delay_multiplier_max = 4.0;
+  FaultPlan plan(config, 3);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      const double m = plan.DelayMultiplier(a, b);
+      EXPECT_GE(m, 1.0);
+      EXPECT_LE(m, 4.0);
+    }
+  }
+  // Default config: no extra delay.
+  FaultPlan none(FaultConfig{}, 3);
+  EXPECT_DOUBLE_EQ(none.DelayMultiplier(0, 1), 1.0);
+}
+
+// --- Gossip recovery under faults -----------------------------------
+
+TEST(GossipFaultsTest, FloodSurvivesHeavyLoss) {
+  Rng rng(11);
+  GossipNetwork net(40, {}, &rng);
+  FaultConfig config;
+  config.drop_probability = 0.30;
+  FaultPlan plan(config, 42);
+  net.SetFaultPlan(&plan);
+
+  EventQueue queue;
+  std::set<NodeId> reached;
+  net.SetHandler([&](NodeId node, const Bytes&, SimTime) {
+    reached.insert(node);
+  });
+  net.Publish(0, Payload("block"), &queue);
+  queue.RunAll();
+
+  EXPECT_EQ(reached.size(), 40u) << "flood must recover from 30% loss";
+  EXPECT_GT(net.MessagesLost(), 0u);
+  EXPECT_GT(net.Retransmissions(), 0u);
+  EXPECT_EQ(net.ActiveFloods(), 0u) << "flood state must be pruned";
+}
+
+TEST(GossipFaultsTest, CrashedNodesNeitherReceiveNorRelay) {
+  Rng rng(12);
+  GossipNetwork net(30, {}, &rng);
+  FaultConfig config;
+  config.crashes = {{4, 0.0}, {9, 0.0}, {17, 0.0}};
+  FaultPlan plan(config, 5);
+  net.SetFaultPlan(&plan);
+
+  EventQueue queue;
+  std::set<NodeId> reached;
+  net.SetHandler([&](NodeId node, const Bytes&, SimTime) {
+    reached.insert(node);
+  });
+  net.Publish(0, Payload("x"), &queue);
+  queue.RunAll();
+
+  EXPECT_EQ(reached.size(), 27u);
+  EXPECT_EQ(reached.count(4), 0u);
+  EXPECT_EQ(reached.count(9), 0u);
+  EXPECT_EQ(reached.count(17), 0u);
+}
+
+TEST(GossipFaultsTest, HealedPartitionIsRepaired) {
+  Rng rng(13);
+  GossipNetwork net(20, {}, &rng);
+  FaultConfig config;
+  // Nodes 10..19 cut off from the start; the window heals at t=2.
+  PartitionWindow window;
+  window.start = 0.0;
+  window.end = 2.0;
+  for (NodeId n = 10; n < 20; ++n) window.island.push_back(n);
+  config.partitions = {window};
+  FaultPlan plan(config, 6);
+  net.SetFaultPlan(&plan);
+
+  EventQueue queue;
+  std::set<NodeId> reached;
+  SimTime last_arrival = 0.0;
+  net.SetHandler([&](NodeId node, const Bytes&, SimTime when) {
+    reached.insert(node);
+    last_arrival = std::max(last_arrival, when);
+  });
+  net.Publish(0, Payload("cross"), &queue);
+  queue.RunAll();
+
+  EXPECT_EQ(reached.size(), 20u) << "flood must cross after the heal";
+  EXPECT_GE(last_arrival, 2.0) << "island nodes can only hear post-heal";
+  EXPECT_GT(plan.cuts_hit(), 0u);
+}
+
+TEST(GossipFaultsTest, DuplicatesAreDeliveredOnce) {
+  Rng rng(14);
+  GossipNetwork net(25, {}, &rng);
+  FaultConfig config;
+  config.duplicate_probability = 0.5;
+  FaultPlan plan(config, 7);
+  net.SetFaultPlan(&plan);
+
+  EventQueue queue;
+  std::vector<int> deliveries(25, 0);
+  net.SetHandler([&](NodeId node, const Bytes&, SimTime) {
+    ++deliveries[node];
+  });
+  net.Publish(3, Payload("dup"), &queue);
+  queue.RunAll();
+
+  EXPECT_GT(plan.duplicates_injected(), 0u);
+  for (int d : deliveries) EXPECT_EQ(d, 1);
+}
+
+TEST(GossipFaultsTest, FaultFreeBehaviourUnchangedByAttachment) {
+  // A FaultPlan with default (all-zero) config must not alter the
+  // flood: same deliveries, no retries, no repair traffic.
+  Rng rng1(15);
+  GossipNetwork clean(30, {}, &rng1);
+  Rng rng2(15);
+  GossipNetwork faulty(30, {}, &rng2);
+  FaultPlan plan(FaultConfig{}, 1);
+  faulty.SetFaultPlan(&plan);
+
+  SimTime clean_last = 0.0, faulty_last = 0.0;
+  EventQueue q1, q2;
+  clean.SetHandler([&](NodeId, const Bytes&, SimTime when) {
+    clean_last = std::max(clean_last, when);
+  });
+  faulty.SetHandler([&](NodeId, const Bytes&, SimTime when) {
+    faulty_last = std::max(faulty_last, when);
+  });
+  clean.Publish(0, Payload("same"), &q1);
+  faulty.Publish(0, Payload("same"), &q2);
+  q1.RunAll();
+  q2.RunAll();
+
+  EXPECT_DOUBLE_EQ(clean_last, faulty_last);
+  EXPECT_EQ(clean.MessagesSent(), faulty.MessagesSent());
+  EXPECT_EQ(faulty.Retransmissions(), 0u);
+  EXPECT_EQ(faulty.MessagesLost(), 0u);
+}
+
+TEST(GossipFaultsTest, SpreadReportCountsRecoveryTraffic) {
+  Rng rng(16);
+  GossipNetwork net(30, {}, &rng);
+  FaultConfig config;
+  config.drop_probability = 0.25;
+  FaultPlan plan(config, 8);
+  net.SetFaultPlan(&plan);
+
+  EventQueue queue;
+  const GossipNetwork::SpreadReport report =
+      net.MeasureSpread(0, Payload("measured"), &queue);
+  EXPECT_EQ(report.reached, 30u);
+  EXPECT_GT(report.lost, 0u);
+  EXPECT_GT(report.retransmissions, 0u);
+  EXPECT_GE(report.time_to_all, report.time_to_half);
+}
+
+// --- Network (abstract counter) fault hooks -------------------------
+
+TEST(NetworkFaultsTest, ShardOfIsTotalForUnregisteredNodes) {
+  Network net;
+  EXPECT_EQ(net.ShardOf(1234), kUnassignedShard);
+  net.Register(7, 2);
+  EXPECT_EQ(net.ShardOf(7), 2u);
+  EXPECT_EQ(net.ShardOf(8), kUnassignedShard);
+}
+
+TEST(NetworkFaultsTest, SendsTouchingCrashedNodesAreSuppressed) {
+  Network net;
+  net.Register(0, 0);
+  net.Register(1, 0);
+  net.Register(2, 1);
+  FaultConfig config;
+  config.crashes = {{1, 1.0}};
+  FaultPlan plan(config, 1);
+  net.SetFaultPlan(&plan);
+
+  EXPECT_TRUE(net.Send(0, 1, MsgKind::kTxGossip, 0.5));
+  EXPECT_FALSE(net.Send(0, 1, MsgKind::kTxGossip, 1.5));
+  EXPECT_FALSE(net.Send(1, 2, MsgKind::kTxGossip, 1.5));
+  EXPECT_TRUE(net.Send(0, 2, MsgKind::kTxGossip, 1.5));
+  EXPECT_EQ(net.SuppressedCount(), 2u);
+}
+
+TEST(NetworkFaultsTest, PartitionSuppressesCrossIslandSends) {
+  Network net;
+  for (NodeId n = 0; n < 4; ++n) net.Register(n, 0);
+  FaultConfig config;
+  config.partitions = {{0.0, 10.0, {0, 1}}};
+  FaultPlan plan(config, 2);
+  net.SetFaultPlan(&plan);
+
+  EXPECT_TRUE(net.Send(0, 1, MsgKind::kTxGossip, 5.0));
+  EXPECT_FALSE(net.Send(0, 2, MsgKind::kTxGossip, 5.0));
+  EXPECT_TRUE(net.Send(0, 2, MsgKind::kTxGossip, 10.0));
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/liveness.h"
+
+namespace shardchain {
+namespace {
+
+LivenessConfig SmallConfig() {
+  LivenessConfig config;
+  config.num_miners = 12;
+  config.gossip.deterministic_latency = true;
+  return config;
+}
+
+// Every live miner must have reached the same decision.
+void ExpectConverged(const EpochOutcome& out) {
+  EXPECT_TRUE(out.converged);
+  const MinerDecision* ref = nullptr;
+  for (const MinerDecision& d : out.decisions) {
+    if (!d.live) continue;
+    if (ref == nullptr) {
+      ref = &d;
+      continue;
+    }
+    EXPECT_EQ(d.fallback, ref->fallback);
+    EXPECT_EQ(d.plan, ref->plan);
+    EXPECT_EQ(d.randomness, ref->randomness);
+  }
+}
+
+TEST(LivenessSimTest, FaultFreeEpochConvergesAtViewZero) {
+  EpochLivenessSim sim(SmallConfig(), 1);
+  const EpochOutcome out = sim.RunEpoch(nullptr);
+
+  EXPECT_EQ(out.epoch_number, 1u);
+  EXPECT_EQ(out.broadcasts_published, 1u);
+  EXPECT_FALSE(out.beacon_degraded);
+  EXPECT_TRUE(out.withholders.empty());
+  ExpectConverged(out);
+  for (const MinerDecision& d : out.decisions) {
+    EXPECT_TRUE(d.live);
+    EXPECT_FALSE(d.fallback);
+    EXPECT_EQ(d.view, 0u);
+    EXPECT_FALSE(d.plan.empty());
+  }
+  EXPECT_EQ(sim.epochs().EpochCount(), 1u);
+  EXPECT_FALSE(sim.epochs().Current()->fallback);
+  EXPECT_EQ(sim.epochs().Current()->view, 0u);
+}
+
+TEST(LivenessSimTest, EpochsChainAndStayDistinct) {
+  EpochLivenessSim sim(SmallConfig(), 2);
+  const EpochOutcome e1 = sim.RunEpoch(nullptr);
+  const EpochOutcome e2 = sim.RunEpoch(nullptr);
+  EXPECT_EQ(e2.epoch_number, 2u);
+  EXPECT_NE(e1.seed, e2.seed);
+  EXPECT_NE(e1.decisions[0].plan, e2.decisions[0].plan)
+      << "each epoch's broadcast must bind to its own seed";
+  EXPECT_EQ(sim.epochs().EpochCount(), 2u);
+}
+
+TEST(LivenessSimTest, LeaderKilledBeforeBroadcastTriggersViewChange) {
+  const LivenessConfig config = SmallConfig();
+  EpochLivenessSim sim(config, 3);
+  const std::vector<NodeId> ranking = sim.NextRanking();
+  ASSERT_GE(ranking.size(), 2u);
+
+  // Kill the elected leader an instant before its broadcast slot: the
+  // runner-up must take over at view 1.
+  FaultConfig faults;
+  faults.crashes = {{ranking[0], config.ViewBroadcastTime(0) - 0.01}};
+  FaultPlan plan(faults, 1);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  ExpectConverged(out);
+  EXPECT_EQ(out.broadcasts_published, 1u);
+  for (size_t i = 0; i < out.decisions.size(); ++i) {
+    if (!out.decisions[i].live) continue;
+    EXPECT_FALSE(out.decisions[i].fallback);
+    EXPECT_EQ(out.decisions[i].view, 1u)
+        << "survivors must accept the view-1 leader";
+  }
+  EXPECT_FALSE(out.decisions[ranking[0]].live);
+  EXPECT_EQ(sim.epochs().Current()->view, 1u);
+}
+
+TEST(LivenessSimTest, LeaderKilledMidBroadcastStillConverges) {
+  const LivenessConfig config = SmallConfig();
+  EpochLivenessSim sim(config, 4);
+  const std::vector<NodeId> ranking = sim.NextRanking();
+  ASSERT_GE(ranking.size(), 2u);
+
+  // Kill the leader just AFTER it published: the partially flooded
+  // view-0 broadcast must either win everywhere (relays complete it)
+  // or lose everywhere — never split the network.
+  FaultConfig faults;
+  faults.crashes = {{ranking[0], config.ViewBroadcastTime(0) + 0.01}};
+  FaultPlan plan(faults, 1);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  ExpectConverged(out);
+  for (size_t i = 0; i < out.decisions.size(); ++i) {
+    if (!out.decisions[i].live) continue;
+    EXPECT_FALSE(out.decisions[i].fallback);
+    EXPECT_EQ(out.decisions[i].view, 0u)
+        << "neighbour relays must finish the dead leader's flood";
+  }
+}
+
+TEST(LivenessSimTest, AllEligibleLeadersDeadMeansUnanimousFallback) {
+  const LivenessConfig config = SmallConfig();
+  EpochLivenessSim sim(config, 5);
+  const std::vector<NodeId> ranking = sim.NextRanking();
+  ASSERT_GE(ranking.size(), config.max_views);
+
+  // Crash every miner that could ever lead (views 0..max_views-1)
+  // before the first broadcast slot.
+  FaultConfig faults;
+  for (size_t v = 0; v < config.max_views; ++v) {
+    faults.crashes.push_back({ranking[v], config.beacon_reveal_close});
+  }
+  FaultPlan plan(faults, 1);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  ExpectConverged(out);
+  EXPECT_EQ(out.broadcasts_published, 0u);
+  const Hash256 expected = EpochManager::FallbackRandomness(out.seed);
+  for (const MinerDecision& d : out.decisions) {
+    if (!d.live) continue;
+    EXPECT_TRUE(d.fallback);
+    EXPECT_EQ(d.randomness, expected);
+    EXPECT_TRUE(d.plan.empty());
+  }
+  EXPECT_TRUE(sim.epochs().Current()->fallback);
+}
+
+TEST(LivenessSimTest, WithholdersAreExcludedFromNextCandidacy) {
+  const LivenessConfig config = SmallConfig();
+  EpochLivenessSim sim(config, 6);
+
+  // Crash one miner between the commit and reveal phases: it commits,
+  // never reveals, and is named a withholder.
+  const NodeId victim = 3;
+  FaultConfig faults;
+  faults.crashes = {{victim, config.beacon_commit_close}};
+  FaultPlan plan(faults, 1);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  ASSERT_EQ(out.withholders.size(), 1u);
+  EXPECT_EQ(out.withholders[0], victim);
+  EXPECT_EQ(sim.excluded(), out.withholders);
+
+  // The next epoch's failover ranking must not contain the withholder.
+  const std::vector<NodeId> ranking = sim.NextRanking();
+  EXPECT_EQ(ranking.size(), config.num_miners - 1);
+  EXPECT_EQ(std::count(ranking.begin(), ranking.end(), victim), 0);
+
+  // One clean epoch later the exclusion lapses.
+  const EpochOutcome clean = sim.RunEpoch(nullptr);
+  EXPECT_TRUE(clean.withholders.empty());
+  EXPECT_EQ(sim.NextRanking().size(), config.num_miners);
+}
+
+TEST(LivenessSimTest, BeaconDegradesBelowQuorumInsteadOfStalling) {
+  LivenessConfig config = SmallConfig();
+  config.min_reveals = config.num_miners;  // Any withholder degrades it.
+  EpochLivenessSim sim(config, 7);
+
+  FaultConfig faults;
+  faults.crashes = {{2, config.beacon_commit_close}};
+  FaultPlan plan(faults, 1);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  EXPECT_TRUE(out.beacon_degraded);
+  ExpectConverged(out);
+  for (const MinerDecision& d : out.decisions) {
+    if (!d.live) continue;
+    EXPECT_FALSE(d.fallback)
+        << "a degraded beacon must not prevent the leader broadcast";
+  }
+}
+
+TEST(LivenessSimTest, LossyGossipRecoversWithinTheEpoch) {
+  EpochLivenessSim sim(SmallConfig(), 8);
+  FaultConfig faults;
+  faults.drop_probability = 0.30;
+  FaultPlan plan(faults, 21);
+  const EpochOutcome out = sim.RunEpoch(&plan);
+
+  ExpectConverged(out);
+  EXPECT_GT(out.messages_lost, 0u);
+  EXPECT_GT(out.retransmissions, 0u);
+  for (const MinerDecision& d : out.decisions) {
+    EXPECT_TRUE(d.live);
+    EXPECT_FALSE(d.fallback);
+  }
+  EXPECT_GT(out.recovery_latency, 0.0);
+  EXPECT_LT(out.recovery_latency, sim.config().decision_deadline);
+}
+
+}  // namespace
+}  // namespace shardchain
