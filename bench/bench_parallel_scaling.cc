@@ -1,0 +1,223 @@
+// Parallel scaling of the deterministic hot paths (DESIGN.md §9):
+// ops/sec by thread count for the selection-game utility scan, the
+// merging-game replicator, Merkle batch roots, and VRF batch
+// verification. Every kernel produces byte-identical results at every
+// thread count (asserted here against the serial run before timing),
+// so the only thing that may change with the thread knob is speed.
+//
+// Emits BENCH_parallel.json into the working directory for CI
+// artifact collection.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/emit_json.h"
+#include "common/rng.h"
+#include "core/unification.h"
+#include "core/unification_codec.h"
+#include "crypto/merkle.h"
+#include "crypto/vrf.h"
+#include "parallel/thread_pool.h"
+
+namespace shardchain {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr double kMinSeconds = 0.25;
+
+struct KernelResult {
+  std::string name;
+  size_t threads = 1;
+  double ops_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+/// Times `op` (which must consume its result via the returned checksum
+/// so the optimizer cannot elide work): runs for >= kMinSeconds and
+/// returns invocations per second.
+double MeasureOpsPerSec(const std::function<uint64_t()>& op) {
+  uint64_t sink = op();  // Warm-up (and first correctness pass).
+  size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    sink ^= op();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < kMinSeconds);
+  // Keep `sink` observable.
+  if (sink == 0xdeadbeefdeadbeefull) std::printf("(unlikely checksum)\n");
+  return static_cast<double>(iters) / elapsed;
+}
+
+uint64_t Checksum(const Bytes& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint8_t b : bytes) h = (h ^ b) * 1099511628211ull;
+  return h;
+}
+
+/// A kernel exposes one operation parameterized by a pool; the harness
+/// verifies parallel output equals serial output, then times it at
+/// every thread count.
+struct Kernel {
+  std::string name;
+  std::function<uint64_t(ThreadPool*)> op;
+};
+
+std::vector<Kernel> BuildKernels() {
+  std::vector<Kernel> kernels;
+
+  // --- Selection game: per-transaction utility scans in the sweep ---
+  {
+    auto params = std::make_shared<UnifiedParameters>();
+    Rng rng(101);
+    params->randomness = Sha256Digest("bench.parallel.select");
+    for (int t = 0; t < 4000; ++t) {
+      params->tx_fees.push_back(static_cast<Amount>(1 + rng.Zipf(400, 1.1)));
+    }
+    params->num_miners = 20;
+    params->select_config.capacity = 10;
+    kernels.push_back({"selection_game", [params](ThreadPool* pool) {
+                         return Checksum(codec::EncodeSelectionPlan(
+                             ComputeSelectionPlan(*params, pool)));
+                       }});
+  }
+
+  // --- Merging game: Monte-Carlo replicator dynamics ----------------
+  {
+    auto params = std::make_shared<UnifiedParameters>();
+    Rng rng(202);
+    params->randomness = Sha256Digest("bench.parallel.merge");
+    for (int s = 0; s < 24; ++s) {
+      params->shard_sizes.push_back(1 + rng.UniformInt(19));
+    }
+    params->merge_config.subslots = 64;
+    params->merge_config.max_slots = 120;
+    params->num_miners = 24;
+    kernels.push_back({"merging_replicator", [params](ThreadPool* pool) {
+                         return Checksum(codec::EncodeMergePlan(
+                             ComputeMergePlan(*params, pool)));
+                       }});
+  }
+
+  // --- Merkle batch root --------------------------------------------
+  {
+    auto leaves = std::make_shared<std::vector<Hash256>>();
+    Rng rng(303);
+    leaves->resize(50'000);
+    for (Hash256& leaf : *leaves) {
+      leaf = Sha256Digest("leaf." + std::to_string(rng.Next()));
+    }
+    kernels.push_back({"merkle_batch_root", [leaves](ThreadPool* pool) {
+                         return MerkleRoot(*leaves, pool).Prefix64();
+                       }});
+  }
+
+  // --- VRF batch verification ---------------------------------------
+  {
+    struct VrfFixture {
+      std::vector<KeyPair> keys;
+      std::vector<VrfOutput> outs;
+      Hash256 seed;
+    };
+    auto fx = std::make_shared<VrfFixture>();
+    Rng rng(404);
+    fx->seed = Sha256Digest("bench.parallel.vrf");
+    for (int i = 0; i < 48; ++i) {
+      fx->keys.push_back(KeyPair::Generate(&rng));
+      fx->outs.push_back(VrfEvaluate(fx->keys.back(), fx->seed));
+    }
+    kernels.push_back({"vrf_verify_batch", [fx](ThreadPool* pool) {
+                         std::vector<const PublicKey*> pks;
+                         std::vector<const VrfOutput*> outs;
+                         for (size_t i = 0; i < fx->keys.size(); ++i) {
+                           pks.push_back(&fx->keys[i].public_key());
+                           outs.push_back(&fx->outs[i]);
+                         }
+                         const std::vector<uint8_t> valid =
+                             VrfVerifyBatch(pks, fx->seed, outs, pool);
+                         uint64_t h = 0;
+                         for (uint8_t v : valid) h = h * 31 + v;
+                         return h;
+                       }});
+  }
+  return kernels;
+}
+
+}  // namespace
+}  // namespace shardchain
+
+int main() {
+  using namespace shardchain;
+  using bench::Fmt;
+
+  bench::Banner(
+      "BENCH parallel scaling (DESIGN.md §9)",
+      "deterministic parallelism: identical bytes at every thread count; "
+      "speed is the only degree of freedom");
+  std::printf("hardware_concurrency = %u\n",
+              std::thread::hardware_concurrency());
+
+  std::vector<KernelResult> results;
+  for (const Kernel& kernel : BuildKernels()) {
+    // Correctness gate before timing: parallel bytes == serial bytes.
+    const uint64_t serial_sum = kernel.op(nullptr);
+    for (const size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      if (kernel.op(&pool) != serial_sum) {
+        std::fprintf(stderr, "FATAL: %s diverged at %zu threads\n",
+                     kernel.name.c_str(), threads);
+        return 1;
+      }
+    }
+
+    bench::Row({"kernel", "threads", "ops/sec", "speedup"});
+    double baseline = 0.0;
+    for (const size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      ThreadPool* p = threads == 1 ? nullptr : &pool;
+      KernelResult r;
+      r.name = kernel.name;
+      r.threads = threads;
+      r.ops_per_sec = MeasureOpsPerSec([&] { return kernel.op(p); });
+      if (threads == 1) baseline = r.ops_per_sec;
+      r.speedup = baseline > 0.0 ? r.ops_per_sec / baseline : 1.0;
+      results.push_back(r);
+      bench::Row({kernel.name, std::to_string(threads),
+                  Fmt(r.ops_per_sec, 2), Fmt(r.speedup, 2)});
+    }
+    std::printf("\n");
+  }
+
+  bench::Json doc = bench::Json::Object();
+  doc.Set("bench", bench::Json::Str("parallel_scaling"));
+  doc.Set("hardware_concurrency",
+          bench::Json::Int(std::thread::hardware_concurrency()));
+  doc.Set("determinism",
+          bench::Json::Str("all kernels byte-identical to threads=1"));
+  bench::Json arr = bench::Json::Array();
+  for (const KernelResult& r : results) {
+    bench::Json row = bench::Json::Object();
+    row.Set("kernel", bench::Json::Str(r.name));
+    row.Set("threads", bench::Json::Int(static_cast<int64_t>(r.threads)));
+    row.Set("ops_per_sec", bench::Json::Num(r.ops_per_sec));
+    row.Set("speedup_vs_serial", bench::Json::Num(r.speedup));
+    arr.Push(std::move(row));
+  }
+  doc.Set("results", std::move(arr));
+  const std::string path = "BENCH_parallel.json";
+  if (!bench::WriteJsonFile(path, doc)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

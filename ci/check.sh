@@ -6,6 +6,9 @@
 #      static scan of the consensus-critical directories).
 #   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
 #      full ctest (exercises the determinism harness under sanitizers).
+#   3. Debug build with ThreadSanitizer running the parallel-equivalence
+#      and chaos suites — the legs that actually spin up the
+#      deterministic thread pool (DESIGN.md §9).
 #
 # Usage: ci/check.sh [build-dir-prefix]   (default: build-ci)
 
@@ -38,13 +41,27 @@ run_matrix_leg "$prefix-asan" \
   -DCMAKE_BUILD_TYPE=Debug \
   "-DSHARDCHAIN_SANITIZE=address;undefined"
 
+# TSan leg: ThreadSanitizer cannot combine with ASan, so it gets its
+# own build running only the suites that exercise real threads — the
+# parallel-equivalence/thread-pool binary and the chaos schedules.
+echo "==== configure $prefix-tsan (thread sanitizer) ===="
+cmake -B "$prefix-tsan" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DSHARDCHAIN_SANITIZE=thread
+echo "==== build $prefix-tsan ===="
+cmake --build "$prefix-tsan" -j "$jobs" \
+  --target shardchain_parallel_tests shardchain_chaos_tests
+echo "==== test $prefix-tsan (labels: parallel|chaos) ===="
+ctest --test-dir "$prefix-tsan" --output-on-failure -j "$jobs" \
+  -L "parallel|chaos"
+
 # Standalone determinism lint run with the machine-readable report, so
 # CI artifacts include the findings even on success.
 echo "==== detlint report ===="
 "$prefix-release/tools/detlint" --root . \
   --report "$prefix-release/detlint_report.json" \
   src/core src/consensus src/crypto src/types src/contract \
-  src/net src/sim
+  src/net src/sim src/parallel
 echo "report: $prefix-release/detlint_report.json"
 
 echo "All checks passed."

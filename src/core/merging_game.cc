@@ -5,9 +5,16 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/parallel.h"
+
 namespace shardchain {
 
 namespace {
+
+/// Subslots per chunk in the Monte-Carlo payoff estimation. Fixed, so
+/// the chunk decomposition — and with it each chunk's derived RNG
+/// stream — depends only on the subslot count, never the thread count.
+constexpr size_t kSubslotGrain = 4;
 
 /// Per-subslot utility of player i (Eq. 14): the shard reward G is won
 /// by every small-shard player when the drawn coalition satisfies
@@ -51,20 +58,36 @@ Draw SampleDraw(const std::vector<uint64_t>& sizes,
 double MergeUtility(const std::vector<uint64_t>& sizes,
                     const std::vector<double>& probs, size_t player,
                     bool merge, const MergingGameConfig& config,
-                    size_t mc_samples, Rng* rng) {
+                    size_t mc_samples, Rng* rng, ThreadPool* pool) {
   assert(player < sizes.size());
-  double total = 0.0;
   std::vector<double> fixed = probs;
   fixed[player] = merge ? 1.0 : 0.0;
-  for (size_t s = 0; s < mc_samples; ++s) {
-    const Draw d = SampleDraw(sizes, fixed, config.min_shard_size, rng);
-    total += SubslotUtility(merge, d.satisfied, config);
-  }
+  const uint64_t base = rng->Next();
+  const double total = ParallelReduce(
+      pool, mc_samples, kSubslotGrain, 0.0,
+      [&](size_t begin, size_t end, size_t chunk) {
+        Rng sub(ChunkSeed(base, chunk));
+        double partial = 0.0;
+        for (size_t s = begin; s < end; ++s) {
+          const Draw d = SampleDraw(sizes, fixed, config.min_shard_size, &sub);
+          partial += SubslotUtility(merge, d.satisfied, config);
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   return total / static_cast<double>(mc_samples);
 }
 
+/// Per-chunk payoff partials accumulated over one chunk of subslots.
+struct SubslotPartial {
+  std::vector<double> merge;    // Σ u over draws where player i merged.
+  std::vector<double> mixed;    // Σ u over all draws.
+  std::vector<uint32_t> draws;  // # draws where player i merged.
+};
+
 OneTimeMergeResult RunOneTimeMerge(const std::vector<uint64_t>& sizes,
-                                   const MergingGameConfig& config, Rng* rng) {
+                                   const MergingGameConfig& config, Rng* rng,
+                                   ThreadPool* pool) {
   assert(rng != nullptr);
   OneTimeMergeResult result;
   const size_t n = sizes.size();
@@ -80,6 +103,8 @@ OneTimeMergeResult RunOneTimeMerge(const std::vector<uint64_t>& sizes,
   std::vector<double> avg_merge(n, 0.0);   // Ū_i(Y, x_-i), Eq. 12.
   std::vector<double> avg_mixed(n, 0.0);   // Ū_i(x_i), Eq. 13.
   std::vector<uint32_t> merge_draws(n, 0);
+  std::vector<SubslotPartial> partials(
+      NumChunks(config.subslots, kSubslotGrain));
 
   for (size_t slot = 0; slot < config.max_slots; ++slot) {
     std::fill(avg_merge.begin(), avg_merge.end(), 0.0);
@@ -87,16 +112,38 @@ OneTimeMergeResult RunOneTimeMerge(const std::vector<uint64_t>& sizes,
     std::fill(merge_draws.begin(), merge_draws.end(), 0u);
 
     // M subslots: every player tosses her coin, utilities are recorded
-    // (Algorithm 3, lines 2-6).
-    for (size_t q = 0; q < config.subslots; ++q) {
-      const Draw d = SampleDraw(sizes, x, config.min_shard_size, rng);
+    // (Algorithm 3, lines 2-6). One base draw from the slot's shared
+    // stream seeds an independent stream per chunk of subslots; the
+    // per-chunk partials are then folded in chunk order, so the slot
+    // consumes exactly one value of `rng` and the sums are bit-equal at
+    // every thread count.
+    const uint64_t slot_base = rng->Next();
+    ParallelChunks(pool, config.subslots, kSubslotGrain,
+                   [&](size_t begin, size_t end, size_t chunk) {
+                     SubslotPartial& p = partials[chunk];
+                     p.merge.assign(n, 0.0);
+                     p.mixed.assign(n, 0.0);
+                     p.draws.assign(n, 0u);
+                     Rng sub(ChunkSeed(slot_base, chunk));
+                     for (size_t q = begin; q < end; ++q) {
+                       const Draw d =
+                           SampleDraw(sizes, x, config.min_shard_size, &sub);
+                       for (size_t i = 0; i < n; ++i) {
+                         const double u = SubslotUtility(d.merged[i] != 0,
+                                                         d.satisfied, config);
+                         p.mixed[i] += u;
+                         if (d.merged[i]) {
+                           p.merge[i] += u;
+                           ++p.draws[i];
+                         }
+                       }
+                     }
+                   });
+    for (const SubslotPartial& p : partials) {
       for (size_t i = 0; i < n; ++i) {
-        const double u = SubslotUtility(d.merged[i] != 0, d.satisfied, config);
-        avg_mixed[i] += u;
-        if (d.merged[i]) {
-          avg_merge[i] += u;
-          ++merge_draws[i];
-        }
+        avg_merge[i] += p.merge[i];
+        avg_mixed[i] += p.mixed[i];
+        merge_draws[i] += p.draws[i];
       }
     }
 
@@ -221,12 +268,12 @@ IterativeMergeResult IterateMerging(const std::vector<uint64_t>& sizes,
 
 IterativeMergeResult RunIterativeMerge(const std::vector<uint64_t>& sizes,
                                        const MergingGameConfig& config,
-                                       Rng* rng) {
+                                       Rng* rng, ThreadPool* pool) {
   assert(rng != nullptr);
   return IterateMerging(
       sizes, config.min_shard_size, /*max_failures=*/8,
       [&](const std::vector<uint64_t>& rem, size_t* slots) {
-        OneTimeMergeResult one = RunOneTimeMerge(rem, config, rng);
+        OneTimeMergeResult one = RunOneTimeMerge(rem, config, rng, pool);
         *slots += one.slots_used;
         return one.formed ? one.merged : std::vector<size_t>{};
       });
@@ -234,17 +281,29 @@ IterativeMergeResult RunIterativeMerge(const std::vector<uint64_t>& sizes,
 
 IterativeMergeResult RunRandomizedMerge(const std::vector<uint64_t>& sizes,
                                         const MergingGameConfig& config,
-                                        Rng* rng, double merge_prob) {
+                                        Rng* rng, double merge_prob,
+                                        ThreadPool* pool) {
   assert(rng != nullptr);
   // One joint coin flip: the shards that say yes form the (single) new
   // shard if Eq. 1 holds, and "the algorithm also stops here"
-  // (Sec. VI-C2) — no iteration over the remainder.
+  // (Sec. VI-C2) — no iteration over the remainder. The flips fan out
+  // over per-chunk streams seeded off one base draw, each writing its
+  // own flag slot, so the coalition is the same at any thread count.
   IterativeMergeResult result;
   result.total_slots = 1;
+  const uint64_t base = rng->Next();
+  std::vector<uint8_t> joined(sizes.size(), 0);
+  ParallelChunks(pool, sizes.size(), kSubslotGrain,
+                 [&](size_t begin, size_t end, size_t chunk) {
+                   Rng sub(ChunkSeed(base, chunk));
+                   for (size_t i = begin; i < end; ++i) {
+                     joined[i] = sub.Bernoulli(merge_prob) ? 1 : 0;
+                   }
+                 });
   std::vector<size_t> coalition;
   uint64_t coalition_size = 0;
   for (size_t i = 0; i < sizes.size(); ++i) {
-    if (rng->Bernoulli(merge_prob)) {
+    if (joined[i]) {
       coalition.push_back(i);
       coalition_size += sizes[i];
     }

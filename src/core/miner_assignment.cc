@@ -13,12 +13,21 @@ Result<size_t> ElectLeader(const std::vector<LeaderCandidate>& candidates,
 }
 
 Result<std::vector<size_t>> RankCandidates(
-    const std::vector<LeaderCandidate>& candidates, const Hash256& seed) {
+    const std::vector<LeaderCandidate>& candidates, const Hash256& seed,
+    ThreadPool* pool) {
+  std::vector<const PublicKey*> pks;
+  std::vector<const VrfOutput*> outs;
+  pks.reserve(candidates.size());
+  outs.reserve(candidates.size());
+  for (const LeaderCandidate& c : candidates) {
+    pks.push_back(&c.public_key);
+    outs.push_back(&c.vrf);
+  }
+  const std::vector<uint8_t> valid = VrfVerifyBatch(pks, seed, outs, pool);
   std::vector<size_t> ranked;
   ranked.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const LeaderCandidate& c = candidates[i];
-    if (VrfVerify(c.public_key, seed, c.vrf)) ranked.push_back(i);
+    if (valid[i]) ranked.push_back(i);
   }
   if (ranked.empty()) {
     return Status::NotFound("no candidate with a valid VRF proof");

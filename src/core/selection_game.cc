@@ -5,6 +5,8 @@
 #include <numeric>
 #include <set>
 
+#include "parallel/parallel.h"
+
 namespace shardchain {
 
 double SelectionUtility(Amount fee, uint32_t others) {
@@ -32,32 +34,47 @@ std::vector<uint32_t> SelectionResult::SelectionCounts(size_t num_txs) const {
 
 namespace {
 
+/// Transactions per chunk in the parallel utility scan. Fixed, so the
+/// scan decomposition is a function of the fee-vector length alone.
+constexpr size_t kScoreGrain = 2048;
+
 /// Picks the best-reply set for one miner: the `capacity` transactions
 /// with the highest fee/(competitors+1) shares, given the selection
 /// counts of the other miners. Ties break toward the lower index so
 /// every miner's computation is reproducible under parameter
 /// unification.
+///
+/// The utility scan fans out over `pool` and writes scores[j] — one
+/// pure double per transaction, each slot written once — so the
+/// subsequent (serial) selection sees identical inputs at any thread
+/// count. `scores` is caller-provided scratch to avoid reallocating in
+/// the sweep loop.
 std::vector<size_t> BestReply(const std::vector<Amount>& fees,
                               const std::vector<uint32_t>& counts,
                               const std::vector<size_t>& current,
-                              size_t capacity) {
+                              size_t capacity, ThreadPool* pool,
+                              std::vector<uint8_t>* mine_scratch,
+                              std::vector<double>* scores) {
   const size_t t = fees.size();
   // counts[] includes this miner's current picks; competitors for tx j
   // exclude her.
-  std::vector<bool> mine(t, false);
-  for (size_t j : current) mine[j] = true;
+  std::vector<uint8_t>& mine = *mine_scratch;
+  mine.assign(t, 0);
+  for (size_t j : current) mine[j] = 1;
+
+  scores->resize(t);
+  ParallelFor(pool, t, kScoreGrain, [&](size_t j) {
+    const uint32_t others = counts[j] - (mine[j] ? 1 : 0);
+    (*scores)[j] = SelectionUtility(fees[j], others);
+  });
 
   std::vector<size_t> order(t);
   std::iota(order.begin(), order.end(), 0);
-  auto score = [&](size_t j) {
-    const uint32_t others = counts[j] - (mine[j] ? 1 : 0);
-    return SelectionUtility(fees[j], others);
-  };
   const size_t take = std::min(capacity, t);
   std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(take),
                     order.end(), [&](size_t a, size_t b) {
-                      const double sa = score(a);
-                      const double sb = score(b);
+                      const double sa = (*scores)[a];
+                      const double sb = (*scores)[b];
                       if (sa != sb) return sa > sb;
                       return a < b;
                     });
@@ -82,7 +99,8 @@ double SetUtility(const std::vector<Amount>& fees,
 
 SelectionResult RunSelectionGame(const std::vector<Amount>& fees,
                                  size_t num_miners,
-                                 const SelectionGameConfig& config, Rng* rng) {
+                                 const SelectionGameConfig& config, Rng* rng,
+                                 ThreadPool* pool) {
   assert(rng != nullptr);
   SelectionResult result;
   result.assignment.assign(num_miners, {});
@@ -112,11 +130,14 @@ SelectionResult RunSelectionGame(const std::vector<Amount>& fees,
   // over uniform-matroid strategy spaces, so the finite improvement
   // property holds and this terminates at a pure Nash equilibrium.
   constexpr double kEps = 1e-12;
+  std::vector<uint8_t> mine_scratch;
+  std::vector<double> scores;
   for (size_t sweep = 0; sweep < config.max_sweeps; ++sweep) {
     bool changed = false;
     for (size_t i = 0; i < num_miners; ++i) {
       std::vector<size_t>& mine = result.assignment[i];
-      std::vector<size_t> best = BestReply(fees, counts, mine, take);
+      std::vector<size_t> best =
+          BestReply(fees, counts, mine, take, pool, &mine_scratch, &scores);
       if (best == mine) continue;
       const double current_u = SetUtility(fees, counts, mine, true);
       // Score the candidate against counts with this miner removed.

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "parallel/parallel.h"
 #include "types/codec.h"
 
 namespace shardchain {
 
 ShardingSystem::ShardingSystem(ShardingSystemConfig config, uint64_t seed)
-    : config_(std::move(config)), rng_(seed) {}
+    : config_(std::move(config)), rng_(seed) {
+  if (config_.parallel.Resolve() > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.parallel.Resolve());
+  }
+}
 
 NodeId ShardingSystem::AddMiner() {
   KeyPair keys = KeyPair::Generate(&rng_);
@@ -38,12 +44,17 @@ Status ShardingSystem::BeginEpoch(uint64_t epoch_nonce) {
   const Hash256 seed = epochs_.NextSeed();
 
   // Leader election: every miner evaluates her VRF; lowest valid
-  // ticket wins (Sec. III-B / Omniledger).
+  // ticket wins (Sec. III-B / Omniledger). The evaluations are
+  // independent per key, so they run as one batch over the pool.
+  std::vector<const KeyPair*> keys;
+  keys.reserve(miners_.size());
+  for (const MinerRecord& m : miners_) keys.push_back(&m.keys);
+  std::vector<VrfOutput> vrfs = VrfEvaluateBatch(keys, seed, pool_.get());
   std::vector<LeaderCandidate> candidates;
   candidates.reserve(miners_.size());
-  for (const MinerRecord& m : miners_) {
-    candidates.push_back(
-        LeaderCandidate{m.keys.public_key(), VrfEvaluate(m.keys, seed)});
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    candidates.push_back(LeaderCandidate{miners_[i].keys.public_key(),
+                                         std::move(vrfs[i])});
   }
 
   // Fractions come from the MaxShard's view of routed transactions.
@@ -257,7 +268,7 @@ IterativeMergeResult ShardingSystem::MergeSmallShards() {
   params.shard_sizes = sizes;
   params.num_miners = miners_.size();
   params.merge_config = config_.merge;
-  const IterativeMergeResult plan = ComputeMergePlan(params);
+  const IterativeMergeResult plan = ComputeMergePlan(params, pool_.get());
 
   for (const std::vector<size_t>& group : plan.new_shards) {
     if (group.empty()) continue;
@@ -297,6 +308,60 @@ IterativeMergeResult ShardingSystem::MergeSmallShards() {
     }
   }
   return plan;
+}
+
+std::vector<ShardSelectionPlan> ShardingSystem::ComputeShardSelectionPlans()
+    const {
+  // Live shards in id order (std::map iteration), so the output order
+  // is canonical regardless of scheduling.
+  std::vector<ShardId> live;
+  for (const auto& [shard, state] : shards_) {
+    if (state.merged_into.has_value()) continue;
+    live.push_back(shard);
+  }
+  std::vector<size_t> miners_per_shard(live.size(), 0);
+  for (const MinerRecord& m : miners_) {
+    const ShardId resolved = ResolveShard(m.shard);
+    for (size_t k = 0; k < live.size(); ++k) {
+      if (live[k] == resolved) {
+        ++miners_per_shard[k];
+        break;
+      }
+    }
+  }
+
+  std::vector<ShardSelectionPlan> plans(live.size());
+  // One shard per chunk: each plan is an independent computation
+  // writing its own slot. The per-shard games receive the pool too, but
+  // nested regions serialize inline, so the fan-out level wins when
+  // there are many shards and the inner scan wins when there are few.
+  ParallelFor(pool_.get(), live.size(), /*grain=*/1, [&](size_t k) {
+    const ShardId shard = live[k];
+    ShardSelectionPlan& out = plans[k];
+    out.shard = shard;
+
+    // Per-shard randomness: public, derived from the epoch randomness
+    // and the shard id alone.
+    Sha256 h;
+    h.Update("shardchain.shardplan.v1");
+    h.Update(randomness_.bytes.data(), randomness_.bytes.size());
+    h.Update(std::to_string(shard));
+    out.params.randomness = h.Finalize();
+
+    // The shard's fee vector in canonical pool order (fee desc, id asc)
+    // — the same total order every miner's pool emits.
+    const TxPool& pool_of_shard = shards_.at(shard).pool;
+    const std::vector<Transaction> txs =
+        pool_of_shard.TopByFee(pool_of_shard.Size());
+    out.params.tx_fees.reserve(txs.size());
+    for (const Transaction& tx : txs) out.params.tx_fees.push_back(tx.fee);
+
+    out.params.num_miners = miners_per_shard[k];
+    out.params.merge_config = config_.merge;
+    out.params.select_config = config_.select;
+    out.plan = ComputeSelectionPlan(out.params, pool_.get());
+  });
+  return plans;
 }
 
 Amount ShardingSystem::ShardRewardOf(NodeId miner) const {

@@ -17,6 +17,7 @@
 #include "core/unification.h"
 #include "crypto/keys.h"
 #include "net/network.h"
+#include "parallel/thread_pool.h"
 #include "txpool/txpool.h"
 
 namespace shardchain {
@@ -29,6 +30,20 @@ struct ShardingSystemConfig {
   Amount shard_reward = 50;
   MergingGameConfig merge;
   SelectionGameConfig select;
+  /// Local execution knob: how many threads the system's deterministic
+  /// pool uses for the hot paths (VRF batches, game plans, per-shard
+  /// fan-out). Never serialized, never part of UnifiedParameters — at
+  /// any setting every output byte matches `threads = 1` (DESIGN.md §9).
+  ParallelConfig parallel;
+};
+
+/// \brief One shard's locally computed transaction assignment.
+struct ShardSelectionPlan {
+  ShardId shard = 0;
+  /// The unified inputs the plan was derived from (per-shard randomness,
+  /// the shard's fee vector in canonical pool order, its miner count).
+  UnifiedParameters params;
+  SelectionResult plan;
 };
 
 /// \brief The full distributed sharding system (Sec. III): contract-
@@ -137,6 +152,18 @@ class ShardingSystem {
   /// a formed group (Sec. IV-A). Returns the merge plan.
   IterativeMergeResult MergeSmallShards();
 
+  /// Computes every live shard's transaction-selection plan (Alg. 2)
+  /// from public data: per-shard randomness derived from the epoch
+  /// randomness and the shard id, the shard's pending fees in canonical
+  /// pool order, and its miner count. Shards fan out over the system
+  /// pool — each plan fills a distinct slot — and the result is ordered
+  /// by shard id, so the vector is byte-identical at any thread count.
+  std::vector<ShardSelectionPlan> ComputeShardSelectionPlans() const;
+
+  /// The system's deterministic thread pool (nullptr when
+  /// config.parallel resolves to one thread).
+  ThreadPool* pool() const { return pool_.get(); }
+
   /// Shard rewards credited so far to a miner.
   Amount ShardRewardOf(NodeId miner) const;
 
@@ -160,6 +187,9 @@ class ShardingSystem {
   ShardId ResolveShard(ShardId shard) const;
 
   ShardingSystemConfig config_;
+  /// Created once from config_.parallel; stays null for threads = 1 so
+  /// the serial path has zero pool overhead.
+  std::unique_ptr<ThreadPool> pool_;
   Rng rng_;
   StateDB genesis_state_;
   ShardFormation formation_;

@@ -15,15 +15,17 @@ uint64_t UnifiedParameters::SeedFor(const char* domain) const {
   return h.Finalize().Prefix64();
 }
 
-IterativeMergeResult ComputeMergePlan(const UnifiedParameters& params) {
+IterativeMergeResult ComputeMergePlan(const UnifiedParameters& params,
+                                      ThreadPool* pool) {
   Rng rng(params.SeedFor("merge"));
-  return RunIterativeMerge(params.shard_sizes, params.merge_config, &rng);
+  return RunIterativeMerge(params.shard_sizes, params.merge_config, &rng, pool);
 }
 
-SelectionResult ComputeSelectionPlan(const UnifiedParameters& params) {
+SelectionResult ComputeSelectionPlan(const UnifiedParameters& params,
+                                     ThreadPool* pool) {
   Rng rng(params.SeedFor("select"));
   return RunSelectionGame(params.tx_fees, params.num_miners,
-                          params.select_config, &rng);
+                          params.select_config, &rng, pool);
 }
 
 Status VerifySelection(const UnifiedParameters& params, size_t miner_index,

@@ -42,12 +42,16 @@ struct UnifiedParameters {
 };
 
 /// Every miner's local, deterministic computation of the merge plan —
-/// identical outputs given identical parameters.
-IterativeMergeResult ComputeMergePlan(const UnifiedParameters& params);
+/// identical outputs given identical parameters. `pool` only changes
+/// how fast the plan is computed, never its bytes (DESIGN.md §9); it is
+/// a local knob and deliberately NOT part of UnifiedParameters.
+IterativeMergeResult ComputeMergePlan(const UnifiedParameters& params,
+                                      ThreadPool* pool = nullptr);
 
 /// Every miner's local, deterministic computation of the transaction
-/// assignment.
-SelectionResult ComputeSelectionPlan(const UnifiedParameters& params);
+/// assignment. Same pool contract as ComputeMergePlan.
+SelectionResult ComputeSelectionPlan(const UnifiedParameters& params,
+                                     ThreadPool* pool = nullptr);
 
 /// Receive-side checks (Sec. IV-C): honest miners compare a peer's
 /// behaviour against the locally computed output and reject liars.

@@ -2,7 +2,31 @@
 
 #include <cassert>
 
+#include "parallel/parallel.h"
+
 namespace shardchain {
+
+namespace {
+
+/// Pair hashes per chunk when a level is reduced in parallel. Fixed, so
+/// chunk boundaries never depend on the thread count; small enough that
+/// transaction-batch levels (thousands of nodes) split across cores.
+constexpr size_t kMerkleGrain = 256;
+
+/// One reduction step: next[i] = H(prev[2i] ‖ prev[2i+1]) with the odd
+/// tail paired with itself. Every output slot is written exactly once.
+std::vector<Hash256> ReduceLevel(const std::vector<Hash256>& prev,
+                                 ThreadPool* pool) {
+  std::vector<Hash256> next((prev.size() + 1) / 2);
+  ParallelFor(pool, next.size(), kMerkleGrain, [&](size_t i) {
+    const Hash256& left = prev[2 * i];
+    const Hash256& right = (2 * i + 1 < prev.size()) ? prev[2 * i + 1] : left;
+    next[i] = HashPair(left, right);
+  });
+  return next;
+}
+
+}  // namespace
 
 MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
   if (leaves.empty()) {
@@ -11,15 +35,7 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
   }
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
-    const std::vector<Hash256>& prev = levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (size_t i = 0; i < prev.size(); i += 2) {
-      const Hash256& left = prev[i];
-      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(HashPair(left, right));
-    }
-    levels_.push_back(std::move(next));
+    levels_.push_back(ReduceLevel(levels_.back(), nullptr));
   }
   root_ = levels_.back()[0];
 }
@@ -42,19 +58,10 @@ MerkleProof MerkleTree::Prove(size_t index) const {
   return proof;
 }
 
-Hash256 MerkleRoot(const std::vector<Hash256>& leaves) {
+Hash256 MerkleRoot(const std::vector<Hash256>& leaves, ThreadPool* pool) {
   if (leaves.empty()) return Hash256::Zero();
   std::vector<Hash256> level = leaves;
-  while (level.size() > 1) {
-    std::vector<Hash256> next;
-    next.reserve((level.size() + 1) / 2);
-    for (size_t i = 0; i < level.size(); i += 2) {
-      const Hash256& left = level[i];
-      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
-      next.push_back(HashPair(left, right));
-    }
-    level = std::move(next);
-  }
+  while (level.size() > 1) level = ReduceLevel(level, pool);
   return level[0];
 }
 

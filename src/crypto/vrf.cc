@@ -1,6 +1,18 @@
 #include "crypto/vrf.h"
 
+#include <cassert>
+
+#include "parallel/parallel.h"
+
 namespace shardchain {
+
+namespace {
+
+/// Lamport evaluate/verify hash ~16 KiB of key material per call, so a
+/// handful of identities per chunk already amortizes the dispatch.
+constexpr size_t kVrfGrain = 4;
+
+}  // namespace
 
 Hash256 VrfSeedDigest(const Hash256& seed) {
   Sha256 h;
@@ -28,6 +40,27 @@ bool VrfVerify(const PublicKey& pk, const Hash256& seed,
     h.Update(pre.bytes.data(), pre.bytes.size());
   }
   return h.Finalize() == out.value;
+}
+
+std::vector<VrfOutput> VrfEvaluateBatch(const std::vector<const KeyPair*>& keys,
+                                        const Hash256& seed,
+                                        ThreadPool* pool) {
+  std::vector<VrfOutput> out(keys.size());
+  ParallelFor(pool, keys.size(), kVrfGrain,
+              [&](size_t i) { out[i] = VrfEvaluate(*keys[i], seed); });
+  return out;
+}
+
+std::vector<uint8_t> VrfVerifyBatch(const std::vector<const PublicKey*>& pks,
+                                    const Hash256& seed,
+                                    const std::vector<const VrfOutput*>& outs,
+                                    ThreadPool* pool) {
+  assert(pks.size() == outs.size());
+  std::vector<uint8_t> ok(pks.size(), 0);
+  ParallelFor(pool, pks.size(), kVrfGrain, [&](size_t i) {
+    ok[i] = VrfVerify(*pks[i], seed, *outs[i]) ? 1 : 0;
+  });
+  return ok;
 }
 
 double VrfTicket(const Hash256& value) {

@@ -2,9 +2,11 @@
 #define SHARDCHAIN_CRYPTO_VRF_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
+#include "parallel/thread_pool.h"
 
 namespace shardchain {
 
@@ -29,6 +31,21 @@ VrfOutput VrfEvaluate(const KeyPair& key, const Hash256& seed);
 /// Verifies that `out` is the unique VRF output of `pk` on `seed`.
 bool VrfVerify(const PublicKey& pk, const Hash256& seed,
                const VrfOutput& out);
+
+/// Batch evaluation: out[i] = VrfEvaluate(*keys[i], seed). Each
+/// evaluation is a pure function of (key, seed), so the batch fans out
+/// over `pool` with every slot written exactly once — results are
+/// positionally identical to the serial loop at any thread count.
+std::vector<VrfOutput> VrfEvaluateBatch(const std::vector<const KeyPair*>& keys,
+                                        const Hash256& seed, ThreadPool* pool);
+
+/// Batch verification: out[i] = VrfVerify(*pks[i], seed, *outs[i]).
+/// `pks` and `outs` must be the same length. uint8_t (not bool) so the
+/// flags are independently addressable per lane.
+std::vector<uint8_t> VrfVerifyBatch(const std::vector<const PublicKey*>& pks,
+                                    const Hash256& seed,
+                                    const std::vector<const VrfOutput*>& outs,
+                                    ThreadPool* pool);
 
 /// Maps a VRF value to a lottery ticket in [0, 1). Leader election picks
 /// the miner with the smallest ticket (Sec. III-B / Omniledger style).

@@ -1,0 +1,103 @@
+#ifndef SHARDCHAIN_PARALLEL_PARALLEL_H_
+#define SHARDCHAIN_PARALLEL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "parallel/thread_pool.h"
+
+namespace shardchain {
+
+/// \brief Deterministic data-parallel primitives (DESIGN.md §9).
+///
+/// The determinism contract every helper here honours:
+///
+///   1. FIXED CHUNKING — chunk boundaries are a function of (n, grain)
+///      only, never of the thread count. Chunk c covers
+///      [c*grain, min(n, (c+1)*grain)).
+///   2. DISJOINT WRITES — a chunk may only write state no other chunk
+///      touches (its own output slots / its own partial accumulator).
+///   3. ORDERED REDUCTION — partial results are combined serially in
+///      chunk order on the calling thread, so floating-point sums see
+///      the exact same addition order at every thread count, including
+///      the pool-free serial path (which walks the same chunks).
+///   4. PER-CHUNK SEEDING — randomized chunk work derives its RNG
+///      stream from ChunkSeed(base, index), never from a shared
+///      sequential generator.
+///
+/// Under these rules the pool's scheduling freedom (which thread runs
+/// which chunk, in what order) cannot leak into any result byte.
+
+/// Number of fixed-size chunks covering n items.
+inline size_t NumChunks(size_t n, size_t grain) {
+  const size_t g = grain == 0 ? 1 : grain;
+  return (n + g - 1) / g;
+}
+
+/// Deterministic per-chunk seed: SplitMix64 over (base, index) — the
+/// same construction FaultPlan::Mix uses — so a chunk's RNG stream
+/// depends only on its logical index, never on which thread runs it or
+/// how many peers run beside it.
+inline uint64_t ChunkSeed(uint64_t base, uint64_t index) {
+  uint64_t state = base;
+  (void)SplitMix64(&state);
+  state ^= index;
+  return SplitMix64(&state);
+}
+
+/// Runs `body(begin, end, chunk)` over the fixed chunk decomposition of
+/// [0, n). `pool == nullptr` (or a single-thread pool, or a nested
+/// call) runs the identical chunks serially in chunk order.
+template <typename Body>
+void ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
+                    const Body& body) {
+  if (n == 0) return;
+  const size_t g = grain == 0 ? 1 : grain;
+  const size_t chunks = NumChunks(n, g);
+  if (pool == nullptr || pool->thread_count() <= 1 || chunks <= 1 ||
+      ThreadPool::InParallelRegion()) {
+    for (size_t c = 0; c < chunks; ++c) {
+      body(c * g, std::min(n, (c + 1) * g), c);
+    }
+    return;
+  }
+  pool->Run(chunks, [&](size_t c) {
+    body(c * g, std::min(n, (c + 1) * g), c);
+  });
+}
+
+/// Element-wise parallel loop: `body(i)` for i in [0, n). The body must
+/// only write state owned by element i.
+template <typename Body>
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain, const Body& body) {
+  ParallelChunks(pool, n, grain, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+/// Map-reduce with ordered combination: `map(begin, end, chunk)`
+/// produces one partial per chunk (computed concurrently), then the
+/// partials are folded left-to-right in chunk order on the calling
+/// thread: acc = combine(acc, partial[0]), combine(acc, partial[1]), …
+/// starting from `init`. The fold order is what makes floating-point
+/// reductions bit-stable across thread counts.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(ThreadPool* pool, size_t n, size_t grain, T init,
+                 const MapFn& map, const CombineFn& combine) {
+  if (n == 0) return init;
+  std::vector<T> partials(NumChunks(n, grain == 0 ? 1 : grain), init);
+  ParallelChunks(pool, n, grain, [&](size_t begin, size_t end, size_t c) {
+    partials[c] = map(begin, end, c);
+  });
+  T acc = init;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_PARALLEL_PARALLEL_H_

@@ -54,6 +54,9 @@ EpochLivenessSim::EpochLivenessSim(const LivenessConfig& config, uint64_t seed)
     : config_(config),
       rng_(seed),
       gossip_(config.num_miners, config.gossip, &rng_) {
+  if (config_.parallel.Resolve() > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.parallel.Resolve());
+  }
   miners_.reserve(config.num_miners);
   for (size_t i = 0; i < config.num_miners; ++i) {
     KeyPair keys = KeyPair::Generate(&rng_);
@@ -66,14 +69,19 @@ void EpochLivenessSim::BuildCandidates(
     std::vector<LeaderCandidate>* candidates,
     std::vector<NodeId>* cand_to_miner) const {
   const Hash256 seed = epochs_.NextSeed();
+  std::vector<const KeyPair*> keys;
   for (size_t i = 0; i < miners_.size(); ++i) {
     const NodeId m = static_cast<NodeId>(i);
     if (std::find(excluded_.begin(), excluded_.end(), m) != excluded_.end()) {
       continue;  // Last epoch's beacon withholders sit this one out.
     }
-    candidates->push_back(LeaderCandidate{
-        miners_[i].keys.public_key(), VrfEvaluate(miners_[i].keys, seed)});
+    keys.push_back(&miners_[i].keys);
     cand_to_miner->push_back(m);
+  }
+  std::vector<VrfOutput> vrfs = VrfEvaluateBatch(keys, seed, pool_.get());
+  for (size_t c = 0; c < keys.size(); ++c) {
+    candidates->push_back(
+        LeaderCandidate{keys[c]->public_key(), std::move(vrfs[c])});
   }
 }
 
@@ -92,7 +100,7 @@ std::vector<NodeId> EpochLivenessSim::NextRanking() const {
   std::vector<NodeId> cand_to_miner;
   BuildCandidates(&candidates, &cand_to_miner);
   Result<std::vector<size_t>> ranked =
-      RankCandidates(candidates, epochs_.NextSeed());
+      RankCandidates(candidates, epochs_.NextSeed(), pool_.get());
   std::vector<NodeId> out;
   if (!ranked.ok()) return out;  // No candidates: nobody can lead.
   out.reserve(ranked->size());
@@ -112,7 +120,8 @@ EpochOutcome EpochLivenessSim::RunEpoch(FaultPlan* faults) {
   std::vector<LeaderCandidate> candidates;
   std::vector<NodeId> cand_to_miner;
   BuildCandidates(&candidates, &cand_to_miner);
-  Result<std::vector<size_t>> ranked_r = RankCandidates(candidates, seed);
+  Result<std::vector<size_t>> ranked_r =
+      RankCandidates(candidates, seed, pool_.get());
   // Failover order as miner ids; each miner's VRF value is common
   // knowledge (simulator shortcut, see class comment).
   std::vector<NodeId> ranked;
@@ -234,7 +243,8 @@ EpochOutcome EpochLivenessSim::RunEpoch(FaultPlan* faults) {
       Result<UnifiedParameters> params =
           codec::DecodeUnifiedParameters(accepted.params_encoding);
       if (params.ok()) {
-        const Bytes plan_enc = codec::EncodeMergePlan(ComputeMergePlan(*params));
+        const Bytes plan_enc =
+            codec::EncodeMergePlan(ComputeMergePlan(*params, pool_.get()));
         d.plan.insert(d.plan.end(), plan_enc.begin(), plan_enc.end());
       }
     }

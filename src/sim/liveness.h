@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -12,6 +13,7 @@
 #include "crypto/keys.h"
 #include "net/faults.h"
 #include "net/gossip.h"
+#include "parallel/thread_pool.h"
 #include "sim/event_queue.h"
 
 namespace shardchain {
@@ -40,6 +42,11 @@ struct LivenessConfig {
   /// Every live miner decides at this instant: lowest received view,
   /// or the MaxShard fallback when none arrived.
   double decision_deadline = 12.0;
+  /// Thread pool for the VRF batches and plan recomputation inside the
+  /// sim. Defaults to 1 (strictly serial) so existing chaos schedules
+  /// run unchanged; any setting yields byte-identical outcomes
+  /// (DESIGN.md §9) — the parallel-equivalence suite asserts this.
+  ParallelConfig parallel{1};
 
   /// When view v's leader checks its inbox and (if still empty)
   /// publishes its broadcast.
@@ -142,6 +149,8 @@ class EpochLivenessSim {
   Bytes BeaconShare(NodeId miner, const Hash256& seed) const;
 
   LivenessConfig config_;
+  /// Null when config_.parallel resolves to one thread.
+  std::unique_ptr<ThreadPool> pool_;
   Rng rng_;
   std::vector<Miner> miners_;
   GossipNetwork gossip_;

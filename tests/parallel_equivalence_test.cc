@@ -1,0 +1,268 @@
+// Differential serial-vs-parallel suite (ctest label: parallel): the
+// consensus-critical outputs — merge plans, selection plans, unified
+// parameters — are computed at thread counts {1, 2, 3, 4, 7, 8} and
+// their PR-1 codec encodings are asserted byte-identical to the
+// strictly serial threads=1 run. This is the Sec. IV-C requirement in
+// executable form: a miner's plan bytes may not depend on how many
+// cores her machine has. A chaos-suite schedule re-run with threads=4
+// closes the loop end-to-end through the liveness simulator.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sharding_system.h"
+#include "core/unification.h"
+#include "core/unification_codec.h"
+#include "crypto/merkle.h"
+#include "crypto/vrf.h"
+#include "net/faults.h"
+#include "parallel/thread_pool.h"
+#include "sim/liveness.h"
+
+namespace shardchain {
+namespace {
+
+const size_t kThreadCounts[] = {1, 2, 3, 4, 7, 8};
+constexpr uint64_t kNumSeeds = 20;
+
+/// A randomized-but-seeded workload for the unified games: shard sizes
+/// straddling L, a skewed fee vector, and a seed-derived randomness.
+UnifiedParameters ParamsForSeed(uint64_t seed) {
+  Rng rng(seed);
+  UnifiedParameters params;
+  params.randomness = Sha256Digest("parallel.eq." + std::to_string(seed));
+  const size_t shards = 3 + rng.UniformInt(10);
+  for (size_t s = 0; s < shards; ++s) {
+    params.shard_sizes.push_back(1 + rng.UniformInt(
+        params.merge_config.min_shard_size));
+  }
+  const size_t txs = 20 + rng.UniformInt(120);
+  for (size_t t = 0; t < txs; ++t) {
+    params.tx_fees.push_back(static_cast<Amount>(1 + rng.Zipf(50, 1.1)));
+  }
+  params.num_miners = 2 + rng.UniformInt(10);
+  params.select_config.capacity = 5;
+  // Small Monte-Carlo load so 20 seeds x 6 thread counts stay fast.
+  params.merge_config.subslots = 16;
+  params.merge_config.max_slots = 60;
+  return params;
+}
+
+TEST(ParallelEquivalence, MergePlanBytesMatchSerialAtEveryThreadCount) {
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const UnifiedParameters params = ParamsForSeed(seed);
+    const Bytes serial = codec::EncodeMergePlan(ComputeMergePlan(params));
+    for (const size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      const Bytes parallel =
+          codec::EncodeMergePlan(ComputeMergePlan(params, &pool));
+      ASSERT_EQ(parallel, serial)
+          << "merge plan bytes diverged: seed " << seed << ", " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, SelectionPlanBytesMatchSerialAtEveryThreadCount) {
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const UnifiedParameters params = ParamsForSeed(seed);
+    const Bytes serial =
+        codec::EncodeSelectionPlan(ComputeSelectionPlan(params));
+    for (const size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      const Bytes parallel =
+          codec::EncodeSelectionPlan(ComputeSelectionPlan(params, &pool));
+      ASSERT_EQ(parallel, serial)
+          << "selection plan bytes diverged: seed " << seed << ", "
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, UnifiedParameterBytesRoundTripUnchanged) {
+  // The broadcast itself is computed serially, but every thread count
+  // must decode it to a value that re-encodes to the same bytes —
+  // plan computation may never mutate its inputs.
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    const UnifiedParameters params = ParamsForSeed(seed);
+    const Bytes wire = codec::EncodeUnifiedParameters(params);
+    for (const size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      Result<UnifiedParameters> decoded =
+          codec::DecodeUnifiedParameters(wire);
+      ASSERT_TRUE(decoded.ok());
+      (void)ComputeMergePlan(*decoded, &pool);
+      (void)ComputeSelectionPlan(*decoded, &pool);
+      ASSERT_EQ(codec::EncodeUnifiedParameters(*decoded), wire)
+          << "parameters mutated: seed " << seed << ", " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, MerkleRootAndVrfBatchesMatchSerial) {
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(seed ^ 0xabcdefull);
+    std::vector<Hash256> leaves(1 + rng.UniformInt(700));
+    for (Hash256& leaf : leaves) {
+      leaf = Sha256Digest("leaf." + std::to_string(rng.Next()));
+    }
+    const Hash256 root = MerkleRoot(leaves);
+
+    KeyPair key = KeyPair::Generate(&rng);
+    const Hash256 vseed = Sha256Digest("vrf." + std::to_string(seed));
+    const VrfOutput vrf = VrfEvaluate(key, vseed);
+    std::vector<const KeyPair*> keys(5, &key);
+    std::vector<const PublicKey*> pks(5, &key.public_key());
+    std::vector<const VrfOutput*> outs(5, &vrf);
+
+    for (const size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      ASSERT_EQ(MerkleRoot(leaves, &pool), root) << threads << " threads";
+      const std::vector<VrfOutput> evals =
+          VrfEvaluateBatch(keys, vseed, &pool);
+      for (const VrfOutput& e : evals) {
+        ASSERT_EQ(e.value, vrf.value);
+        ASSERT_EQ(e.proof, vrf.proof);
+      }
+      const std::vector<uint8_t> valid =
+          VrfVerifyBatch(pks, vseed, outs, &pool);
+      ASSERT_EQ(valid, std::vector<uint8_t>(5, 1)) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ShardingSystemEpochIdenticalAcrossThreadCounts) {
+  // Whole-system differential: drive identical workloads through one
+  // system per thread count and compare every consensus-visible output.
+  auto run = [](size_t threads) {
+    ShardingSystemConfig config;
+    config.parallel.threads = threads;
+    ShardingSystem sys(config, /*seed=*/99);
+    for (int m = 0; m < 6; ++m) sys.AddMiner();
+    EXPECT_TRUE(sys.BeginEpoch(0).ok());
+    // Shardable workload: each user only ever calls one contract, so
+    // shards form around the 4 contracts (Sec. III-A) and the merge
+    // plan plus per-shard fan-out have real work to do.
+    Rng rng(1234);
+    for (int t = 0; t < 60; ++t) {
+      Transaction tx;
+      const uint64_t c = rng.UniformInt(4);
+      tx.kind = TxKind::kContractCall;
+      tx.recipient =
+          Address::FromHash(Sha256Digest("contract." + std::to_string(c)));
+      tx.sender = Address::FromHash(Sha256Digest(
+          "user." + std::to_string(c * 8 + rng.UniformInt(8))));
+      tx.value = 1 + rng.UniformInt(50);
+      tx.fee = 1 + rng.UniformInt(30);
+      tx.nonce = static_cast<uint64_t>(t);
+      (void)sys.SubmitTransaction(tx);
+    }
+    std::vector<Bytes> out;
+    out.push_back(
+        codec::EncodeMergePlan(sys.MergeSmallShards()));
+    for (const ShardSelectionPlan& p : sys.ComputeShardSelectionPlans()) {
+      out.push_back(codec::EncodeUnifiedParameters(p.params));
+      out.push_back(codec::EncodeSelectionPlan(p.plan));
+    }
+    return out;
+  };
+  const std::vector<Bytes> serial = run(1);
+  EXPECT_FALSE(serial.empty());
+  for (const size_t threads : kThreadCounts) {
+    ASSERT_EQ(run(threads), serial) << threads << " threads";
+  }
+}
+
+// --- Chaos schedule at threads=4 -------------------------------------
+
+LivenessConfig ChaosConfig(size_t threads) {
+  LivenessConfig config;
+  config.num_miners = 18;
+  config.gossip.deterministic_latency = true;
+  config.parallel.threads = threads;
+  return config;
+}
+
+/// Same envelope as tests/chaos_suite.cc DrawFaults: at most 1/3
+/// faulty, <=30% drop, partitions healing before the deadline.
+FaultConfig DrawFaults(const LivenessConfig& config, Rng* rng,
+                       const std::vector<NodeId>& ranking) {
+  FaultConfig faults;
+  faults.drop_probability = 0.30 * rng->UniformDouble();
+  faults.duplicate_probability = 0.20 * rng->UniformDouble();
+  faults.delay_multiplier_max = 1.0 + 1.5 * rng->UniformDouble();
+
+  const size_t n = config.num_miners;
+  size_t budget = rng->UniformInt(n / 3 + 1);
+  std::set<NodeId> faulty;
+  const size_t num_crashes = rng->UniformInt(budget / 2 + 1);
+  for (size_t i = 0; i < num_crashes; ++i) {
+    const NodeId victim = rng->Bernoulli(0.5) && i < ranking.size()
+                              ? ranking[i]
+                              : static_cast<NodeId>(rng->UniformInt(n));
+    if (!faulty.insert(victim).second) continue;
+    faults.crashes.push_back(
+        {victim, config.decision_deadline * rng->UniformDouble()});
+  }
+  budget -= std::min(budget, faults.crashes.size());
+  if (budget > 0 && rng->Bernoulli(0.7)) {
+    PartitionWindow window;
+    window.start = rng->UniformDouble() * (config.decision_deadline - 4.0);
+    window.end = window.start +
+                 rng->UniformDouble() *
+                     (config.decision_deadline - 2.0 - window.start);
+    while (window.island.size() < budget) {
+      const NodeId node = static_cast<NodeId>(rng->UniformInt(n));
+      if (!faulty.insert(node).second) continue;
+      window.island.push_back(node);
+    }
+    if (!window.island.empty()) faults.partitions.push_back(window);
+  }
+  return faults;
+}
+
+TEST(ParallelEquivalence, ChaosScheduleAtFourThreadsNeverSplits) {
+  // One full chaos schedule with the sim's pool at 4 threads: the
+  // no-split invariant must hold, and every decision must be
+  // byte-identical to the same schedule run strictly serially.
+  auto run = [](size_t threads) {
+    const LivenessConfig config = ChaosConfig(threads);
+    EpochLivenessSim sim(config, /*seed=*/13);
+    Rng rng(0x9e3779b97f4a7c15ull ^ 13);
+    std::vector<EpochOutcome> outcomes;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      const FaultConfig fault_config =
+          DrawFaults(config, &rng, sim.NextRanking());
+      FaultPlan plan(fault_config, 13 * 1000 + epoch);
+      outcomes.push_back(sim.RunEpoch(&plan));
+    }
+    return outcomes;
+  };
+  const std::vector<EpochOutcome> serial = run(1);
+  const std::vector<EpochOutcome> parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t e = 0; e < serial.size(); ++e) {
+    const EpochOutcome& s = serial[e];
+    const EpochOutcome& p = parallel[e];
+    ASSERT_TRUE(p.converged) << "SPLIT at threads=4, epoch " << e;
+    ASSERT_EQ(s.decisions.size(), p.decisions.size());
+    for (size_t m = 0; m < s.decisions.size(); ++m) {
+      ASSERT_EQ(p.decisions[m].live, s.decisions[m].live)
+          << "epoch " << e << " miner " << m;
+      ASSERT_EQ(p.decisions[m].fallback, s.decisions[m].fallback)
+          << "epoch " << e << " miner " << m;
+      ASSERT_EQ(p.decisions[m].plan, s.decisions[m].plan)
+          << "plan bytes diverged: epoch " << e << " miner " << m;
+      ASSERT_EQ(p.decisions[m].randomness, s.decisions[m].randomness)
+          << "epoch " << e << " miner " << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,6 +1,8 @@
 // Property-based tests: randomized sweeps over the VM, the ledger, and
 // the simulators, checking invariants rather than fixed outputs.
 
+#include <algorithm>
+#include <functional>
 #include <numeric>
 #include <vector>
 
@@ -278,6 +280,117 @@ TEST_P(GamePropertyTest, MergePlansPartitionTheInput) {
     }
     EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
                             [](bool b) { return b; }));
+  }
+}
+
+/// Utility of `set` for a miner whose own picks are already inside
+/// `counts` (Eq. 2: the competitor count excludes the miner herself).
+double OwnUtility(const std::vector<Amount>& fees,
+                  const std::vector<uint32_t>& counts,
+                  const std::vector<size_t>& set) {
+  double u = 0.0;
+  for (size_t j : set) u += SelectionUtility(fees[j], counts[j] - 1);
+  return u;
+}
+
+/// The best utility ANY deviation could reach against fixed opponents:
+/// since per-transaction payoffs are independent, it is the sum of the
+/// top-`capacity` utilities under the opponent-only counts.
+double BestDeviationUtility(const std::vector<Amount>& fees,
+                            const std::vector<uint32_t>& counts_wo_self,
+                            size_t capacity) {
+  std::vector<double> u;
+  u.reserve(fees.size());
+  for (size_t j = 0; j < fees.size(); ++j) {
+    u.push_back(SelectionUtility(fees[j], counts_wo_self[j]));
+  }
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  const size_t take = std::min(capacity, u.size());
+  return std::accumulate(u.begin(), u.begin() + static_cast<ptrdiff_t>(take),
+                         0.0);
+}
+
+TEST_P(GamePropertyTest, ConvergedSelectionIsPureNashEquilibrium) {
+  // Algorithm 2's fixed point: no miner can strictly improve by
+  // switching to ANY other transaction set (unilateral deviation).
+  Rng rng(GetParam() + 9000);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t txs = 1 + rng.UniformInt(60);
+    const size_t miners = 1 + rng.UniformInt(10);
+    std::vector<Amount> fees;
+    for (size_t i = 0; i < txs; ++i) fees.push_back(1 + rng.UniformInt(150));
+    SelectionGameConfig config;
+    config.capacity = 1 + rng.UniformInt(8);
+    Rng game_rng = rng.Fork();
+    const SelectionResult r = RunSelectionGame(fees, miners, config, &game_rng);
+    ASSERT_TRUE(r.converged);
+    const std::vector<uint32_t> counts = r.SelectionCounts(txs);
+    for (size_t i = 0; i < miners; ++i) {
+      const double current = OwnUtility(fees, counts, r.assignment[i]);
+      std::vector<uint32_t> wo_self = counts;
+      for (size_t j : r.assignment[i]) --wo_self[j];
+      const double best = BestDeviationUtility(fees, wo_self, config.capacity);
+      EXPECT_LE(best, current + 1e-9)
+          << "miner " << i << " profits by deviating (trial " << trial << ")";
+    }
+  }
+}
+
+TEST_P(GamePropertyTest, SelectionEquilibriumInvariantUnderMinerRelabeling) {
+  // Miners are exchangeable: permuting who holds which equilibrium set
+  // changes nothing consensus-visible — the selection counts are
+  // identical and the permuted profile is still a Nash equilibrium.
+  Rng rng(GetParam() + 11000);
+  const size_t txs = 40, miners = 8;
+  std::vector<Amount> fees;
+  for (size_t i = 0; i < txs; ++i) fees.push_back(1 + rng.UniformInt(99));
+  SelectionGameConfig config;
+  config.capacity = 5;
+  Rng game_rng = rng.Fork();
+  const SelectionResult r = RunSelectionGame(fees, miners, config, &game_rng);
+  ASSERT_TRUE(r.converged);
+
+  SelectionResult relabeled = r;
+  Rng perm_rng(GetParam());
+  perm_rng.Shuffle(&relabeled.assignment);
+  EXPECT_EQ(relabeled.SelectionCounts(txs), r.SelectionCounts(txs));
+  const std::vector<uint32_t> counts = relabeled.SelectionCounts(txs);
+  for (size_t i = 0; i < miners; ++i) {
+    const double current = OwnUtility(fees, counts, relabeled.assignment[i]);
+    std::vector<uint32_t> wo_self = counts;
+    for (size_t j : relabeled.assignment[i]) --wo_self[j];
+    EXPECT_LE(BestDeviationUtility(fees, wo_self, config.capacity),
+              current + 1e-9)
+        << "relabeled miner " << i << " profits by deviating";
+  }
+}
+
+TEST_P(GamePropertyTest, IterativeMergeLeavesNoProfitableMergeBehind) {
+  // Algorithm 1 must run the small shards down: when it stops, the
+  // leftovers can no longer form a new shard — either fewer than two
+  // remain or their combined size is below L. (Sizes here are generous
+  // relative to L, so the bounded-retry escape hatch never triggers.)
+  Rng rng(GetParam() + 13000);
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t n = 4 + rng.UniformInt(12);
+    MergingGameConfig config;
+    config.min_shard_size = 20;
+    config.subslots = 16;
+    config.max_slots = 80;
+    std::vector<uint64_t> sizes;
+    for (size_t i = 0; i < n; ++i) {
+      sizes.push_back(8 + rng.UniformInt(12));  // Any pair reaches L=20.
+    }
+    Rng game_rng = rng.Fork();
+    const IterativeMergeResult plan =
+        RunIterativeMerge(sizes, config, &game_rng);
+    uint64_t leftover_total = 0;
+    for (size_t i : plan.leftover) leftover_total += sizes[i];
+    EXPECT_TRUE(plan.leftover.size() < 2 ||
+                leftover_total < config.min_shard_size)
+        << "profitable merge left behind: " << plan.leftover.size()
+        << " leftover shards totalling " << leftover_total << " (trial "
+        << trial << ")";
   }
 }
 
