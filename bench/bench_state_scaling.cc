@@ -1,0 +1,310 @@
+// State-commitment scaling (DESIGN.md §10): cost of the incremental
+// authenticated state vs the pre-incremental baseline, by account
+// count, for the three hot operations the chain performs per block:
+//
+//   root_update      — mutate a fixed number of accounts, re-derive the
+//                      state root. old: rebuild the whole trie with
+//                      fresh digests (O(n)); new: re-leaf only the
+//                      dirty accounts (O(dirty · depth)).
+//   snapshot_revert  — take a revert point, write, roll back. old:
+//                      full account-map copy out and back; new:
+//                      journaled undo log (O(writes)).
+//   block_build      — pack a 10-tx block on a funded state. old:
+//                      per-candidate StateDB copy + from-scratch root;
+//                      new: journaled trials + incremental root.
+//
+// The bench is also a correctness gate: before any timing, every
+// scenario asserts the incremental root is byte-identical to the
+// from-scratch rebuild (the consensus invariant the optimization must
+// preserve) and aborts on divergence.
+//
+// Emits BENCH_state.json into the working directory for CI artifact
+// collection.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/emit_json.h"
+#include "chain/ledger.h"
+#include "state/statedb.h"
+#include "state/trie.h"
+#include "types/address.h"
+
+namespace shardchain {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const size_t kAccountCounts[] = {100, 1000, 10000};
+constexpr size_t kTouchedPerRoot = 64;  ///< Dirty accounts per root update.
+constexpr size_t kTouchedPerSnap = 16;  ///< Writes inside a snapshot span.
+constexpr double kMinSeconds = 0.2;
+
+Address BenchAddr(uint64_t n) {
+  Address a;
+  a.bytes[0] = static_cast<uint8_t>(n);
+  a.bytes[1] = static_cast<uint8_t>(n >> 8);
+  a.bytes[2] = static_cast<uint8_t>(n >> 16);
+  a.bytes[19] = static_cast<uint8_t>(n * 131);
+  return a;
+}
+
+Bytes AddressKey(const Address& addr) {
+  return Bytes(addr.bytes.begin(), addr.bytes.end());
+}
+
+/// The pre-incremental StateRoot(): walk every account, recompute its
+/// digest (the old code had no digest cache), and build a fresh trie.
+/// Byte-identical to StateDB::StateRoot() over the same contents — the
+/// identity gate below enforces exactly that.
+Hash256 RootFromScratch(const StateDB& db) {
+  MerklePatriciaTrie trie;
+  for (const Address& addr : db.Addresses()) {
+    const Account* account = db.Find(addr);
+    account->MarkDigestDirty();
+    const Hash256 digest = account->Digest(addr);
+    trie.Put(AddressKey(addr), Bytes(digest.bytes.begin(), digest.bytes.end()));
+  }
+  return trie.RootHash();
+}
+
+StateDB FundedState(size_t accounts) {
+  StateDB db;
+  for (uint64_t i = 0; i < accounts; ++i) {
+    db.Mint(BenchAddr(i), 1'000'000 + i);
+  }
+  return db;
+}
+
+/// Times `op` for >= kMinSeconds and returns invocations per second.
+/// `op` must fold its result into the returned checksum so the work
+/// cannot be elided.
+double MeasureOpsPerSec(const std::function<uint64_t()>& op) {
+  uint64_t sink = op();  // Warm-up.
+  size_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    sink ^= op();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < kMinSeconds);
+  if (sink == 0xdeadbeefdeadbeefull) std::printf("(unlikely checksum)\n");
+  return static_cast<double>(iters) / elapsed;
+}
+
+struct ScenarioResult {
+  std::string scenario;
+  size_t accounts = 0;
+  double old_ops_per_sec = 0.0;
+  double new_ops_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+void Report(std::vector<ScenarioResult>* out, const std::string& scenario,
+            size_t accounts, double old_ops, double new_ops) {
+  ScenarioResult r;
+  r.scenario = scenario;
+  r.accounts = accounts;
+  r.old_ops_per_sec = old_ops;
+  r.new_ops_per_sec = new_ops;
+  r.speedup = old_ops > 0.0 ? new_ops / old_ops : 0.0;
+  out->push_back(r);
+  bench::Row({scenario, std::to_string(accounts), bench::Fmt(old_ops, 2),
+              bench::Fmt(new_ops, 2), bench::Fmt(r.speedup, 1) + "x"});
+}
+
+[[noreturn]] void IdentityFailure(const char* scenario, size_t accounts) {
+  std::fprintf(stderr,
+               "FATAL: incremental root != from-scratch root (%s, %zu "
+               "accounts) — consensus-visible divergence\n",
+               scenario, accounts);
+  std::exit(1);
+}
+
+// ------------------------- root_update --------------------------------
+
+void BenchRootUpdate(size_t accounts, std::vector<ScenarioResult>* out) {
+  StateDB db = FundedState(accounts);
+  (void)db.StateRoot();
+  uint64_t cursor = 0;
+  auto mutate_batch = [&] {
+    for (size_t j = 0; j < kTouchedPerRoot; ++j) {
+      db.Mint(BenchAddr((cursor + j * 7) % accounts), 1);
+    }
+    cursor += 1;
+  };
+
+  // Identity gate: after several mutation batches, the incremental
+  // root must equal the from-scratch rebuild, byte for byte.
+  for (int round = 0; round < 3; ++round) {
+    mutate_batch();
+    if (db.StateRoot() != RootFromScratch(db)) {
+      IdentityFailure("root_update", accounts);
+    }
+  }
+
+  const double new_ops = MeasureOpsPerSec([&] {
+    mutate_batch();
+    return db.StateRoot().Prefix64();
+  });
+  const double old_ops = MeasureOpsPerSec([&] {
+    mutate_batch();
+    return RootFromScratch(db).Prefix64();
+  });
+  Report(out, "root_update", accounts, old_ops, new_ops);
+}
+
+// ------------------------ snapshot_revert -----------------------------
+
+void BenchSnapshotRevert(size_t accounts, std::vector<ScenarioResult>* out) {
+  StateDB db = FundedState(accounts);
+  const Hash256 base_root = db.StateRoot();
+  auto touch = [&](StateDB* target) {
+    for (size_t j = 0; j < kTouchedPerSnap; ++j) {
+      target->Mint(BenchAddr(j * 11 % accounts), 3);
+    }
+  };
+
+  // Identity gate: both revert styles must land back on the base root.
+  {
+    const size_t snap = db.Snapshot();
+    touch(&db);
+    if (!db.RevertTo(snap).ok() || db.StateRoot() != base_root) {
+      IdentityFailure("snapshot_revert(journal)", accounts);
+    }
+    StateDB backup = db;
+    touch(&db);
+    db = backup;
+    if (db.StateRoot() != base_root) {
+      IdentityFailure("snapshot_revert(copy)", accounts);
+    }
+  }
+
+  const double new_ops = MeasureOpsPerSec([&] {
+    const size_t snap = db.Snapshot();
+    touch(&db);
+    if (!db.RevertTo(snap).ok()) IdentityFailure("revert", accounts);
+    return static_cast<uint64_t>(snap);
+  });
+  const double old_ops = MeasureOpsPerSec([&] {
+    StateDB backup = db;  // The pre-journal Snapshot(): copy everything.
+    touch(&db);
+    db = backup;          // ...and RevertTo(): copy it all back.
+    return static_cast<uint64_t>(backup.AccountCount());
+  });
+  Report(out, "snapshot_revert", accounts, old_ops, new_ops);
+}
+
+// -------------------------- block_build -------------------------------
+
+std::vector<Transaction> BlockTxs(size_t accounts) {
+  std::vector<Transaction> txs;
+  for (uint64_t i = 0; i < 10; ++i) {
+    Transaction tx;
+    tx.kind = TxKind::kDirectTransfer;
+    tx.sender = BenchAddr(i);
+    tx.recipient = BenchAddr((i + accounts / 2) % accounts);
+    tx.value = 10 + i;
+    tx.fee = 2;
+    tx.nonce = 0;
+    txs.push_back(tx);
+  }
+  return txs;
+}
+
+/// The pre-journal BuildBlock inner loop: every candidate transaction
+/// executes on a full copy of the scratch state, and the final root is
+/// a from-scratch rebuild.
+Hash256 OldStyleBuild(const Ledger& ledger, const Address& miner,
+                      const std::vector<Transaction>& txs) {
+  StateDB scratch = ledger.tip_state();
+  ChainConfig no_reward = ledger.config();
+  no_reward.block_reward = 0;
+  size_t included = 0;
+  for (const Transaction& tx : txs) {
+    if (included >= ledger.config().max_txs_per_block) break;
+    StateDB trial = scratch;
+    if (Ledger::ExecuteTransactions({tx}, miner, no_reward, &trial).ok()) {
+      scratch = std::move(trial);
+      ++included;
+    }
+  }
+  scratch.Mint(miner, ledger.config().block_reward);
+  return RootFromScratch(scratch);
+}
+
+void BenchBlockBuild(size_t accounts, std::vector<ScenarioResult>* out) {
+  Ledger ledger(1, FundedState(accounts));
+  const Address miner = BenchAddr(accounts - 1);
+  const std::vector<Transaction> txs = BlockTxs(accounts);
+
+  // Identity gate: the journaled build must commit to the same root as
+  // the copy-everything build.
+  const Block block = ledger.BuildBlock(miner, txs, /*timestamp=*/1);
+  if (block.transactions.size() != txs.size() ||
+      block.header.state_root != OldStyleBuild(ledger, miner, txs)) {
+    IdentityFailure("block_build", accounts);
+  }
+
+  const double new_ops = MeasureOpsPerSec([&] {
+    return ledger.BuildBlock(miner, txs, 1).header.state_root.Prefix64();
+  });
+  const double old_ops = MeasureOpsPerSec(
+      [&] { return OldStyleBuild(ledger, miner, txs).Prefix64(); });
+  Report(out, "block_build", accounts, old_ops, new_ops);
+}
+
+}  // namespace
+}  // namespace shardchain
+
+int main() {
+  using namespace shardchain;
+
+  bench::Banner(
+      "BENCH state scaling (DESIGN.md §10)",
+      "incremental authenticated state: root update O(dirty*depth) not "
+      "O(n); snapshots journaled not copied; roots byte-identical");
+
+  std::vector<ScenarioResult> results;
+  for (const size_t accounts : kAccountCounts) {
+    bench::Row({"scenario", "accounts", "old/sec", "new/sec", "speedup"});
+    BenchRootUpdate(accounts, &results);
+    BenchSnapshotRevert(accounts, &results);
+    BenchBlockBuild(accounts, &results);
+    std::printf("\n");
+  }
+
+  bench::Json doc = bench::Json::Object();
+  doc.Set("bench", bench::Json::Str("state_scaling"));
+  doc.Set("identity_gate",
+          bench::Json::Str("incremental root byte-identical to from-scratch "
+                           "rebuild in every scenario (asserted pre-timing)"));
+  doc.Set("touched_per_root_update",
+          bench::Json::Int(static_cast<int64_t>(kTouchedPerRoot)));
+  doc.Set("writes_per_snapshot_span",
+          bench::Json::Int(static_cast<int64_t>(kTouchedPerSnap)));
+  bench::Json arr = bench::Json::Array();
+  for (const ScenarioResult& r : results) {
+    bench::Json row = bench::Json::Object();
+    row.Set("scenario", bench::Json::Str(r.scenario));
+    row.Set("accounts", bench::Json::Int(static_cast<int64_t>(r.accounts)));
+    row.Set("old_ops_per_sec", bench::Json::Num(r.old_ops_per_sec));
+    row.Set("new_ops_per_sec", bench::Json::Num(r.new_ops_per_sec));
+    row.Set("speedup", bench::Json::Num(r.speedup));
+    arr.Push(std::move(row));
+  }
+  doc.Set("results", std::move(arr));
+  const std::string path = "BENCH_state.json";
+  if (!bench::WriteJsonFile(path, doc)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -61,7 +61,15 @@ echo "==== detlint report ===="
 "$prefix-release/tools/detlint" --root . \
   --report "$prefix-release/detlint_report.json" \
   src/core src/consensus src/crypto src/types src/contract \
-  src/net src/sim src/parallel
+  src/net src/sim src/parallel src/state src/chain src/txpool
 echo "report: $prefix-release/detlint_report.json"
+
+# State-commitment scaling bench. Runs in the release leg and doubles
+# as a correctness gate: it aborts unless the incremental root is
+# byte-identical to a from-scratch rebuild at every checkpoint
+# (DESIGN.md §10). Artifact: BENCH_state.json.
+echo "==== bench_state_scaling (root identity gate) ===="
+(cd "$prefix-release" && ./bench/bench_state_scaling)
+echo "artifact: $prefix-release/BENCH_state.json"
 
 echo "All checks passed."

@@ -110,11 +110,21 @@ Result<Hash256> Ledger::Append(const Block& block) {
   SHARDCHAIN_RETURN_IF_ERROR(Validate(block, parent));
 
   Node node;
-  node.post_state = parent.post_state;
-  SHARDCHAIN_RETURN_IF_ERROR(ExecuteTransactions(
-      block.transactions, block.header.miner, config_, &node.post_state));
-  if (block.header.state_root != node.post_state.StateRoot()) {
-    return Status::Corruption("state root mismatch after execution");
+  if (last_built_.has_value() && last_built_->first == hash) {
+    // This exact block (the header hash binds parent, tx root, and
+    // state root) was just produced by BuildBlock on the same tip, and
+    // its post-state — whose StateRoot() already matches the header by
+    // construction — was retained. Reuse it instead of re-executing
+    // the transactions and re-deriving the root a second time.
+    node.post_state = std::move(last_built_->second);
+    last_built_.reset();
+  } else {
+    node.post_state = parent.post_state;
+    SHARDCHAIN_RETURN_IF_ERROR(ExecuteTransactions(
+        block.transactions, block.header.miner, config_, &node.post_state));
+    if (block.header.state_root != node.post_state.StateRoot()) {
+      return Status::Corruption("state root mismatch after execution");
+    }
   }
   node.block = block;
   node.height = parent.height + 1;
@@ -138,22 +148,34 @@ Block Ledger::BuildBlock(const Address& miner, std::vector<Transaction> txs,
   block.header.timestamp = timestamp;
 
   // Greedily include executable transactions up to the block limit.
+  // Each candidate runs against a journaled revert point — committed
+  // if it executes, rolled back if not — so trying a transaction costs
+  // O(accounts it touches), not a copy of the whole state.
   StateDB scratch = tip.post_state;
   ChainConfig no_reward = config_;
   no_reward.block_reward = 0;
   for (Transaction& tx : txs) {
     if (block.transactions.size() >= config_.max_txs_per_block) break;
-    StateDB trial = scratch;
+    const size_t trial = scratch.Snapshot();
     const std::vector<Transaction> single{tx};
-    if (ExecuteTransactions(single, miner, no_reward, &trial).ok()) {
-      scratch = std::move(trial);
+    if (ExecuteTransactions(single, miner, no_reward, &scratch).ok()) {
+      Status committed = scratch.Commit(trial);
+      assert(committed.ok());
+      (void)committed;
       block.transactions.push_back(std::move(tx));
+    } else {
+      Status reverted = scratch.RevertTo(trial);
+      assert(reverted.ok());
+      (void)reverted;
     }
   }
   scratch.Mint(miner, config_.block_reward);
 
   block.header.tx_root = block.ComputeTxRoot();
   block.header.state_root = scratch.StateRoot();
+  // Retain the executed post-state so an immediate Append of this very
+  // block (the common mine-then-record path) can skip re-execution.
+  last_built_.emplace(block.header.Hash(), std::move(scratch));
   return block;
 }
 

@@ -2,7 +2,9 @@
 #define SHARDCHAIN_CHAIN_LEDGER_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -62,6 +64,11 @@ class Ledger {
   /// (truncated to max_txs_per_block), executing them to fill in the
   /// roots. Transactions that fail execution are skipped, mirroring a
   /// miner dropping invalid txs while packing. Does not append.
+  ///
+  /// Candidates execute against a journaled revert point on one shared
+  /// scratch state (no per-transaction StateDB copy), and the executed
+  /// post-state is retained so Append of the freshly built block skips
+  /// re-execution and the second StateRoot() derivation.
   Block BuildBlock(const Address& miner, std::vector<Transaction> txs,
                    uint64_t timestamp) const;
 
@@ -99,6 +106,14 @@ class Ledger {
 
   Status Validate(const Block& block, const Node& parent) const;
 
+  /// Post-state of the most recent BuildBlock, keyed by its header
+  /// hash (which commits to the parent, tx root, and state root).
+  /// Consumed by Append when the same block comes straight back, so
+  /// the build→append path executes and hashes the state once, not
+  /// twice. Mutable: retaining it is a cache, not an observable state
+  /// change of the const BuildBlock.
+  mutable std::optional<std::pair<Hash256, StateDB>> last_built_;
+
   ShardId shard_id_;
   ChainConfig config_;
   Hash256 genesis_hash_;
@@ -106,6 +121,7 @@ class Ledger {
   /// Keyed lookups and parent-hash walks only — the block tree is
   /// never iterated in bucket order, so fork choice stays a pure
   /// function of Append order (determinism audit, see tools/detlint).
+  // detlint:allow(unordered-container): lookup-only index, never iterated
   std::unordered_map<Hash256, Node> nodes_;
 };
 

@@ -118,6 +118,8 @@ Result<std::vector<int64_t>> Vm::DecodeArgs(const Bytes& payload) {
 Result<ExecReceipt> Vm::Execute(const ContractProgram& program,
                                 const CallContext& ctx, StateDB* state) {
   assert(state != nullptr);
+  // Journaled revert point: O(1) to take, O(touched accounts) to roll
+  // back — no full-state copy either way.
   const size_t snapshot = state->Snapshot();
   // Abort helper: rolls the state back and surfaces the error.
   auto fail = [&](Status st) -> Result<ExecReceipt> {
@@ -125,6 +127,15 @@ Result<ExecReceipt> Vm::Execute(const ContractProgram& program,
     assert(revert.ok());
     (void)revert;
     return st;
+  };
+  // Success helper: keeps the effects and retires the revert point so
+  // the undo log does not accumulate across calls.
+  auto succeed = [&](uint64_t gas_used,
+                     std::vector<int64_t> final_stack) -> Result<ExecReceipt> {
+    Status committed = state->Commit(snapshot);
+    assert(committed.ok());
+    (void)committed;
+    return ExecReceipt{gas_used, std::move(final_stack)};
   };
 
   // The call value moves into the contract before the code runs.
@@ -172,7 +183,7 @@ Result<ExecReceipt> Vm::Execute(const ContractProgram& program,
 
     switch (op) {
       case Op::kStop:
-        return ExecReceipt{gas, std::move(stack)};
+        return succeed(gas, std::move(stack));
       case Op::kPush: {
         if (pc + 9 > code.size()) {
           return fail(Status::Corruption("truncated PUSH immediate"));
@@ -444,7 +455,7 @@ Result<ExecReceipt> Vm::Execute(const ContractProgram& program,
     ++pc;
   }
   // Falling off the end of the code is an implicit STOP.
-  return ExecReceipt{gas, std::move(stack)};
+  return succeed(gas, std::move(stack));
 }
 
 }  // namespace shardchain

@@ -25,7 +25,23 @@ struct Account {
   bool IsContract() const { return !code.empty(); }
 
   /// Deterministic digest of the account contents (state-root leaf).
+  ///
+  /// The result is cached under a dirty flag so StateDB's incremental
+  /// StateRoot() never re-hashes untouched accounts (DESIGN.md §10).
+  /// Cache invariant: every mutable access to an account held by a
+  /// StateDB goes through StateDB::GetOrCreate, which calls
+  /// MarkDigestDirty() before handing out the reference; the cache is
+  /// only ever valid for the address the account lives at. Code that
+  /// mutates a free-standing Account directly must call
+  /// MarkDigestDirty() itself before re-reading Digest().
   Hash256 Digest(const Address& addr) const;
+
+  /// Invalidates the cached digest; the next Digest() recomputes.
+  void MarkDigestDirty() const { digest_valid_ = false; }
+
+ private:
+  mutable Hash256 digest_cache_;
+  mutable bool digest_valid_ = false;
 };
 
 }  // namespace shardchain

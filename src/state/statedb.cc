@@ -1,10 +1,25 @@
 #include "state/statedb.h"
 
 #include "crypto/sha256.h"
+#include "parallel/parallel.h"
 
 namespace shardchain {
 
+namespace {
+
+/// Chunk size for the batch digest recompute: large enough that chunk
+/// dispatch is amortized, small enough that a block's worth of dirty
+/// accounts still fans out.
+constexpr size_t kDigestGrain = 32;
+
+Bytes AddressKey(const Address& addr) {
+  return Bytes(addr.bytes.begin(), addr.bytes.end());
+}
+
+}  // namespace
+
 Hash256 Account::Digest(const Address& addr) const {
+  if (digest_valid_) return digest_cache_;
   Bytes buf;
   buf.reserve(64 + code.size() + storage.size() * 16);
   buf.insert(buf.end(), addr.bytes.begin(), addr.bytes.end());
@@ -17,7 +32,26 @@ Hash256 Account::Digest(const Address& addr) const {
     AppendUint64(&buf, key);
     AppendUint64(&buf, static_cast<uint64_t>(value));
   }
-  return Sha256Digest(buf);
+  digest_cache_ = Sha256Digest(buf);
+  digest_valid_ = true;
+  return digest_cache_;
+}
+
+StateDB::StateDB(const StateDB& other) { *this = other; }
+
+StateDB& StateDB::operator=(const StateDB& other) {
+  if (this == &other) return *this;
+  // Fold the source's pending writes into its trie once, here, so (a)
+  // the shared nodes are fully hashed before sharing and (b) the two
+  // copies don't each redo the digest work.
+  other.FlushDirty();
+  accounts_ = other.accounts_;
+  trie_ = other.trie_;  // O(1): structural sharing.
+  dirty_.clear();
+  journal_ = other.journal_;
+  marks_ = other.marks_;
+  pool_ = other.pool_;
+  return *this;
 }
 
 const Account* StateDB::Find(const Address& addr) const {
@@ -41,7 +75,15 @@ bool StateDB::IsContract(const Address& addr) const {
 }
 
 Account& StateDB::GetOrCreate(const Address& addr) {
-  return accounts_[addr];
+  auto [it, created] = accounts_.try_emplace(addr);
+  if (!marks_.empty()) {
+    journal_.push_back(UndoEntry{addr, created
+                                           ? std::optional<Account>()
+                                           : std::optional<Account>(it->second)});
+  }
+  dirty_.insert(addr);
+  it->second.MarkDigestDirty();
+  return it->second;
 }
 
 void StateDB::Mint(const Address& addr, Amount amount) {
@@ -80,41 +122,87 @@ void StateDB::StorageSet(const Address& addr, uint64_t key, int64_t value) {
 }
 
 size_t StateDB::Snapshot() {
-  snapshots_.push_back(accounts_);
-  return snapshots_.size() - 1;
+  marks_.push_back(journal_.size());
+  return marks_.size() - 1;
 }
 
 Status StateDB::RevertTo(size_t snapshot_id) {
-  if (snapshot_id >= snapshots_.size()) {
+  if (snapshot_id >= marks_.size()) {
     return Status::OutOfRange("unknown snapshot id");
   }
-  accounts_ = snapshots_[snapshot_id];
-  snapshots_.resize(snapshot_id);
+  const size_t target = marks_[snapshot_id];
+  while (journal_.size() > target) {
+    UndoEntry& entry = journal_.back();
+    if (entry.prior.has_value()) {
+      accounts_[entry.addr] = std::move(*entry.prior);
+    } else {
+      accounts_.erase(entry.addr);
+    }
+    dirty_.insert(entry.addr);
+    journal_.pop_back();
+  }
+  marks_.resize(snapshot_id);
   return Status::OK();
 }
 
-namespace {
-
-/// Builds the address -> account-digest trie committing to the state.
-MerklePatriciaTrie BuildStateTrie(const std::map<Address, Account>& accounts) {
-  MerklePatriciaTrie trie;
-  for (const auto& [addr, account] : accounts) {
-    const Hash256 digest = account.Digest(addr);
-    trie.Put(Bytes(addr.bytes.begin(), addr.bytes.end()),
-             Bytes(digest.bytes.begin(), digest.bytes.end()));
+Status StateDB::Commit(size_t snapshot_id) {
+  if (snapshot_id >= marks_.size()) {
+    return Status::OutOfRange("unknown snapshot id");
   }
-  return trie;
+  if (snapshot_id + 1 != marks_.size()) {
+    return Status::InvalidArgument(
+        "commit must target the innermost live snapshot");
+  }
+  marks_.pop_back();
+  // With no revert point left, the undo entries can never be replayed.
+  if (marks_.empty()) journal_.clear();
+  return Status::OK();
 }
 
-}  // namespace
+void StateDB::FlushDirty() const {
+  if (!dirty_.empty()) {
+    // Sorted dirty addresses; their account pointers (nullptr = erased
+    // since it went dirty). std::set iteration is ordered, so the work
+    // list is a pure function of the touched set.
+    std::vector<const Account*> touched;
+    std::vector<const Address*> order;
+    touched.reserve(dirty_.size());
+    order.reserve(dirty_.size());
+    for (const Address& addr : dirty_) {
+      order.push_back(&addr);
+      touched.push_back(Find(addr));
+    }
+    // Batch digest recompute. Each lane writes only its own account's
+    // digest cache (disjoint writes, §9 rule 2); SHA-256 is bit-exact,
+    // so the thread count can never reach the root bytes.
+    ParallelFor(pool_, order.size(), kDigestGrain, [&](size_t i) {
+      if (touched[i] != nullptr) (void)touched[i]->Digest(*order[i]);
+    });
+    // Fold into the live trie serially, in address order.
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (touched[i] != nullptr) {
+        const Hash256 digest = touched[i]->Digest(*order[i]);
+        trie_.Put(AddressKey(*order[i]),
+                  Bytes(digest.bytes.begin(), digest.bytes.end()));
+      } else {
+        trie_.Delete(AddressKey(*order[i]));
+      }
+    }
+    dirty_.clear();
+  }
+  // Warm the spine hashes so copies made from here share only
+  // fully-hashed nodes.
+  (void)trie_.RootHash();
+}
 
 Hash256 StateDB::StateRoot() const {
-  return BuildStateTrie(accounts_).RootHash();
+  FlushDirty();
+  return trie_.RootHash();
 }
 
 MerklePatriciaTrie::Proof StateDB::ProveAccount(const Address& addr) const {
-  return BuildStateTrie(accounts_).Prove(
-      Bytes(addr.bytes.begin(), addr.bytes.end()));
+  FlushDirty();
+  return trie_.Prove(AddressKey(addr));
 }
 
 Result<std::optional<Hash256>> StateDB::VerifyAccount(
@@ -122,9 +210,8 @@ Result<std::optional<Hash256>> StateDB::VerifyAccount(
     const MerklePatriciaTrie::Proof& proof) {
   std::optional<Bytes> value;
   SHARDCHAIN_ASSIGN_OR_RETURN(
-      value, MerklePatriciaTrie::VerifyProof(
-                 state_root, Bytes(addr.bytes.begin(), addr.bytes.end()),
-                 proof));
+      value,
+      MerklePatriciaTrie::VerifyProof(state_root, AddressKey(addr), proof));
   if (!value.has_value()) return std::optional<Hash256>(std::nullopt);
   if (value->size() != 32) {
     return Status::Corruption("account digest has wrong size");

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "common/result.h"
@@ -14,15 +16,39 @@
 
 namespace shardchain {
 
+class ThreadPool;
+
 /// \brief The world state: a map from address to account, with
-/// snapshot/revert support and a Merkle state-root commitment.
+/// journaled snapshot/revert support and an incrementally maintained
+/// Merkle state-root commitment.
 ///
 /// In the sharded system each shard's miners hold a StateDB restricted
 /// to their shard's accounts; MaxShard miners hold the full state
-/// (Sec. III-A). Copyable so the simulator can fork per-miner views.
+/// (Sec. III-A). Copyable so the simulator can fork per-miner views —
+/// the copy shares the authenticated trie structurally (O(1) for the
+/// trie, O(n) only for the plain account map).
+///
+/// Incremental commitment (DESIGN.md §10): a live copy-on-write trie
+/// mirrors the account map. Mutations only mark accounts dirty;
+/// StateRoot() recomputes the digests of the dirty accounts (in
+/// parallel when a thread pool is installed, under the §9 determinism
+/// contract — SHA-256 digests are bit-exact at any thread count) and
+/// re-inserts just those leaves, so its cost is O(dirty · depth)
+/// instead of a full rebuild. The resulting root is byte-identical to
+/// a from-scratch rebuild over the same contents, whatever the
+/// mutation/snapshot history (pinned by the differential tests and the
+/// tests/vectors/state*.hex golden vectors).
 class StateDB {
  public:
   StateDB() = default;
+  /// Copies flush the source's dirty set first, so the shared trie
+  /// nodes are fully hashed before sharing (no writes after sharing;
+  /// see MerklePatriciaTrie) and the digest work is not repeated per
+  /// fork.
+  StateDB(const StateDB& other);
+  StateDB& operator=(const StateDB& other);
+  StateDB(StateDB&&) = default;
+  StateDB& operator=(StateDB&&) = default;
 
   /// Read access. Missing accounts read as empty (balance 0, nonce 0).
   const Account* Find(const Address& addr) const;
@@ -30,7 +56,9 @@ class StateDB {
   uint64_t NonceOf(const Address& addr) const;
   bool IsContract(const Address& addr) const;
 
-  /// Mutable access, creating the account if absent.
+  /// Mutable access, creating the account if absent. The sole mutation
+  /// choke point: marks the account dirty for the incremental root and
+  /// records an undo entry when a snapshot is outstanding.
   Account& GetOrCreate(const Address& addr);
 
   /// Credits `amount` to `addr` (minting; used for genesis funding and
@@ -49,14 +77,33 @@ class StateDB {
   int64_t StorageGet(const Address& addr, uint64_t key) const;
   void StorageSet(const Address& addr, uint64_t key, int64_t value);
 
-  /// Snapshots the full state; RevertTo restores it. Snapshot ids are
-  /// monotonically increasing and invalidated by RevertTo to an earlier
-  /// snapshot.
+  /// Marks a revert point; RevertTo restores it. O(1): no state is
+  /// copied — subsequent writes record undo entries (touched accounts
+  /// only) in a journal. Snapshot ids are monotonically increasing and
+  /// invalidated by RevertTo to an earlier snapshot.
   size_t Snapshot();
+
+  /// Rolls back every write made since `snapshot_id` was taken and
+  /// invalidates it along with all later snapshots. O(writes since).
   Status RevertTo(size_t snapshot_id);
+
+  /// Discards the innermost snapshot, keeping its writes. The matching
+  /// undo entries fold into the enclosing snapshot's span (or are
+  /// dropped when none is outstanding). Fails unless `snapshot_id` is
+  /// the most recent live snapshot.
+  Status Commit(size_t snapshot_id);
+
+  /// Outstanding (live) snapshot count — 0 when no revert point exists.
+  size_t SnapshotDepth() const { return marks_.size(); }
+
+  /// Installs a thread pool used to recompute dirty account digests in
+  /// batch (nullptr = serial). Never consensus-visible: digests are
+  /// bit-exact at any thread count (DESIGN.md §9).
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
   /// Authenticated commitment over all accounts: the root of a Merkle
   /// Patricia trie keyed by address, with account digests as values.
+  /// O(dirty · depth) since the previous call.
   Hash256 StateRoot() const;
 
   /// Merkle Patricia proof that `addr` has the returned digest under
@@ -75,8 +122,35 @@ class StateDB {
   std::vector<Address> Addresses() const;
 
  private:
+  /// One undo record: the account's full prior contents, or nullopt
+  /// when the write created it (revert then erases). Replayed in
+  /// reverse order, so repeated touches of one address in a span are
+  /// harmless — the oldest entry is applied last and wins.
+  struct UndoEntry {
+    Address addr;
+    std::optional<Account> prior;
+  };
+
+  /// Folds the dirty set into the live trie: batch-recomputes digests
+  /// of surviving dirty accounts, Put/Delete's exactly those leaves,
+  /// and warms the trie's hash cache. Logically const (cache
+  /// maintenance); cheap when nothing is dirty.
+  void FlushDirty() const;
+
   std::map<Address, Account> accounts_;
-  std::vector<std::map<Address, Account>> snapshots_;
+
+  /// Live authenticated mirror of accounts_, lagged by dirty_.
+  mutable MerklePatriciaTrie trie_;
+  /// Accounts whose trie leaf / digest cache is stale. std::set so the
+  /// flush walks addresses in deterministic sorted order.
+  mutable std::set<Address> dirty_;
+
+  /// Undo log of writes made while at least one snapshot is live, plus
+  /// the journal length at each Snapshot() call.
+  std::vector<UndoEntry> journal_;
+  std::vector<size_t> marks_;
+
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace shardchain

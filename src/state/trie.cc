@@ -23,28 +23,29 @@ size_t CommonPrefix(const std::vector<uint8_t>& a, size_t a_from,
 // Node basics
 // ---------------------------------------------------------------------
 
-MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Node::Clone() const {
-  auto copy = std::make_unique<Node>();
-  copy->kind = kind;
-  copy->path = path;
-  copy->value = value;
-  copy->has_value = has_value;
-  for (size_t i = 0; i < children.size(); ++i) {
-    if (children[i]) copy->children[i] = children[i]->Clone();
-  }
-  copy->cached_hash = cached_hash;
-  copy->hash_valid = hash_valid;
+MerklePatriciaTrie::NodePtr MerklePatriciaTrie::ShallowCopy(const Node& src) {
+  auto copy = std::make_shared<Node>();
+  copy->kind = src.kind;
+  copy->path = src.path;
+  copy->value = src.value;
+  copy->has_value = src.has_value;
+  copy->children = src.children;  // Pointer copies: subtrees are shared.
   return copy;
 }
 
 MerklePatriciaTrie::MerklePatriciaTrie(const MerklePatriciaTrie& other)
-    : root_(other.root_ ? other.root_->Clone() : nullptr),
-      size_(other.size_) {}
+    : root_(other.root_), size_(other.size_) {
+  // Warm the shared nodes' hash caches before sharing so neither copy
+  // ever writes a node the other can reach (data-race freedom when
+  // copies are hashed from different threads).
+  (void)other.RootHash();
+}
 
 MerklePatriciaTrie& MerklePatriciaTrie::operator=(
     const MerklePatriciaTrie& other) {
   if (this != &other) {
-    root_ = other.root_ ? other.root_->Clone() : nullptr;
+    (void)other.RootHash();
+    root_ = other.root_;
     size_ = other.size_;
   }
   return *this;
@@ -124,38 +125,41 @@ bool SuffixEquals(const std::vector<uint8_t>& nibbles, size_t depth,
 }  // namespace
 
 MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
-    NodePtr node, const std::vector<uint8_t>& nibbles, size_t depth,
-    Bytes value) {
+    const NodePtr& node, const std::vector<uint8_t>& nibbles, size_t depth,
+    Bytes value, bool* added) {
   if (!node) {
-    auto leaf = std::make_unique<Node>();
+    auto leaf = std::make_shared<Node>();
     leaf->kind = Node::Kind::kLeaf;
     leaf->path.assign(nibbles.begin() + static_cast<ptrdiff_t>(depth),
                       nibbles.end());
     leaf->value = std::move(value);
     leaf->has_value = true;
+    *added = true;
     return leaf;
   }
-  node->hash_valid = false;
 
   switch (node->kind) {
     case Node::Kind::kLeaf: {
       if (SuffixEquals(nibbles, depth, node->path)) {
-        node->value = std::move(value);
-        return node;
+        NodePtr copy = ShallowCopy(*node);
+        copy->value = std::move(value);
+        return copy;
       }
+      *added = true;
       const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
-      auto branch = std::make_unique<Node>();
+      auto branch = std::make_shared<Node>();
       branch->kind = Node::Kind::kBranch;
       // Re-seat the existing leaf under the branch.
       if (node->path.size() == cp) {
         branch->has_value = true;
-        branch->value = std::move(node->value);
+        branch->value = node->value;
       } else {
-        auto old_leaf = std::make_unique<Node>();
+        auto old_leaf = std::make_shared<Node>();
         old_leaf->kind = Node::Kind::kLeaf;
-        old_leaf->path.assign(node->path.begin() + static_cast<ptrdiff_t>(cp + 1),
-                              node->path.end());
-        old_leaf->value = std::move(node->value);
+        old_leaf->path.assign(
+            node->path.begin() + static_cast<ptrdiff_t>(cp + 1),
+            node->path.end());
+        old_leaf->value = node->value;
         old_leaf->has_value = true;
         branch->children[node->path[cp]] = std::move(old_leaf);
       }
@@ -164,7 +168,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
         branch->has_value = true;
         branch->value = std::move(value);
       } else {
-        auto new_leaf = std::make_unique<Node>();
+        auto new_leaf = std::make_shared<Node>();
         new_leaf->kind = Node::Kind::kLeaf;
         new_leaf->path.assign(
             nibbles.begin() + static_cast<ptrdiff_t>(depth + cp + 1),
@@ -174,7 +178,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
         branch->children[nibbles[depth + cp]] = std::move(new_leaf);
       }
       if (cp == 0) return branch;
-      auto ext = std::make_unique<Node>();
+      auto ext = std::make_shared<Node>();
       ext->kind = Node::Kind::kExtension;
       ext->path.assign(node->path.begin(),
                        node->path.begin() + static_cast<ptrdiff_t>(cp));
@@ -185,24 +189,29 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
     case Node::Kind::kExtension: {
       const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
       if (cp == node->path.size()) {
-        node->children[0] = Insert(std::move(node->children[0]), nibbles,
-                                   depth + cp, std::move(value));
-        return node;
+        NodePtr copy = ShallowCopy(*node);
+        copy->children[0] =
+            Insert(node->children[0], nibbles, depth + cp, std::move(value),
+                   added);
+        return copy;
       }
       // Split the extension at cp.
-      auto branch = std::make_unique<Node>();
+      *added = true;
+      auto branch = std::make_shared<Node>();
       branch->kind = Node::Kind::kBranch;
-      // Old subtree goes under node->path[cp].
+      // Old subtree goes under node->path[cp]; the subtree itself is
+      // shared untouched.
       {
         const uint8_t idx = node->path[cp];
         if (node->path.size() - cp == 1) {
-          branch->children[idx] = std::move(node->children[0]);
+          branch->children[idx] = node->children[0];
         } else {
-          auto tail = std::make_unique<Node>();
+          auto tail = std::make_shared<Node>();
           tail->kind = Node::Kind::kExtension;
-          tail->path.assign(node->path.begin() + static_cast<ptrdiff_t>(cp + 1),
-                            node->path.end());
-          tail->children[0] = std::move(node->children[0]);
+          tail->path.assign(
+              node->path.begin() + static_cast<ptrdiff_t>(cp + 1),
+              node->path.end());
+          tail->children[0] = node->children[0];
           branch->children[idx] = std::move(tail);
         }
       }
@@ -211,7 +220,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
         branch->has_value = true;
         branch->value = std::move(value);
       } else {
-        auto leaf = std::make_unique<Node>();
+        auto leaf = std::make_shared<Node>();
         leaf->kind = Node::Kind::kLeaf;
         leaf->path.assign(
             nibbles.begin() + static_cast<ptrdiff_t>(depth + cp + 1),
@@ -221,7 +230,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
         branch->children[nibbles[depth + cp]] = std::move(leaf);
       }
       if (cp == 0) return branch;
-      auto ext = std::make_unique<Node>();
+      auto ext = std::make_shared<Node>();
       ext->kind = Node::Kind::kExtension;
       ext->path.assign(node->path.begin(),
                        node->path.begin() + static_cast<ptrdiff_t>(cp));
@@ -230,25 +239,27 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Insert(
     }
 
     case Node::Kind::kBranch: {
+      NodePtr copy = ShallowCopy(*node);
       if (depth == nibbles.size()) {
-        node->has_value = true;
-        node->value = std::move(value);
-        return node;
+        if (!copy->has_value) *added = true;
+        copy->has_value = true;
+        copy->value = std::move(value);
+        return copy;
       }
       const uint8_t idx = nibbles[depth];
-      node->children[idx] = Insert(std::move(node->children[idx]), nibbles,
-                                   depth + 1, std::move(value));
-      return node;
+      copy->children[idx] = Insert(node->children[idx], nibbles, depth + 1,
+                                   std::move(value), added);
+      return copy;
     }
   }
-  return node;
+  return nullptr;  // Unreachable.
 }
 
 void MerklePatriciaTrie::Put(const Bytes& key, Bytes value) {
   const std::vector<uint8_t> nibbles = ToNibbles(key);
-  const bool existed = Contains(key);
-  root_ = Insert(std::move(root_), nibbles, 0, std::move(value));
-  if (!existed) ++size_;
+  bool added = false;
+  root_ = Insert(root_, nibbles, 0, std::move(value), &added);
+  if (added) ++size_;
 }
 
 // ---------------------------------------------------------------------
@@ -294,21 +305,16 @@ std::optional<Bytes> MerklePatriciaTrie::Get(const Bytes& key) const {
 MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Normalize(NodePtr node) {
   if (!node) return node;
   if (node->kind == Node::Kind::kExtension) {
-    Node* child = node->children[0].get();
+    const Node* child = node->children[0].get();
     if (child == nullptr) return nullptr;
-    if (child->kind == Node::Kind::kLeaf) {
-      // ext(p) + leaf(q) => leaf(p+q).
-      child->path.insert(child->path.begin(), node->path.begin(),
-                         node->path.end());
-      child->hash_valid = false;
-      return std::move(node->children[0]);
-    }
-    if (child->kind == Node::Kind::kExtension) {
-      // ext(p) + ext(q) => ext(p+q).
-      child->path.insert(child->path.begin(), node->path.begin(),
-                         node->path.end());
-      child->hash_valid = false;
-      return std::move(node->children[0]);
+    if (child->kind == Node::Kind::kLeaf ||
+        child->kind == Node::Kind::kExtension) {
+      // ext(p) + leaf(q) => leaf(p+q); ext(p) + ext(q) => ext(p+q).
+      // The child may be shared, so the merge builds a fresh node.
+      NodePtr merged = ShallowCopy(*child);
+      merged->path.insert(merged->path.begin(), node->path.begin(),
+                          node->path.end());
+      return merged;
     }
     return node;
   }
@@ -323,26 +329,27 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Normalize(NodePtr node) {
     }
     if (child_count == 0 && !node->has_value) return nullptr;
     if (child_count == 0 && node->has_value) {
-      auto leaf = std::make_unique<Node>();
+      auto leaf = std::make_shared<Node>();
       leaf->kind = Node::Kind::kLeaf;
       leaf->value = std::move(node->value);
       leaf->has_value = true;
       return leaf;
     }
     if (child_count == 1 && !node->has_value) {
-      NodePtr child = std::move(node->children[only_child]);
-      child->hash_valid = false;
+      const NodePtr& child = node->children[only_child];
       switch (child->kind) {
         case Node::Kind::kLeaf:
-        case Node::Kind::kExtension:
-          child->path.insert(child->path.begin(),
-                             static_cast<uint8_t>(only_child));
-          return child;
+        case Node::Kind::kExtension: {
+          NodePtr merged = ShallowCopy(*child);
+          merged->path.insert(merged->path.begin(),
+                              static_cast<uint8_t>(only_child));
+          return merged;
+        }
         case Node::Kind::kBranch: {
-          auto ext = std::make_unique<Node>();
+          auto ext = std::make_shared<Node>();
           ext->kind = Node::Kind::kExtension;
           ext->path = {static_cast<uint8_t>(only_child)};
-          ext->children[0] = std::move(child);
+          ext->children[0] = child;
           return ext;
         }
       }
@@ -352,7 +359,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Normalize(NodePtr node) {
 }
 
 MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Remove(
-    NodePtr node, const std::vector<uint8_t>& nibbles, size_t depth,
+    const NodePtr& node, const std::vector<uint8_t>& nibbles, size_t depth,
     bool* removed) {
   if (!node) return node;
   switch (node->kind) {
@@ -366,26 +373,29 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Remove(
     case Node::Kind::kExtension: {
       const size_t cp = CommonPrefix(node->path, 0, nibbles, depth);
       if (cp != node->path.size()) return node;
-      node->children[0] =
-          Remove(std::move(node->children[0]), nibbles, depth + cp, removed);
+      NodePtr child = Remove(node->children[0], nibbles, depth + cp, removed);
       if (!*removed) return node;
-      node->hash_valid = false;
-      return Normalize(std::move(node));
+      NodePtr copy = ShallowCopy(*node);
+      copy->children[0] = std::move(child);
+      return Normalize(std::move(copy));
     }
     case Node::Kind::kBranch: {
+      NodePtr copy;
       if (depth == nibbles.size()) {
         if (!node->has_value) return node;
-        node->has_value = false;
-        node->value.clear();
+        copy = ShallowCopy(*node);
+        copy->has_value = false;
+        copy->value.clear();
         *removed = true;
       } else {
         const uint8_t idx = nibbles[depth];
-        node->children[idx] = Remove(std::move(node->children[idx]), nibbles,
-                                     depth + 1, removed);
+        NodePtr child =
+            Remove(node->children[idx], nibbles, depth + 1, removed);
         if (!*removed) return node;
+        copy = ShallowCopy(*node);
+        copy->children[idx] = std::move(child);
       }
-      node->hash_valid = false;
-      return Normalize(std::move(node));
+      return Normalize(std::move(copy));
     }
   }
   return node;
@@ -393,7 +403,7 @@ MerklePatriciaTrie::NodePtr MerklePatriciaTrie::Remove(
 
 bool MerklePatriciaTrie::Delete(const Bytes& key) {
   bool removed = false;
-  root_ = Remove(std::move(root_), ToNibbles(key), 0, &removed);
+  root_ = Remove(root_, ToNibbles(key), 0, &removed);
   if (removed) --size_;
   return removed;
 }

@@ -14,7 +14,8 @@
 
 namespace shardchain {
 
-/// \brief A Merkle Patricia-style radix trie over hex nibbles.
+/// \brief A persistent Merkle Patricia-style radix trie over hex
+/// nibbles with structural sharing.
 ///
 /// The authenticated key-value store behind account state, in the
 /// spirit of Ethereum's state trie: every node's hash commits to its
@@ -24,6 +25,23 @@ namespace shardchain {
 ///   - leaf: remaining key nibbles + value;
 ///   - extension: shared nibble run + one child;
 ///   - branch: 16 children + optional value at this exact key.
+///
+/// Nodes are held by `std::shared_ptr` and treated as immutable once
+/// reachable from more than one trie: `Put`/`Delete` copy only the
+/// O(depth) spine from the root to the touched key and share every
+/// untouched subtree with the pre-mutation version (copy-on-write).
+/// Consequences, relied on by StateDB (DESIGN.md §10):
+///   - copying a trie is O(1) — the copy shares the whole node graph;
+///   - cached subtree hashes on shared, untouched nodes stay valid, so
+///     RootHash() after k mutations re-hashes only the O(k·depth)
+///     fresh spine nodes;
+///   - the root hash is a pure function of the key-value contents —
+///     byte-identical to a rebuild-from-scratch trie holding the same
+///     entries, whatever the mutation history.
+///
+/// The copy constructor warms the source's hash cache (RootHash) before
+/// sharing, so shared nodes are never written afterwards — hashing two
+/// copies from different threads is then data-race-free.
 ///
 /// Keys are arbitrary byte strings (internally nibble-expanded);
 /// values are byte strings. The empty trie hashes to Hash256::Zero().
@@ -35,13 +53,14 @@ class MerklePatriciaTrie {
   MerklePatriciaTrie(MerklePatriciaTrie&&) = default;
   MerklePatriciaTrie& operator=(MerklePatriciaTrie&&) = default;
 
-  /// Inserts or overwrites `key` with `value`.
+  /// Inserts or overwrites `key` with `value`. O(depth) node copies;
+  /// subtrees off the key path are shared, not cloned.
   void Put(const Bytes& key, Bytes value);
 
   /// The stored value, or nullopt.
   std::optional<Bytes> Get(const Bytes& key) const;
 
-  /// Removes `key`; returns true if it was present.
+  /// Removes `key`; returns true if it was present. O(depth) copies.
   bool Delete(const Bytes& key);
 
   bool Contains(const Bytes& key) const { return Get(key).has_value(); }
@@ -50,8 +69,8 @@ class MerklePatriciaTrie {
   size_t Size() const { return size_; }
   bool Empty() const { return size_ == 0; }
 
-  /// Root commitment. O(dirty subtree) — hashes are cached and
-  /// invalidated along write paths.
+  /// Root commitment. O(dirty spine) — hashes are cached per node and
+  /// only nodes created since the last RootHash() are re-hashed.
   Hash256 RootHash() const;
 
   /// All (key, value) pairs in lexicographic key order.
@@ -79,7 +98,7 @@ class MerklePatriciaTrie {
 
  private:
   struct Node;
-  using NodePtr = std::unique_ptr<Node>;
+  using NodePtr = std::shared_ptr<Node>;
 
   struct Node {
     enum class Kind : uint8_t { kLeaf, kExtension, kBranch };
@@ -93,23 +112,35 @@ class MerklePatriciaTrie {
     bool has_value = false;
     std::array<NodePtr, 16> children;
 
-    // Cached subtree hash; invalid when dirty.
+    // Cached subtree hash; invalid when the node was created by a
+    // mutation and not yet hashed. Shared nodes are only ever read
+    // once their cache is warm (see the class comment).
     mutable Hash256 cached_hash;
     mutable bool hash_valid = false;
-
-    NodePtr Clone() const;
   };
+
+  /// Fresh node copying `src`'s fields but *sharing* its children —
+  /// the COW spine-copy primitive. The copy starts hash-invalid.
+  static NodePtr ShallowCopy(const Node& src);
 
   static std::vector<uint8_t> ToNibbles(const Bytes& key);
   static Bytes Serialize(const Node& node);
   static Hash256 HashOf(const Node& node);
-  static NodePtr Insert(NodePtr node, const std::vector<uint8_t>& nibbles,
-                        size_t depth, Bytes value);
+  /// Functional insert: returns the root of a new version whose spine
+  /// nodes are fresh and whose off-path subtrees are shared with
+  /// `node`. Sets *added when the key was not previously present.
+  static NodePtr Insert(const NodePtr& node,
+                        const std::vector<uint8_t>& nibbles, size_t depth,
+                        Bytes value, bool* added);
   static const Node* Find(const Node* node,
                           const std::vector<uint8_t>& nibbles, size_t depth);
-  static NodePtr Remove(NodePtr node, const std::vector<uint8_t>& nibbles,
-                        size_t depth, bool* removed);
+  /// Functional delete; returns the (possibly shared, unchanged) new
+  /// version root. Sets *removed when the key was present.
+  static NodePtr Remove(const NodePtr& node,
+                        const std::vector<uint8_t>& nibbles, size_t depth,
+                        bool* removed);
   /// Collapses single-child branches / chained extensions after delete.
+  /// `node` must be freshly created (unshared); children may be shared.
   static NodePtr Normalize(NodePtr node);
   static void CollectEntries(const Node* node, std::vector<uint8_t>* prefix,
                              std::vector<std::pair<Bytes, Bytes>>* out);

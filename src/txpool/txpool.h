@@ -65,6 +65,7 @@ class TxPool {
   /// deterministic total order; by_id_ is a lookup-only index and is
   /// never iterated (determinism audit, see tools/detlint).
   std::map<FeeKey, Transaction> by_fee_;
+  // detlint:allow(unordered-container): lookup-only index, never iterated
   std::unordered_map<Hash256, FeeKey> by_id_;
 };
 
