@@ -23,9 +23,10 @@ using bench::Fmt;
 using bench::Row;
 
 double MicrosPerQuery(const std::function<void()>& fn, size_t queries) {
+  // detlint:allow(wall-clock): bench-only timing, never consensus input.
   const auto start = std::chrono::steady_clock::now();
   fn();
-  const auto end = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();  // detlint:allow(wall-clock): bench timing
   return std::chrono::duration<double, std::micro>(end - start).count() /
          static_cast<double>(queries);
 }

@@ -28,7 +28,7 @@
 namespace shardchain {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = std::chrono::steady_clock;  // detlint:allow(wall-clock): bench timing
 
 const size_t kThreadCounts[] = {1, 2, 4, 8};
 constexpr double kMinSeconds = 0.25;

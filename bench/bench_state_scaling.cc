@@ -38,7 +38,7 @@
 namespace shardchain {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = std::chrono::steady_clock;  // detlint:allow(wall-clock): bench timing
 
 const size_t kAccountCounts[] = {100, 1000, 10000};
 constexpr size_t kTouchedPerRoot = 64;  ///< Dirty accounts per root update.

@@ -2,10 +2,13 @@
 # Tier-1 gate: the full build/test matrix a change must pass before
 # merging.
 #
-#   1. Release build with -Werror, full ctest (includes the detlint
-#      static scan of the consensus-critical directories).
+#   1. Release build with -Werror, full ctest (includes the detlint and
+#      parlint static scans), then a blocking lint step that re-runs
+#      both linters with --check-waivers and writes JSON reports into
+#      <dir>/lint-reports/.
 #   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
-#      full ctest (exercises the determinism harness under sanitizers).
+#      full ctest (exercises the determinism harness under sanitizers)
+#      plus the same blocking lint step.
 #   3. Debug build with ThreadSanitizer running the parallel-equivalence
 #      and chaos suites — the legs that actually spin up the
 #      deterministic thread pool (DESIGN.md §9).
@@ -17,6 +20,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 prefix="${1:-build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+# Directories detlint covers: everything consensus-critical plus the
+# benches, examples, and the lint tools themselves (self-scan).
+detlint_targets=(src/core src/consensus src/crypto src/types src/contract
+                 src/net src/sim src/parallel src/state src/chain src/txpool
+                 bench examples tools)
+
+# Blocking lint step: both linters over their scan sets, stale-waiver
+# checking on, machine-readable reports under <dir>/lint-reports/ so CI
+# can upload them as artifacts even on success. Exit code 2 on any
+# unsuppressed finding fails the leg (set -e).
+run_lint_step() {
+  local dir="$1"
+  mkdir -p "$dir/lint-reports"
+  echo "==== lint $dir (detlint) ===="
+  "$dir/tools/detlint" --root . --check-waivers \
+    --report "$dir/lint-reports/detlint.json" \
+    "${detlint_targets[@]}"
+  echo "==== lint $dir (parlint) ===="
+  "$dir/tools/parlint" --root . --check-waivers \
+    --report "$dir/lint-reports/parlint.json" \
+    src
+  echo "artifacts: $dir/lint-reports/detlint.json $dir/lint-reports/parlint.json"
+}
 
 run_matrix_leg() {
   local dir="$1"; shift
@@ -31,6 +58,7 @@ run_matrix_leg() {
   # reported separately from unit regressions. Seeds are fixed inside
   # the suite; reruns are byte-reproducible.
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L chaos
+  run_lint_step "$dir"
 }
 
 run_matrix_leg "$prefix-release" \
@@ -54,15 +82,6 @@ cmake --build "$prefix-tsan" -j "$jobs" \
 echo "==== test $prefix-tsan (labels: parallel|chaos) ===="
 ctest --test-dir "$prefix-tsan" --output-on-failure -j "$jobs" \
   -L "parallel|chaos"
-
-# Standalone determinism lint run with the machine-readable report, so
-# CI artifacts include the findings even on success.
-echo "==== detlint report ===="
-"$prefix-release/tools/detlint" --root . \
-  --report "$prefix-release/detlint_report.json" \
-  src/core src/consensus src/crypto src/types src/contract \
-  src/net src/sim src/parallel src/state src/chain src/txpool
-echo "report: $prefix-release/detlint_report.json"
 
 # State-commitment scaling bench. Runs in the release leg and doubles
 # as a correctness gate: it aborts unless the incremental root is

@@ -132,6 +132,7 @@ int main() {
 
   // Outcomes on the authoritative shard ledgers (merged shards alias
   // to one surviving ledger, so deduplicate).
+  // detlint:allow(pointer-keyed-order): dedup only; the report walks shard ids.
   std::set<const Ledger*> seen;
   for (ShardId s = 0; s < system.ShardCount(); ++s) {
     const Ledger* ledger = system.ShardLedger(s);

@@ -65,7 +65,8 @@ double MergeUtility(const std::vector<uint64_t>& sizes,
   const uint64_t base = rng->Next();
   const double total = ParallelReduce(
       pool, mc_samples, kSubslotGrain, 0.0,
-      [&](size_t begin, size_t end, size_t chunk) {
+      [&sizes, &fixed, &config, base,
+       merge](size_t begin, size_t end, size_t chunk) {
         Rng sub(ChunkSeed(base, chunk));
         double partial = 0.0;
         for (size_t s = begin; s < end; ++s) {
@@ -119,7 +120,8 @@ OneTimeMergeResult RunOneTimeMerge(const std::vector<uint64_t>& sizes,
     // every thread count.
     const uint64_t slot_base = rng->Next();
     ParallelChunks(pool, config.subslots, kSubslotGrain,
-                   [&](size_t begin, size_t end, size_t chunk) {
+                   [&partials, &x, &sizes, &config, slot_base,
+                    n](size_t begin, size_t end, size_t chunk) {
                      SubslotPartial& p = partials[chunk];
                      p.merge.assign(n, 0.0);
                      p.mixed.assign(n, 0.0);
@@ -294,7 +296,8 @@ IterativeMergeResult RunRandomizedMerge(const std::vector<uint64_t>& sizes,
   const uint64_t base = rng->Next();
   std::vector<uint8_t> joined(sizes.size(), 0);
   ParallelChunks(pool, sizes.size(), kSubslotGrain,
-                 [&](size_t begin, size_t end, size_t chunk) {
+                 [&joined, base, merge_prob](size_t begin, size_t end,
+                                             size_t chunk) {
                    Rng sub(ChunkSeed(base, chunk));
                    for (size_t i = begin; i < end; ++i) {
                      joined[i] = sub.Bernoulli(merge_prob) ? 1 : 0;

@@ -63,7 +63,7 @@ std::vector<size_t> BestReply(const std::vector<Amount>& fees,
   for (size_t j : current) mine[j] = 1;
 
   scores->resize(t);
-  ParallelFor(pool, t, kScoreGrain, [&](size_t j) {
+  ParallelFor(pool, t, kScoreGrain, [&counts, &mine, &fees, scores](size_t j) {
     const uint32_t others = counts[j] - (mine[j] ? 1 : 0);
     (*scores)[j] = SelectionUtility(fees[j], others);
   });

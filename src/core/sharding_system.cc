@@ -335,7 +335,8 @@ std::vector<ShardSelectionPlan> ShardingSystem::ComputeShardSelectionPlans()
   // writing its own slot. The per-shard games receive the pool too, but
   // nested regions serialize inline, so the fan-out level wins when
   // there are many shards and the inner scan wins when there are few.
-  ParallelFor(pool_.get(), live.size(), /*grain=*/1, [&](size_t k) {
+  ParallelFor(pool_.get(), live.size(), /*grain=*/1,
+              [this, &live, &plans, &miners_per_shard](size_t k) {
     const ShardId shard = live[k];
     ShardSelectionPlan& out = plans[k];
     out.shard = shard;

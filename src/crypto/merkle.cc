@@ -18,7 +18,7 @@ constexpr size_t kMerkleGrain = 256;
 std::vector<Hash256> ReduceLevel(const std::vector<Hash256>& prev,
                                  ThreadPool* pool) {
   std::vector<Hash256> next((prev.size() + 1) / 2);
-  ParallelFor(pool, next.size(), kMerkleGrain, [&](size_t i) {
+  ParallelFor(pool, next.size(), kMerkleGrain, [&next, &prev](size_t i) {
     const Hash256& left = prev[2 * i];
     const Hash256& right = (2 * i + 1 < prev.size()) ? prev[2 * i + 1] : left;
     next[i] = HashPair(left, right);

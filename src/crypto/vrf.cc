@@ -46,8 +46,9 @@ std::vector<VrfOutput> VrfEvaluateBatch(const std::vector<const KeyPair*>& keys,
                                         const Hash256& seed,
                                         ThreadPool* pool) {
   std::vector<VrfOutput> out(keys.size());
-  ParallelFor(pool, keys.size(), kVrfGrain,
-              [&](size_t i) { out[i] = VrfEvaluate(*keys[i], seed); });
+  ParallelFor(pool, keys.size(), kVrfGrain, [&out, &keys, &seed](size_t i) {
+    out[i] = VrfEvaluate(*keys[i], seed);
+  });
   return out;
 }
 
@@ -57,9 +58,10 @@ std::vector<uint8_t> VrfVerifyBatch(const std::vector<const PublicKey*>& pks,
                                     ThreadPool* pool) {
   assert(pks.size() == outs.size());
   std::vector<uint8_t> ok(pks.size(), 0);
-  ParallelFor(pool, pks.size(), kVrfGrain, [&](size_t i) {
-    ok[i] = VrfVerify(*pks[i], seed, *outs[i]) ? 1 : 0;
-  });
+  ParallelFor(pool, pks.size(), kVrfGrain,
+              [&ok, &pks, &seed, &outs](size_t i) {
+                ok[i] = VrfVerify(*pks[i], seed, *outs[i]) ? 1 : 0;
+              });
   return ok;
 }
 

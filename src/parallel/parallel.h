@@ -65,7 +65,7 @@ void ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
     }
     return;
   }
-  pool->Run(chunks, [&](size_t c) {
+  pool->Run(chunks, [&body, g, n](size_t c) {
     body(c * g, std::min(n, (c + 1) * g), c);
   });
 }
@@ -74,9 +74,10 @@ void ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
 /// only write state owned by element i.
 template <typename Body>
 void ParallelFor(ThreadPool* pool, size_t n, size_t grain, const Body& body) {
-  ParallelChunks(pool, n, grain, [&](size_t begin, size_t end, size_t) {
-    for (size_t i = begin; i < end; ++i) body(i);
-  });
+  ParallelChunks(pool, n, grain,
+                 [&body](size_t begin, size_t end, size_t) {
+                   for (size_t i = begin; i < end; ++i) body(i);
+                 });
 }
 
 /// Map-reduce with ordered combination: `map(begin, end, chunk)`
@@ -90,9 +91,10 @@ T ParallelReduce(ThreadPool* pool, size_t n, size_t grain, T init,
                  const MapFn& map, const CombineFn& combine) {
   if (n == 0) return init;
   std::vector<T> partials(NumChunks(n, grain == 0 ? 1 : grain), init);
-  ParallelChunks(pool, n, grain, [&](size_t begin, size_t end, size_t c) {
-    partials[c] = map(begin, end, c);
-  });
+  ParallelChunks(pool, n, grain,
+                 [&partials, &map](size_t begin, size_t end, size_t c) {
+                   partials[c] = map(begin, end, c);
+                 });
   T acc = init;
   for (const T& p : partials) acc = combine(acc, p);
   return acc;

@@ -175,9 +175,10 @@ void StateDB::FlushDirty() const {
     // Batch digest recompute. Each lane writes only its own account's
     // digest cache (disjoint writes, §9 rule 2); SHA-256 is bit-exact,
     // so the thread count can never reach the root bytes.
-    ParallelFor(pool_, order.size(), kDigestGrain, [&](size_t i) {
-      if (touched[i] != nullptr) (void)touched[i]->Digest(*order[i]);
-    });
+    ParallelFor(pool_, order.size(), kDigestGrain,
+                [&touched, &order](size_t i) {
+                  if (touched[i] != nullptr) (void)touched[i]->Digest(*order[i]);
+                });
     // Fold into the live trie serially, in address order.
     for (size_t i = 0; i < order.size(); ++i) {
       if (touched[i] != nullptr) {

@@ -8,65 +8,39 @@
 // splitting bug: two honest miners derive different plans from the same
 // broadcast and fork the shard.
 //
-// This tool scans the consensus-critical directories (src/core,
-// src/consensus, src/crypto, src/types, src/contract) for those hazard
-// patterns. It is a heuristic, text-level scanner, not a compiler
-// plugin: it errs on the side of flagging, and intentional uses are
-// waived inline with
-//
-//     // detlint:allow(<rule>[,<rule>...]): optional justification
-//
-// placed on the offending line or the line directly above it.
+// This tool scans the consensus-critical directories (plus bench/,
+// examples/, and tools/ itself — timing reads there carry lookup-only
+// waivers) for those hazard patterns. The scanner core — file walking,
+// comment/literal stripping, `detlint:allow(...)` waivers, JSON
+// reports, `--check-waivers` — is the shared liblint driver
+// (tools/liblint/); this file holds only the rule table and the rule
+// scanners. See also tools/parlint, the sibling tool enforcing the
+// DESIGN.md §9/§10 parallelism and snapshot-journal contracts.
 //
 // Usage:
 //   detlint [--report <file.json>] [--root <dir>] [--list-rules]
-//           <dir-or-file>...
+//           [--rules-md] [--check-waivers] <dir-or-file>...
 //
 // Exit codes: 0 = clean (all findings suppressed or none), 1 = usage /
 // IO error, 2 = unsuppressed findings present.
-//
-// Rules:
-//   unordered-container   declaration of std::unordered_{map,set,...}
-//   unordered-iteration   range-for / .begin() over such a container
-//   order-dependent-accumulation
-//                         float/double += inside unordered iteration
-//   std-rand              std::rand / srand / rand()
-//   random-device         std::random_device
-//   wall-clock            time(), gettimeofday, std::chrono clocks,
-//                         __DATE__ / __TIME__
-//   pointer-keyed-order   std::map/std::set ordered on a pointer key
 
-#include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "liblint/liblint.h"
+
 namespace {
 
-namespace fs = std::filesystem;
-
-// ----------------------------- Findings ---------------------------------
-
-struct Finding {
-  std::string file;  // As given (relative to --root when provided).
-  size_t line = 0;   // 1-based.
-  std::string rule;
-  std::string snippet;
-  bool suppressed = false;
-};
-
-struct RuleInfo {
-  const char* name;
-  const char* summary;
-};
+using liblint::EmitFinding;
+using liblint::Finding;
+using liblint::IsIdentChar;
+using liblint::MatchAngle;
+using liblint::RuleInfo;
+using liblint::Source;
+using liblint::TokenAt;
 
 constexpr RuleInfo kRules[] = {
     {"unordered-container",
@@ -88,204 +62,6 @@ constexpr RuleInfo kRules[] = {
      "the allocator, not the data"},
 };
 
-// --------------------------- Text utilities -----------------------------
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// True if content[pos..] starts with `token` on identifier boundaries.
-bool TokenAt(const std::string& s, size_t pos, const std::string& token) {
-  if (s.compare(pos, token.size(), token) != 0) return false;
-  if (pos > 0 && IsIdentChar(s[pos - 1]) && IsIdentChar(token.front())) {
-    return false;
-  }
-  const size_t end = pos + token.size();
-  if (end < s.size() && IsIdentChar(token.back()) && IsIdentChar(s[end])) {
-    return false;
-  }
-  return true;
-}
-
-// ------------------------- Preprocessed source --------------------------
-
-// A file's content with comments and string/char literals blanked out
-// (offsets preserved), plus per-line suppression info extracted from the
-// comments before blanking.
-class Source {
- public:
-  Source(std::string path, std::string raw)
-      : path_(std::move(path)), code_(std::move(raw)) {
-    IndexLines();
-    StripCommentsAndLiterals();
-  }
-
-  const std::string& path() const { return path_; }
-  const std::string& code() const { return code_; }
-
-  size_t LineOf(size_t offset) const {
-    // line_starts_ is sorted; find the last start <= offset.
-    auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(),
-                               offset);
-    return static_cast<size_t>(it - line_starts_.begin());  // 1-based.
-  }
-
-  std::string LineText(size_t line) const {  // 1-based, trimmed.
-    if (line == 0 || line > line_starts_.size()) return {};
-    const size_t begin = line_starts_[line - 1];
-    size_t end = line < line_starts_.size() ? line_starts_[line] : raw_.size();
-    while (end > begin && (raw_[end - 1] == '\n' || raw_[end - 1] == '\r')) {
-      --end;
-    }
-    std::string text = raw_.substr(begin, end - begin);
-    const size_t first = text.find_first_not_of(" \t");
-    return first == std::string::npos ? std::string() : text.substr(first);
-  }
-
-  // True when `rule` is waived on `line` (same line or the one above).
-  bool Suppressed(size_t line, const std::string& rule) const {
-    return SuppressedOn(line, rule) || SuppressedOn(line - 1, rule);
-  }
-
- private:
-  void IndexLines() {
-    line_starts_.push_back(0);
-    for (size_t i = 0; i < code_.size(); ++i) {
-      if (code_[i] == '\n' && i + 1 < code_.size()) {
-        line_starts_.push_back(i + 1);
-      }
-    }
-  }
-
-  bool SuppressedOn(size_t line, const std::string& rule) const {
-    auto it = allow_.find(line);
-    if (it == allow_.end()) return false;
-    const std::set<std::string>& rules = it->second;
-    return rules.count("*") > 0 || rules.count(rule) > 0;
-  }
-
-  // Records a `detlint:allow(a,b)` directive found in a comment.
-  void ParseAllow(const std::string& comment, size_t line) {
-    const std::string kTag = "detlint:allow(";
-    size_t pos = comment.find(kTag);
-    while (pos != std::string::npos) {
-      const size_t open = pos + kTag.size();
-      const size_t close = comment.find(')', open);
-      if (close == std::string::npos) break;
-      std::string list = comment.substr(open, close - open);
-      std::stringstream ss(list);
-      std::string rule;
-      while (std::getline(ss, rule, ',')) {
-        const size_t a = rule.find_first_not_of(" \t");
-        const size_t b = rule.find_last_not_of(" \t");
-        if (a != std::string::npos) {
-          allow_[line].insert(rule.substr(a, b - a + 1));
-        }
-      }
-      pos = comment.find(kTag, close);
-    }
-  }
-
-  // Blanks comments and literals in place; harvests suppressions first.
-  void StripCommentsAndLiterals() {
-    raw_ = code_;
-    enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
-    State state = State::kCode;
-    size_t token_start = 0;
-    std::string raw_delim;  // For R"delim( ... )delim".
-    for (size_t i = 0; i < code_.size(); ++i) {
-      const char c = code_[i];
-      const char next = i + 1 < code_.size() ? code_[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLine;
-            token_start = i;
-          } else if (c == '/' && next == '*') {
-            state = State::kBlock;
-            token_start = i;
-            ++i;
-          } else if (c == 'R' && next == '"' &&
-                     (i == 0 || !IsIdentChar(code_[i - 1]))) {
-            const size_t paren = code_.find('(', i + 2);
-            if (paren != std::string::npos) {
-              raw_delim = ")" + code_.substr(i + 2, paren - i - 2) + "\"";
-              state = State::kRawString;
-              token_start = i;
-              i = paren;
-            }
-          } else if (c == '"') {
-            state = State::kString;
-            token_start = i;
-          } else if (c == '\'' &&
-                     !(i > 0 && std::isdigit(
-                                    static_cast<unsigned char>(code_[i - 1])))) {
-            // Skip digit separators like 1'000'000.
-            state = State::kChar;
-            token_start = i;
-          }
-          break;
-        case State::kLine:
-          if (c == '\n') {
-            ParseAllow(code_.substr(token_start, i - token_start),
-                       LineOf(token_start));
-            Blank(token_start, i);
-            state = State::kCode;
-          }
-          break;
-        case State::kBlock:
-          if (c == '*' && next == '/') {
-            ParseAllow(code_.substr(token_start, i + 2 - token_start),
-                       LineOf(token_start));
-            Blank(token_start, i + 2);
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"' || c == '\n') {
-            Blank(token_start + 1, i);
-            state = State::kCode;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'' || c == '\n') {
-            Blank(token_start + 1, i);
-            state = State::kCode;
-          }
-          break;
-        case State::kRawString:
-          if (code_.compare(i, raw_delim.size(), raw_delim) == 0) {
-            Blank(token_start + 1, i + raw_delim.size() - 1);
-            i += raw_delim.size() - 1;
-            state = State::kCode;
-          }
-          break;
-      }
-    }
-    if (state == State::kLine) {
-      ParseAllow(code_.substr(token_start), LineOf(token_start));
-      Blank(token_start, code_.size());
-    }
-  }
-
-  void Blank(size_t begin, size_t end) {
-    for (size_t i = begin; i < end && i < code_.size(); ++i) {
-      if (code_[i] != '\n') code_[i] = ' ';
-    }
-  }
-
-  std::string path_;
-  std::string code_;  // Blanked copy scanned by the rules.
-  std::string raw_;   // Original text, for snippets.
-  std::vector<size_t> line_starts_;
-  std::map<size_t, std::set<std::string>> allow_;  // line -> rules.
-};
-
 // ------------------------------ Scanner ---------------------------------
 
 class Scanner {
@@ -302,28 +78,7 @@ class Scanner {
 
  private:
   void Emit(const Source& src, size_t offset, const std::string& rule) {
-    const size_t line = src.LineOf(offset);
-    Finding f;
-    f.file = src.path();
-    f.line = line;
-    f.rule = rule;
-    f.snippet = src.LineText(line);
-    f.suppressed = src.Suppressed(line, rule);
-    out_->push_back(std::move(f));
-  }
-
-  // Matches the closing '>' of a template argument list opened at
-  // `open` (which must index '<'). Returns npos when unbalanced.
-  static size_t MatchAngle(const std::string& s, size_t open) {
-    int depth = 0;
-    for (size_t i = open; i < s.size(); ++i) {
-      if (s[i] == '<') ++depth;
-      if (s[i] == '>') {
-        if (--depth == 0) return i;
-      }
-      if (s[i] == ';' || s[i] == '{') return std::string::npos;
-    }
-    return std::string::npos;
+    EmitFinding(src, offset, rule, out_);
   }
 
   // Identifier declared right after a type's template argument list.
@@ -385,8 +140,7 @@ class Scanner {
   // The identifier a range-for loops over: the last identifier of the
   // range expression (handles `m`, `this->m`, `obj.m`, `*ptr`).
   static std::string RangeIdent(std::string expr) {
-    while (!expr.empty() &&
-           !IsIdentChar(expr.back())) {
+    while (!expr.empty() && !IsIdentChar(expr.back())) {
       expr.pop_back();
     }
     size_t begin = expr.size();
@@ -586,158 +340,37 @@ class Scanner {
   std::set<std::string> unordered_names_;
 };
 
-// ------------------------------ Driver ----------------------------------
-
-bool HasSourceExtension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
-         ext == ".cpp" || ext == ".cxx";
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-bool WriteReport(const std::string& path, const std::vector<Finding>& findings,
-                 size_t files_scanned, size_t unsuppressed) {
-  std::ofstream out(path);
-  out << "{\n  \"tool\": \"detlint\",\n  \"version\": 1,\n";
-  out << "  \"files_scanned\": " << files_scanned << ",\n";
-  out << "  \"unsuppressed\": " << unsuppressed << ",\n";
-  out << "  \"findings\": [";
-  for (size_t i = 0; i < findings.size(); ++i) {
-    const Finding& f = findings[i];
-    out << (i == 0 ? "\n" : ",\n");
-    out << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
-        << f.line << ", \"rule\": \"" << f.rule << "\", \"suppressed\": "
-        << (f.suppressed ? "true" : "false") << ", \"snippet\": \""
-        << JsonEscape(f.snippet) << "\"}";
-  }
-  out << (findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
-  out.flush();
-  return out.good();
-}
-
-int Usage() {
-  std::cerr << "usage: detlint [--report <file.json>] [--root <dir>] "
-               "[--list-rules] <dir-or-file>...\n";
-  return 1;
-}
+// tools/lint_rules.md is the concatenation of both tools' --rules-md
+// output; detlint runs first, so it carries the file header.
+constexpr char kMdPreamble[] =
+    "# Lint rules\n"
+    "\n"
+    "Generated from each tool's `kRules` table — do not edit by hand.\n"
+    "The `lint_rules_md_in_sync` ctest diffs this file against the\n"
+    "generators; regenerate with:\n"
+    "\n"
+    "    build/tools/detlint --rules-md >  tools/lint_rules.md\n"
+    "    build/tools/parlint --rules-md >> tools/lint_rules.md\n"
+    "\n"
+    "Both linters share the liblint driver (`tools/liblint/`): inline\n"
+    "waivers are `// <tool>:allow(<rule>[,<rule>...]): justification`\n"
+    "on the offending line or the line above, and `--check-waivers`\n"
+    "reports any waiver that suppresses zero findings (DESIGN.md §11).\n"
+    "\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> targets;
-  std::string report_path;
-  std::string root;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--report" && i + 1 < argc) {
-      report_path = argv[++i];
-    } else if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg == "--list-rules") {
-      for (const RuleInfo& r : kRules) {
-        std::cout << r.name << "\t" << r.summary << "\n";
-      }
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      return Usage();
-    } else {
-      targets.push_back(arg);
-    }
-  }
-  if (targets.empty()) return Usage();
-
-  std::vector<fs::path> files;
-  for (const std::string& t : targets) {
-    const fs::path base = root.empty() ? fs::path(t) : fs::path(root) / t;
-    std::error_code ec;
-    if (fs::is_directory(base, ec)) {
-      for (auto it = fs::recursive_directory_iterator(base, ec);
-           !ec && it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file() && HasSourceExtension(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(base, ec)) {
-      files.push_back(base);
-    } else {
-      std::cerr << "detlint: cannot read " << base << "\n";
-      return 1;
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  std::vector<Finding> findings;
-  for (const fs::path& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      std::cerr << "detlint: cannot open " << file << "\n";
-      return 1;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    std::string shown = file.string();
-    if (!root.empty()) {
-      const std::string prefix = (fs::path(root) / "").string();
-      if (shown.rfind(prefix, 0) == 0) shown = shown.substr(prefix.size());
-    }
-    Source src(shown, buffer.str());
-    Scanner scanner(&findings);
+  liblint::Tool tool;
+  tool.name = "detlint";
+  tool.tagline =
+      "nondeterminism hazards on the consensus-critical path (DESIGN.md §7)";
+  tool.md_preamble = kMdPreamble;
+  tool.rules = kRules;
+  tool.rule_count = sizeof(kRules) / sizeof(kRules[0]);
+  tool.scan = [](const Source& src, std::vector<Finding>* out) {
+    Scanner scanner(out);
     scanner.ScanFile(src);
-  }
-
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-
-  size_t unsuppressed = 0;
-  for (const Finding& f : findings) {
-    if (!f.suppressed) ++unsuppressed;
-  }
-  if (!report_path.empty() &&
-      !WriteReport(report_path, findings, files.size(), unsuppressed)) {
-    std::cerr << "detlint: cannot write report to \"" << report_path
-              << "\"\n";
-    return 1;
-  }
-
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": "
-              << (f.suppressed ? "allowed" : "error") << " [" << f.rule
-              << "] " << f.snippet << "\n";
-  }
-  std::cout << "detlint: " << files.size() << " files, " << findings.size()
-            << " findings, " << unsuppressed << " unsuppressed\n";
-  return unsuppressed == 0 ? 0 : 2;
+  };
+  return liblint::RunLinter(tool, argc, argv);
 }

@@ -1,0 +1,20 @@
+// Fixture for the detlint --check-waivers self-test: clean code
+// carrying waivers that suppress nothing. A plain scan exits 0; the
+// detlint_flags_stale_waivers CTest case runs with --check-waivers and
+// expects a nonzero exit with one `stale-waiver` finding per entry.
+// This file is never compiled into any target.
+
+#include <map>
+
+namespace fixture {
+
+// detlint:allow(unordered-container): container was made ordered long ago
+inline std::map<int, int> ranks;
+
+inline int Lookup(int key) {
+  auto it = ranks.find(key);
+  // detlint:allow(wall-clock, std-rand)
+  return it == ranks.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

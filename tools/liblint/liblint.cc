@@ -1,0 +1,489 @@
+#include "liblint/liblint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace liblint {
+
+namespace fs = std::filesystem;
+
+// --------------------------- Text utilities -----------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool TokenAt(const std::string& s, size_t pos, const std::string& token) {
+  if (s.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdentChar(s[pos - 1]) && IsIdentChar(token.front())) {
+    return false;
+  }
+  const size_t end = pos + token.size();
+  if (end < s.size() && IsIdentChar(token.back()) && IsIdentChar(s[end])) {
+    return false;
+  }
+  return true;
+}
+
+size_t MatchAngle(const std::string& s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>') {
+      if (--depth == 0) return i;
+    }
+    if (s[i] == ';' || s[i] == '{') return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+namespace {
+
+size_t MatchPair(const std::string& s, size_t open, char lhs, char rhs) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == lhs) ++depth;
+    if (s[i] == rhs && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+size_t MatchParen(const std::string& s, size_t open) {
+  return MatchPair(s, open, '(', ')');
+}
+
+size_t MatchBrace(const std::string& s, size_t open) {
+  return MatchPair(s, open, '{', '}');
+}
+
+// ------------------------- Preprocessed source --------------------------
+
+Source::Source(std::string path, std::string raw, std::string tool)
+    : path_(std::move(path)),
+      tag_(std::move(tool) + ":allow("),
+      code_(std::move(raw)) {
+  IndexLines();
+  StripCommentsAndLiterals();
+}
+
+void Source::IndexLines() {
+  line_starts_.push_back(0);
+  for (size_t i = 0; i < code_.size(); ++i) {
+    if (code_[i] == '\n' && i + 1 < code_.size()) {
+      line_starts_.push_back(i + 1);
+    }
+  }
+}
+
+size_t Source::LineOf(size_t offset) const {
+  // line_starts_ is sorted; find the last start <= offset.
+  auto it =
+      std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<size_t>(it - line_starts_.begin());  // 1-based.
+}
+
+std::string Source::LineText(size_t line) const {
+  if (line == 0 || line > line_starts_.size()) return {};
+  const size_t begin = line_starts_[line - 1];
+  size_t end = line < line_starts_.size() ? line_starts_[line] : raw_.size();
+  while (end > begin && (raw_[end - 1] == '\n' || raw_[end - 1] == '\r' ||
+                         raw_[end - 1] == ' ' || raw_[end - 1] == '\t')) {
+    --end;
+  }
+  std::string text = raw_.substr(begin, end - begin);
+  const size_t first = text.find_first_not_of(" \t");
+  return first == std::string::npos ? std::string() : text.substr(first);
+}
+
+bool Source::Suppressed(size_t line, const std::string& rule) const {
+  return SuppressedOn(line, rule) || SuppressedOn(line - 1, rule);
+}
+
+bool Source::SuppressedOn(size_t line, const std::string& rule) const {
+  auto it = allow_.find(line);
+  if (it == allow_.end()) return false;
+  const std::set<std::string>& rules = it->second;
+  return rules.count("*") > 0 || rules.count(rule) > 0;
+}
+
+namespace {
+
+/// Rule names are identifiers-plus-dashes, or the `*` wildcard. Anything
+/// else (e.g. the `...` in prose that merely mentions `tool:allow(...)`)
+/// is not a waiver.
+bool IsRuleName(const std::string& s) {
+  if (s == "*") return true;
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsIdentChar(c) && c != '-') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Source::ParseAllow(const std::string& comment, size_t line) {
+  size_t pos = comment.find(tag_);
+  while (pos != std::string::npos) {
+    // `detlint:allow(` must not match inside e.g. `notdetlint:allow(`.
+    if (pos > 0 && IsIdentChar(comment[pos - 1])) {
+      pos = comment.find(tag_, pos + 1);
+      continue;
+    }
+    const size_t open = pos + tag_.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string list = comment.substr(open, close - open);
+    std::stringstream ss(list);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const size_t a = rule.find_first_not_of(" \t");
+      const size_t b = rule.find_last_not_of(" \t");
+      if (a == std::string::npos) continue;
+      std::string name = rule.substr(a, b - a + 1);
+      if (IsRuleName(name)) allow_[line].insert(std::move(name));
+    }
+    pos = comment.find(tag_, close);
+  }
+}
+
+void Source::StripCommentsAndLiterals() {
+  raw_ = code_;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
+  State state = State::kCode;
+  size_t token_start = 0;
+  std::string raw_delim;  // For R"delim( ... )delim".
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const char c = code_[i];
+    const char next = i + 1 < code_.size() ? code_[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          token_start = i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          token_start = i;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(code_[i - 1]))) {
+          const size_t paren = code_.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + code_.substr(i + 2, paren - i - 2) + "\"";
+            state = State::kRawString;
+            token_start = i;
+            i = paren;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          token_start = i;
+        } else if (c == '\'' &&
+                   !(i > 0 && std::isdigit(
+                                  static_cast<unsigned char>(code_[i - 1])))) {
+          // Skip digit separators like 1'000'000.
+          state = State::kChar;
+          token_start = i;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          ParseAllow(code_.substr(token_start, i - token_start),
+                     LineOf(token_start));
+          Blank(token_start, i);
+          state = State::kCode;
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          ParseAllow(code_.substr(token_start, i + 2 - token_start),
+                     LineOf(token_start));
+          Blank(token_start, i + 2);
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"' || c == '\n') {
+          Blank(token_start + 1, i);
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          Blank(token_start + 1, i);
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (code_.compare(i, raw_delim.size(), raw_delim) == 0) {
+          Blank(token_start + 1, i + raw_delim.size() - 1);
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLine) {
+    ParseAllow(code_.substr(token_start), LineOf(token_start));
+    Blank(token_start, code_.size());
+  }
+}
+
+void Source::Blank(size_t begin, size_t end) {
+  for (size_t i = begin; i < end && i < code_.size(); ++i) {
+    if (code_[i] != '\n') code_[i] = ' ';
+  }
+}
+
+void EmitFinding(const Source& src, size_t offset, const std::string& rule,
+                 std::vector<Finding>* out) {
+  const size_t line = src.LineOf(offset);
+  Finding f;
+  f.file = src.path();
+  f.line = line;
+  f.rule = rule;
+  f.snippet = src.LineText(line);
+  f.suppressed = src.Suppressed(line, rule);
+  out->push_back(std::move(f));
+}
+
+// ------------------------------ Reports ---------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteReport(const std::string& path, const std::string& tool,
+                 const std::vector<Finding>& findings, size_t files_scanned,
+                 size_t unsuppressed) {
+  std::ofstream out(path);
+  out << "{\n  \"tool\": \"" << JsonEscape(tool) << "\",\n  \"version\": 1,\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  out << "  \"unsuppressed\": " << unsuppressed << ",\n";
+  out << "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << f.rule << "\", \"suppressed\": "
+        << (f.suppressed ? "true" : "false") << ", \"snippet\": \""
+        << JsonEscape(f.snippet) << "\"}";
+  }
+  out << (findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  out.flush();
+  return out.good();
+}
+
+// --------------------------- Waiver checking ----------------------------
+
+void CheckWaivers(const Source& src, const std::vector<Finding>& file_findings,
+                  std::vector<Finding>* out) {
+  for (const auto& [line, rules] : src.waivers()) {
+    for (const std::string& rule : rules) {
+      bool used = false;
+      for (const Finding& f : file_findings) {
+        // A finding on line L consults waivers on L and L-1.
+        if (f.line != line && f.line != line + 1) continue;
+        if (rule == "*" || f.rule == rule) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        Finding f;
+        f.file = src.path();
+        f.line = line;
+        f.rule = kStaleWaiverRule;
+        f.snippet = "allow(" + rule + ") suppresses no finding: " +
+                    src.LineText(line);
+        f.suppressed = false;  // Stale waivers are never waivable.
+        out->push_back(std::move(f));
+      }
+    }
+  }
+}
+
+// ------------------------------ Driver ----------------------------------
+
+namespace {
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+int Usage(const Tool& tool) {
+  std::cerr << "usage: " << tool.name
+            << " [--report <file.json>] [--root <dir>] [--list-rules]\n"
+            << "       [--rules-md] [--check-waivers] <dir-or-file>...\n";
+  return 1;
+}
+
+void PrintRulesMarkdown(const Tool& tool) {
+  if (tool.md_preamble != nullptr) std::cout << tool.md_preamble;
+  std::cout << "## " << tool.name << " — " << tool.tagline << "\n\n";
+  std::cout << "| Rule | Summary |\n|------|---------|\n";
+  for (size_t i = 0; i < tool.rule_count; ++i) {
+    std::cout << "| `" << tool.rules[i].name << "` | "
+              << tool.rules[i].summary << " |\n";
+  }
+  std::cout << "| `" << kStaleWaiverRule << "` | driver-level "
+            << "(`--check-waivers`): a `" << tool.name
+            << ":allow()` entry that suppresses zero findings; "
+            << "delete the waiver — it is never itself waivable |\n";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int RunLinter(const Tool& tool, int argc, char** argv) {
+  std::vector<std::string> targets;
+  std::string report_path;
+  std::string root;
+  bool check_waivers = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--check-waivers") {
+      check_waivers = true;
+    } else if (arg == "--list-rules") {
+      for (size_t r = 0; r < tool.rule_count; ++r) {
+        std::cout << tool.rules[r].name << "\t" << tool.rules[r].summary
+                  << "\n";
+      }
+      return 0;
+    } else if (arg == "--rules-md") {
+      PrintRulesMarkdown(tool);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(tool);
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) return Usage(tool);
+
+  std::vector<fs::path> files;
+  for (const std::string& t : targets) {
+    const fs::path base = root.empty() ? fs::path(t) : fs::path(root) / t;
+    std::error_code ec;
+    if (fs::is_directory(base, ec)) {
+      for (auto it = fs::recursive_directory_iterator(base, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && it->path().filename() == "testdata") {
+          // Fixture inputs for the lint self-tests deliberately contain
+          // hazards; they are scanned by passing the file explicitly.
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && HasSourceExtension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(base, ec)) {
+      files.push_back(base);
+    } else {
+      std::cerr << tool.name << ": cannot read " << base << "\n";
+      return 1;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << tool.name << ": cannot open " << file << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string shown = file.string();
+    if (!root.empty()) {
+      const std::string prefix = (fs::path(root) / "").string();
+      if (shown.rfind(prefix, 0) == 0) shown = shown.substr(prefix.size());
+    }
+    Source src(shown, buffer.str(), tool.name);
+    const size_t first_finding = findings.size();
+    tool.scan(src, &findings);
+    if (check_waivers) {
+      // Stale-waiver pass sees only this file's scan findings.
+      const std::vector<Finding> file_findings(
+          findings.begin() + static_cast<ptrdiff_t>(first_finding),
+          findings.end());
+      CheckWaivers(src, file_findings, &findings);
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  size_t unsuppressed = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++unsuppressed;
+  }
+  if (!report_path.empty() &&
+      !WriteReport(report_path, tool.name, findings, files.size(),
+                   unsuppressed)) {
+    std::cerr << tool.name << ": cannot write report to \"" << report_path
+              << "\"\n";
+    return 1;
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": "
+              << (f.suppressed ? "allowed" : "error") << " [" << f.rule
+              << "] " << f.snippet << "\n";
+  }
+  std::cout << tool.name << ": " << files.size() << " files, "
+            << findings.size() << " findings, " << unsuppressed
+            << " unsuppressed\n";
+  return unsuppressed == 0 ? 0 : 2;
+}
+
+}  // namespace liblint

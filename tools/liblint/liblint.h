@@ -1,0 +1,155 @@
+#ifndef SHARDCHAIN_TOOLS_LIBLINT_LIBLINT_H_
+#define SHARDCHAIN_TOOLS_LIBLINT_LIBLINT_H_
+
+// liblint — the shared machinery behind the repo's token-level linters
+// (tools/detlint, tools/parlint). Each tool is a rule table plus a
+// per-file scan callback; everything else — file walking, comment and
+// string-literal stripping, inline `<tool>:allow(...)` waivers, JSON
+// reports, stale-waiver checking, findings/exit-code plumbing — lives
+// here so a lexer fix or a driver feature lands in both tools at once
+// (DESIGN.md §11).
+//
+// The scanners are heuristic, text-level checkers, not compiler
+// plugins: they operate on a blanked copy of the source (comments and
+// literals replaced by spaces, offsets preserved) and err on the side
+// of flagging; intentional uses carry inline waivers of the form
+//
+//     // <tool>:allow(<rule>[,<rule>...]): optional justification
+//
+// on the offending line or the line directly above it.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace liblint {
+
+// ----------------------------- Findings ---------------------------------
+
+struct Finding {
+  std::string file;  // As given (relative to --root when provided).
+  size_t line = 0;   // 1-based.
+  std::string rule;
+  std::string snippet;
+  bool suppressed = false;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+// Driver-level rule emitted by --check-waivers: an allow() entry that
+// suppresses zero findings. Never suppressible itself.
+inline constexpr char kStaleWaiverRule[] = "stale-waiver";
+
+// --------------------------- Text utilities -----------------------------
+
+bool IsIdentChar(char c);
+
+// True if s[pos..] starts with `token` on identifier boundaries.
+bool TokenAt(const std::string& s, size_t pos, const std::string& token);
+
+// Matches the closing delimiter of a balanced pair opened at `open`
+// (which must index '<' / '(' / '{'). Returns npos when unbalanced.
+// MatchAngle additionally bails at ';' or '{' since a stray less-than
+// never closes.
+size_t MatchAngle(const std::string& s, size_t open);
+size_t MatchParen(const std::string& s, size_t open);
+size_t MatchBrace(const std::string& s, size_t open);
+
+// ------------------------- Preprocessed source --------------------------
+
+// A file's content with comments and string/char literals blanked out
+// (offsets preserved), plus per-line suppression info extracted from
+// the comments before blanking. `tool` names the waiver tag scanned
+// for: tool "detlint" recognises `detlint:allow(...)`.
+class Source {
+ public:
+  Source(std::string path, std::string raw, std::string tool);
+
+  const std::string& path() const { return path_; }
+  const std::string& code() const { return code_; }
+  const std::string& raw() const { return raw_; }
+
+  size_t LineOf(size_t offset) const;       // 1-based.
+  std::string LineText(size_t line) const;  // 1-based, trimmed.
+
+  // True when `rule` is waived on `line` (same line or the one above).
+  bool Suppressed(size_t line, const std::string& rule) const;
+
+  // All allow() entries harvested from comments: line -> rule names
+  // (may include "*"). Used by the --check-waivers pass.
+  const std::map<size_t, std::set<std::string>>& waivers() const {
+    return allow_;
+  }
+
+ private:
+  void IndexLines();
+  bool SuppressedOn(size_t line, const std::string& rule) const;
+  void ParseAllow(const std::string& comment, size_t line);
+  void StripCommentsAndLiterals();
+  void Blank(size_t begin, size_t end);
+
+  std::string path_;
+  std::string tag_;   // "<tool>:allow(".
+  std::string code_;  // Blanked copy scanned by the rules.
+  std::string raw_;   // Original text, for snippets.
+  std::vector<size_t> line_starts_;
+  std::map<size_t, std::set<std::string>> allow_;  // line -> rules.
+};
+
+// Appends a finding at `offset`, resolving line, snippet, and
+// suppression against `src`.
+void EmitFinding(const Source& src, size_t offset, const std::string& rule,
+                 std::vector<Finding>* out);
+
+// ------------------------------ Reports ---------------------------------
+
+std::string JsonEscape(const std::string& s);
+
+bool WriteReport(const std::string& path, const std::string& tool,
+                 const std::vector<Finding>& findings, size_t files_scanned,
+                 size_t unsuppressed);
+
+// --------------------------- Waiver checking ----------------------------
+
+// Every (line, rule) allow() entry in `src` must have suppressed at
+// least one of `file_findings` (findings for this file only); each
+// entry that suppressed nothing yields a `stale-waiver` finding. A "*"
+// entry is used when any finding sits on its lines.
+void CheckWaivers(const Source& src, const std::vector<Finding>& file_findings,
+                  std::vector<Finding>* out);
+
+// ------------------------------ Driver ----------------------------------
+
+struct Tool {
+  const char* name;     // e.g. "detlint"; also the waiver tag.
+  const char* tagline;  // One line for --rules-md's section heading.
+  // Optional markdown emitted before this tool's --rules-md section
+  // (the first tool in tools/lint_rules.md carries the file header).
+  const char* md_preamble = nullptr;
+  const RuleInfo* rules = nullptr;
+  size_t rule_count = 0;
+  // Scans one preprocessed file, appending findings.
+  std::function<void(const Source&, std::vector<Finding>*)> scan;
+};
+
+// Shared command-line driver:
+//   <tool> [--report <file.json>] [--root <dir>] [--list-rules]
+//          [--rules-md] [--check-waivers] <dir-or-file>...
+//
+// Directory targets are walked recursively for C++ sources; directories
+// named "testdata" are skipped (lint fixtures are test inputs, not
+// shipped code — pass a fixture file explicitly to scan it).
+//
+// Exit codes: 0 = clean (all findings suppressed or none), 1 = usage /
+// IO error, 2 = unsuppressed findings present.
+int RunLinter(const Tool& tool, int argc, char** argv);
+
+}  // namespace liblint
+
+#endif  // SHARDCHAIN_TOOLS_LIBLINT_LIBLINT_H_

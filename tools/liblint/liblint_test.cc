@@ -1,0 +1,239 @@
+// Unit tests for the shared lint core. Both detlint and parlint sit
+// on this lexer and driver plumbing, so a regression here would blind
+// both scanners at once — these tests pin the comment/literal
+// stripper, the waiver parser, the stale-waiver pass, and the JSON
+// report schema (against a golden fixture) directly.
+
+#include "liblint/liblint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace liblint {
+namespace {
+
+// --------------------------- Token utilities ----------------------------
+
+TEST(TokenAtTest, RespectsIdentifierBoundaries) {
+  const std::string s = "thread_count threads thread";
+  EXPECT_FALSE(TokenAt(s, 0, "thread"));   // thread_count.
+  EXPECT_FALSE(TokenAt(s, 13, "thread"));  // threads.
+  EXPECT_TRUE(TokenAt(s, 21, "thread"));
+}
+
+TEST(TokenAtTest, PunctuationDelimits) {
+  const std::string s = "std::rand();";
+  EXPECT_TRUE(TokenAt(s, 5, "rand"));
+  EXPECT_FALSE(TokenAt(s, 5, "ran"));
+}
+
+TEST(MatchTest, AngleBracketsNest) {
+  const std::string s = "map<vector<int>, set<long>> x;";
+  EXPECT_EQ(MatchAngle(s, 3), 26u);
+  EXPECT_EQ(MatchAngle(s, 10), 14u);
+}
+
+TEST(MatchTest, AngleBailsAtStatementEnd) {
+  const std::string s = "if (a < b) { return; }";
+  EXPECT_EQ(MatchAngle(s, 7), std::string::npos);
+}
+
+TEST(MatchTest, ParensAndBracesNest) {
+  const std::string s = "f(g(h(1)), [] { return 0; })";
+  EXPECT_EQ(MatchParen(s, 1), 27u);
+  EXPECT_EQ(MatchParen(s, 3), 8u);
+  const std::string b = "{ if (x) { y(); } }";
+  EXPECT_EQ(MatchBrace(b, 0), 18u);
+  EXPECT_EQ(MatchBrace(b, 9), 16u);
+}
+
+// ----------------------------- Stripping --------------------------------
+
+TEST(SourceTest, BlanksLineAndBlockComments) {
+  Source src("t.cc", "int a; // std::rand()\nint b; /* time(0) */ int c;\n",
+             "tool");
+  EXPECT_EQ(src.code().find("rand"), std::string::npos);
+  EXPECT_EQ(src.code().find("time"), std::string::npos);
+  // Code outside comments survives, offsets preserved.
+  EXPECT_NE(src.code().find("int a;"), std::string::npos);
+  EXPECT_NE(src.code().find("int c;"), std::string::npos);
+  EXPECT_EQ(src.code().size(), src.raw().size());
+}
+
+TEST(SourceTest, BlanksStringAndCharLiterals) {
+  Source src("t.cc", "auto s = \"std::rand()\"; char c = 'r';\n", "tool");
+  EXPECT_EQ(src.code().find("rand"), std::string::npos);
+  EXPECT_EQ(src.code().find("'r'"), std::string::npos);
+  // The quotes themselves survive so offsets line up.
+  EXPECT_NE(src.code().find('"'), std::string::npos);
+}
+
+TEST(SourceTest, BlanksRawStrings) {
+  Source src("t.cc", "auto s = R\"(srand(1) \" unbalanced)\";\nint x;\n",
+             "tool");
+  EXPECT_EQ(src.code().find("srand"), std::string::npos);
+  EXPECT_NE(src.code().find("int x;"), std::string::npos);
+}
+
+TEST(SourceTest, DigitSeparatorIsNotACharLiteral) {
+  Source src("t.cc", "int n = 1'000'000; rand();\n", "tool");
+  // If 1'000'000 were lexed as char literals the call would vanish.
+  EXPECT_NE(src.code().find("rand"), std::string::npos);
+}
+
+TEST(SourceTest, LineOfAndLineText) {
+  Source src("t.cc", "first\n  second line  \nthird\n", "tool");
+  EXPECT_EQ(src.LineOf(0), 1u);
+  EXPECT_EQ(src.LineOf(6), 2u);
+  EXPECT_EQ(src.LineText(2), "second line");
+  EXPECT_EQ(src.LineText(99), "");
+}
+
+// --------------------------- Waiver parsing -----------------------------
+
+TEST(SourceTest, ParsesWaiverLists) {
+  Source src("t.cc",
+             "// tool:allow(rule-a, rule-b): reason\n"
+             "int x; // tool:allow(rule-c)\n"
+             "/* tool:allow(*) */ int y;\n",
+             "tool");
+  ASSERT_EQ(src.waivers().size(), 3u);
+  EXPECT_TRUE(src.waivers().at(1).count("rule-a"));
+  EXPECT_TRUE(src.waivers().at(1).count("rule-b"));
+  EXPECT_TRUE(src.waivers().at(2).count("rule-c"));
+  EXPECT_TRUE(src.waivers().at(3).count("*"));
+}
+
+TEST(SourceTest, SuppressionCoversSameLineAndLineAbove) {
+  Source src("t.cc",
+             "// tool:allow(rule-a)\n"
+             "int x;\n"
+             "int y;\n",
+             "tool");
+  EXPECT_TRUE(src.Suppressed(1, "rule-a"));
+  EXPECT_TRUE(src.Suppressed(2, "rule-a"));   // Line above carries it.
+  EXPECT_FALSE(src.Suppressed(3, "rule-a"));
+  EXPECT_FALSE(src.Suppressed(2, "rule-b"));  // Other rules unaffected.
+}
+
+TEST(SourceTest, WildcardSuppressesEverything) {
+  Source src("t.cc", "int x; // tool:allow(*)\n", "tool");
+  EXPECT_TRUE(src.Suppressed(1, "anything"));
+}
+
+TEST(SourceTest, OtherToolsTagIsIgnored) {
+  Source src("t.cc", "int x; // othertool:allow(rule-a)\n", "tool");
+  EXPECT_FALSE(src.Suppressed(1, "rule-a"));
+}
+
+// --------------------------- Stale waivers ------------------------------
+
+TEST(CheckWaiversTest, UsedWaiversAreSilent) {
+  Source src("t.cc",
+             "// tool:allow(rule-a)\n"
+             "int x;\n",
+             "tool");
+  std::vector<Finding> findings;
+  EmitFinding(src, 22, "rule-a", &findings);  // Offset inside line 2.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  std::vector<Finding> out;
+  CheckWaivers(src, findings, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CheckWaiversTest, UnusedWaiverBecomesStaleFinding) {
+  Source src("t.cc",
+             "// tool:allow(rule-a, rule-b)\n"
+             "int x;\n",
+             "tool");
+  std::vector<Finding> findings;
+  EmitFinding(src, 30, "rule-a", &findings);  // rule-b suppresses nothing.
+  std::vector<Finding> out;
+  CheckWaivers(src, findings, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, kStaleWaiverRule);
+  EXPECT_EQ(out[0].line, 1u);
+  EXPECT_FALSE(out[0].suppressed);
+  EXPECT_NE(out[0].snippet.find("rule-b"), std::string::npos);
+}
+
+TEST(CheckWaiversTest, WaiverWithNoFindingsAtAllIsStale) {
+  Source src("t.cc", "int x; // tool:allow(rule-a)\n", "tool");
+  std::vector<Finding> out;
+  CheckWaivers(src, {}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, kStaleWaiverRule);
+}
+
+TEST(CheckWaiversTest, WildcardUsedByAnyAdjacentFinding) {
+  Source src("t.cc",
+             "// tool:allow(*)\n"
+             "int x;\n",
+             "tool");
+  std::vector<Finding> findings;
+  EmitFinding(src, 17, "whatever", &findings);
+  std::vector<Finding> out;
+  CheckWaivers(src, findings, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------ Reports ---------------------------------
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The JSON schema is an interface to CI artifact consumers; pin the
+// exact bytes against a golden fixture.
+TEST(WriteReportTest, MatchesGoldenFixture) {
+  std::vector<Finding> findings;
+  Finding a;
+  a.file = "src/core/example.cc";
+  a.line = 12;
+  a.rule = "wall-clock";
+  a.snippet = "auto t = std::time(nullptr);";
+  a.suppressed = false;
+  Finding b;
+  b.file = "src/net/\"quoted\".h";
+  b.line = 3;
+  b.rule = "stale-waiver";
+  b.snippet = "allow(std-rand) suppresses no finding: int x;";
+  b.suppressed = true;
+  findings.push_back(a);
+  findings.push_back(b);
+
+  const std::string path = ::testing::TempDir() + "/liblint_report.json";
+  ASSERT_TRUE(WriteReport(path, "testtool", findings, 7, 1));
+  EXPECT_EQ(ReadFile(path),
+            ReadFile(std::string(LIBLINT_TESTDATA_DIR) +
+                     "/golden_report.json"));
+  std::remove(path.c_str());
+}
+
+TEST(WriteReportTest, EmptyFindingsStillWellFormed) {
+  const std::string path = ::testing::TempDir() + "/liblint_empty.json";
+  ASSERT_TRUE(WriteReport(path, "testtool", {}, 0, 0));
+  const std::string report = ReadFile(path);
+  EXPECT_NE(report.find("\"findings\": []"), std::string::npos);
+  EXPECT_NE(report.find("\"tool\": \"testtool\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace liblint

@@ -1,0 +1,23 @@
+// Fixture for the parlint --check-waivers self-test: perfectly clean
+// code carrying waivers that suppress nothing. A plain scan exits 0;
+// the parlint_flags_stale_waivers CTest case runs with --check-waivers
+// and expects a nonzero exit with one `stale-waiver` finding per
+// entry. This file is never compiled into any target.
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct ThreadPool;
+template <typename B>
+void ParallelFor(ThreadPool*, size_t, size_t, const B&);
+
+// parlint:allow(parallel-ref-capture): left behind after a cleanup
+inline void ScaleInPlace(ThreadPool* pool, std::vector<double>* out) {
+  ParallelFor(pool, out->size(), 64, [out](size_t i) {
+    (*out)[i] = 2.0 * (*out)[i];  // parlint:allow(shared-accumulation)
+  });
+}
+
+}  // namespace fixture
