@@ -2,10 +2,10 @@
 # Tier-1 gate: the full build/test matrix a change must pass before
 # merging.
 #
-#   1. Release build with -Werror, full ctest (includes the detlint and
-#      parlint static scans), then a blocking lint step that re-runs
-#      both linters with --check-waivers and writes JSON reports into
-#      <dir>/lint-reports/.
+#   1. Release build with -Werror, full ctest (includes the detlint,
+#      parlint, and flowlint static scans), then a blocking lint step
+#      that re-runs all three linters with --check-waivers and writes
+#      JSON + SARIF reports into <dir>/lint-reports/.
 #   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
 #      full ctest (exercises the determinism harness under sanitizers)
 #      plus the same blocking lint step.
@@ -27,22 +27,62 @@ detlint_targets=(src/core src/consensus src/crypto src/types src/contract
                  src/net src/sim src/parallel src/state src/chain src/txpool
                  bench examples tools)
 
-# Blocking lint step: both linters over their scan sets, stale-waiver
-# checking on, machine-readable reports under <dir>/lint-reports/ so CI
-# can upload them as artifacts even on success. Exit code 2 on any
-# unsuppressed finding fails the leg (set -e).
+# Blocking lint step: all three linters over their scan sets,
+# stale-waiver checking on, machine-readable JSON + SARIF reports under
+# <dir>/lint-reports/ so CI can upload them as artifacts (and feed the
+# SARIF to code-scanning UIs) even on success. Exit code 2 on any
+# unsuppressed finding fails the leg (set -e). flowlint additionally
+# diffs its computed taint summaries against the checked-in
+# tools/flowlint/summaries.json (rule taint-summary-drift).
 run_lint_step() {
   local dir="$1"
   mkdir -p "$dir/lint-reports"
   echo "==== lint $dir (detlint) ===="
   "$dir/tools/detlint" --root . --check-waivers \
     --report "$dir/lint-reports/detlint.json" \
+    --sarif "$dir/lint-reports/detlint.sarif" \
     "${detlint_targets[@]}"
   echo "==== lint $dir (parlint) ===="
   "$dir/tools/parlint" --root . --check-waivers \
     --report "$dir/lint-reports/parlint.json" \
+    --sarif "$dir/lint-reports/parlint.sarif" \
     src
-  echo "artifacts: $dir/lint-reports/detlint.json $dir/lint-reports/parlint.json"
+  echo "==== lint $dir (flowlint) ===="
+  "$dir/tools/flowlint" --root . --check-waivers \
+    --summaries tools/flowlint/summaries.json \
+    --report "$dir/lint-reports/flowlint.json" \
+    --sarif "$dir/lint-reports/flowlint.sarif" \
+    src
+  echo "artifacts: $dir/lint-reports/{detlint,parlint,flowlint}.{json,sarif}"
+}
+
+# Aggregated lint summary: per-tool finding counts, stale-waiver
+# counts, and taint-summary drift status, read back from the JSON
+# reports of one leg. Pure-python JSON parse — no extra dependencies.
+print_lint_summary() {
+  local dir="$1"
+  echo "==== lint summary ($dir/lint-reports) ===="
+  python3 - "$dir/lint-reports" <<'EOF'
+import json, os, sys
+reports = sys.argv[1]
+drift = "in sync"
+rows = []
+for tool in ("detlint", "parlint", "flowlint"):
+    path = os.path.join(reports, tool + ".json")
+    with open(path) as f:
+        report = json.load(f)
+    findings = report["findings"]
+    stale = sum(1 for f in findings if f["rule"] == "stale-waiver")
+    if any(f["rule"] == "taint-summary-drift" for f in findings):
+        drift = "DRIFT"
+    rows.append((tool, report["files_scanned"], len(findings),
+                 report["unsuppressed"], stale))
+print(f"  {'tool':<10}{'files':>7}{'findings':>10}{'unsuppressed':>14}"
+      f"{'stale-waivers':>15}")
+for tool, files, total, unsup, stale in rows:
+    print(f"  {tool:<10}{files:>7}{total:>10}{unsup:>14}{stale:>15}")
+print(f"  taint summaries ({'tools/flowlint/summaries.json'}): {drift}")
+EOF
 }
 
 run_matrix_leg() {
@@ -90,5 +130,7 @@ ctest --test-dir "$prefix-tsan" --output-on-failure -j "$jobs" \
 echo "==== bench_state_scaling (root identity gate) ===="
 (cd "$prefix-release" && ./bench/bench_state_scaling)
 echo "artifact: $prefix-release/BENCH_state.json"
+
+print_lint_summary "$prefix-release"
 
 echo "All checks passed."

@@ -137,6 +137,7 @@ Result<Hash256> Ledger::Append(const Block& block) {
   return hash;
 }
 
+// flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
 Block Ledger::BuildBlock(const Address& miner, std::vector<Transaction> txs,
                          uint64_t timestamp) const {
   const Node& tip = nodes_.at(tip_hash_);

@@ -86,6 +86,7 @@ struct SubslotPartial {
   std::vector<uint32_t> draws;  // # draws where player i merged.
 };
 
+// flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
 OneTimeMergeResult RunOneTimeMerge(const std::vector<uint64_t>& sizes,
                                    const MergingGameConfig& config, Rng* rng,
                                    ThreadPool* pool) {
@@ -268,6 +269,7 @@ IterativeMergeResult IterateMerging(const std::vector<uint64_t>& sizes,
 
 }  // namespace
 
+// flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
 IterativeMergeResult RunIterativeMerge(const std::vector<uint64_t>& sizes,
                                        const MergingGameConfig& config,
                                        Rng* rng, ThreadPool* pool) {
@@ -281,6 +283,7 @@ IterativeMergeResult RunIterativeMerge(const std::vector<uint64_t>& sizes,
       });
 }
 
+// flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
 IterativeMergeResult RunRandomizedMerge(const std::vector<uint64_t>& sizes,
                                         const MergingGameConfig& config,
                                         Rng* rng, double merge_prob,

@@ -97,6 +97,7 @@ double SetUtility(const std::vector<Amount>& fees,
 
 }  // namespace
 
+// flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
 SelectionResult RunSelectionGame(const std::vector<Amount>& fees,
                                  size_t num_miners,
                                  const SelectionGameConfig& config, Rng* rng,

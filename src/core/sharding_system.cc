@@ -310,6 +310,7 @@ IterativeMergeResult ShardingSystem::MergeSmallShards() {
   return plan;
 }
 
+// flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
 std::vector<ShardSelectionPlan> ShardingSystem::ComputeShardSelectionPlans()
     const {
   // Live shards in id order (std::map iteration), so the output order
@@ -360,6 +361,9 @@ std::vector<ShardSelectionPlan> ShardingSystem::ComputeShardSelectionPlans()
     out.params.num_miners = miners_per_shard[k];
     out.params.merge_config = config_.merge;
     out.params.select_config = config_.select;
+    // The games' inner parallel regions serialize inline under
+    // ThreadPool::InParallelRegion() (§9): byte-identical to serial.
+    // flowlint:allow(parallel-body-effects): nested regions flatten
     out.plan = ComputeSelectionPlan(out.params, pool_.get());
   });
   return plans;

@@ -54,6 +54,7 @@ Result<std::vector<size_t>> ReadIndexVector(Reader* r) {
 
 }  // namespace
 
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §7)
 Bytes EncodeUnifiedParameters(const UnifiedParameters& params) {
   Bytes out;
   out.insert(out.end(), params.randomness.bytes.begin(),
@@ -83,6 +84,7 @@ Bytes EncodeUnifiedParameters(const UnifiedParameters& params) {
   return out;
 }
 
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §7)
 Result<UnifiedParameters> DecodeUnifiedParameters(const Bytes& data) {
   Reader r(data);
   UnifiedParameters params;
@@ -141,6 +143,7 @@ Result<UnifiedParameters> DecodeUnifiedParameters(const Bytes& data) {
   return params;
 }
 
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §7)
 Bytes EncodeSelectionPlan(const SelectionResult& plan) {
   Bytes out;
   AppendUint64(&out, plan.assignment.size());
@@ -152,6 +155,7 @@ Bytes EncodeSelectionPlan(const SelectionResult& plan) {
   return out;
 }
 
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §7)
 Result<SelectionResult> DecodeSelectionPlan(const Bytes& data) {
   Reader r(data);
   SelectionResult plan;
@@ -174,6 +178,7 @@ Result<SelectionResult> DecodeSelectionPlan(const Bytes& data) {
   return plan;
 }
 
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §7)
 Bytes EncodeMergePlan(const IterativeMergeResult& plan) {
   Bytes out;
   AppendUint64(&out, plan.new_shards.size());
@@ -185,6 +190,7 @@ Bytes EncodeMergePlan(const IterativeMergeResult& plan) {
   return out;
 }
 
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §7)
 Result<IterativeMergeResult> DecodeMergePlan(const Bytes& data) {
   Reader r(data);
   IterativeMergeResult plan;

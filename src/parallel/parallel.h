@@ -52,6 +52,8 @@ inline uint64_t ChunkSeed(uint64_t base, uint64_t index) {
 /// Runs `body(begin, end, chunk)` over the fixed chunk decomposition of
 /// [0, n). `pool == nullptr` (or a single-thread pool, or a nested
 /// call) runs the identical chunks serially in chunk order.
+// flowlint: contract-barrier — certified §9 boundary; taints inside the
+// primitives (ThreadPool's hardware_concurrency read) stay inside.
 template <typename Body>
 void ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
                     const Body& body) {
@@ -72,6 +74,7 @@ void ParallelChunks(ThreadPool* pool, size_t n, size_t grain,
 
 /// Element-wise parallel loop: `body(i)` for i in [0, n). The body must
 /// only write state owned by element i.
+// flowlint: contract-barrier — certified §9 boundary (see ParallelChunks)
 template <typename Body>
 void ParallelFor(ThreadPool* pool, size_t n, size_t grain, const Body& body) {
   ParallelChunks(pool, n, grain,
@@ -86,6 +89,7 @@ void ParallelFor(ThreadPool* pool, size_t n, size_t grain, const Body& body) {
 /// thread: acc = combine(acc, partial[0]), combine(acc, partial[1]), …
 /// starting from `init`. The fold order is what makes floating-point
 /// reductions bit-stable across thread counts.
+// flowlint: contract-barrier — certified §9 boundary (see ParallelChunks)
 template <typename T, typename MapFn, typename CombineFn>
 T ParallelReduce(ThreadPool* pool, size_t n, size_t grain, T init,
                  const MapFn& map, const CombineFn& combine) {

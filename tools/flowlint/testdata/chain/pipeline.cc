@@ -1,0 +1,24 @@
+// Golden-report fixture: exactly one finding, whose full call chain —
+// BuildBlock → PackCandidates → StampMicros → system_clock, with
+// file:line per hop — is pinned byte-for-byte in golden_report.json
+// and golden.sarif by the flowlint_chain_golden CTest case. The wall
+// clock sits two calls below the annotated root, so the chain has
+// three hops before the seed token. Never compiled into any target.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+inline int64_t StampMicros() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+inline uint64_t PackCandidates(uint64_t h) {
+  return h ^ static_cast<uint64_t>(StampMicros());
+}
+
+// flowlint: deterministic-root
+inline uint64_t BuildBlock(uint64_t h) { return PackCandidates(h); }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Drift fixture: two functions whose taint summary is pinned in
+// summaries_ok.json (in sync: the flowlint_summary_in_sync CTest case
+// expects a clean exit) and in summaries_stale.json with MixNonce
+// deleted (the flowlint_summary_drift case expects taint-summary-drift
+// to fire). No roots and no parallel regions, so the ONLY findings
+// either run can produce come from the summary comparison. Never
+// compiled into any target.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+inline int64_t StampNonce() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+inline uint64_t MixNonce(uint64_t h) {
+  return h ^ static_cast<uint64_t>(StampNonce());
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture for the flowlint self-test: clean code carrying waivers
+// that suppress nothing. A plain scan exits clean (waivers are inert),
+// but the flowlint_flags_stale_waivers CTest case runs with
+// --check-waivers and expects a nonzero exit: every allow() below is
+// stale. Never compiled into any target.
+
+#include <cstdint>
+
+namespace fixture {
+
+inline uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  return h * 0xff51afd7ed558ccdull;
+}
+
+// flowlint: deterministic-root
+// flowlint:allow(consensus-reaches-nondet): stale — the body is pure
+inline uint64_t BuildDigest(uint64_t h) { return Mix(h) + 1; }
+
+// flowlint:allow(unannotated-root): stale — not a required entry point
+inline uint64_t HelperDigest(uint64_t h) { return Mix(h) ^ 7; }
+
+inline uint64_t FoldDigest(uint64_t h) {
+  // flowlint:allow(parallel-body-effects): stale — no parallel region here
+  return Mix(h) * 31;
+}
+
+}  // namespace fixture

@@ -129,7 +129,7 @@ bool IsRuleName(const std::string& s) {
 
 }  // namespace
 
-void Source::ParseAllow(const std::string& comment, size_t line) {
+void Source::ParseAllow(const std::string& comment, size_t comment_start) {
   size_t pos = comment.find(tag_);
   while (pos != std::string::npos) {
     // `detlint:allow(` must not match inside e.g. `notdetlint:allow(`.
@@ -140,6 +140,10 @@ void Source::ParseAllow(const std::string& comment, size_t line) {
     const size_t open = pos + tag_.size();
     const size_t close = comment.find(')', open);
     if (close == std::string::npos) break;
+    // The waiver registers on the line the tag sits on — which, in a
+    // multi-line block comment or a backslash-continued line comment,
+    // may be later than the comment's first line.
+    const size_t line = LineOf(comment_start + pos);
     std::string list = comment.substr(open, close - open);
     std::stringstream ss(list);
     std::string rule;
@@ -192,18 +196,24 @@ void Source::StripCommentsAndLiterals() {
           token_start = i;
         }
         break;
-      case State::kLine:
-        if (c == '\n') {
-          ParseAllow(code_.substr(token_start, i - token_start),
-                     LineOf(token_start));
-          Blank(token_start, i);
-          state = State::kCode;
-        }
+      case State::kLine: {
+        if (c != '\n') break;
+        // A `//` comment whose line ends in a backslash logically
+        // continues onto the next physical line ([lex.phases] splicing)
+        // — the continuation is still comment text, so blanking must
+        // not stop at this newline.
+        size_t tail = i;
+        while (tail > token_start && code_[tail - 1] == '\r') --tail;
+        if (tail > token_start && code_[tail - 1] == '\\') break;
+        ParseAllow(code_.substr(token_start, i - token_start), token_start);
+        Blank(token_start, i);
+        state = State::kCode;
         break;
+      }
       case State::kBlock:
         if (c == '*' && next == '/') {
           ParseAllow(code_.substr(token_start, i + 2 - token_start),
-                     LineOf(token_start));
+                     token_start);
           Blank(token_start, i + 2);
           state = State::kCode;
           ++i;
@@ -235,7 +245,7 @@ void Source::StripCommentsAndLiterals() {
     }
   }
   if (state == State::kLine) {
-    ParseAllow(code_.substr(token_start), LineOf(token_start));
+    ParseAllow(code_.substr(token_start), token_start);
     Blank(token_start, code_.size());
   }
 }
@@ -256,6 +266,299 @@ void EmitFinding(const Source& src, size_t offset, const std::string& rule,
   f.snippet = src.LineText(line);
   f.suppressed = src.Suppressed(line, rule);
   out->push_back(std::move(f));
+}
+
+void EmitFinding(const Source& src, size_t offset, const std::string& rule,
+                 const std::string& chain, std::vector<Finding>* out) {
+  EmitFinding(src, offset, rule, out);
+  out->back().chain = chain;
+}
+
+// --------------------- Function & call extraction -----------------------
+
+namespace {
+
+size_t SkipWsForward(const std::string& s, size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Last non-whitespace position strictly before `pos`, or npos.
+size_t PrevNonWsAt(const std::string& s, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return pos;
+  }
+  return std::string::npos;
+}
+
+// Identifier ending at `end` (exclusive); empty if none.
+std::string IdentBefore(const std::string& s, size_t end) {
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin);
+}
+
+// Matches backward from `close` (indexing ')' or '}') to its opener.
+size_t MatchBackward(const std::string& s, size_t close, char lhs, char rhs) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (s[i] == rhs) ++depth;
+    if (s[i] == lhs && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// Reads the (possibly ::-qualified) name ending at `end` (exclusive):
+// "BuildBlock", "Ledger::BuildBlock", "Foo::~Foo". Empty when the text
+// before `end` is not a name. `begin_out` receives the start offset.
+std::string QualifiedNameBefore(const std::string& s, size_t end,
+                                size_t* begin_out) {
+  size_t b = end;
+  while (b > 0 && IsIdentChar(s[b - 1])) --b;
+  if (b == end) return {};
+  if (b > 0 && s[b - 1] == '~') --b;
+  while (b >= 2 && s[b - 1] == ':' && s[b - 2] == ':') {
+    size_t nb = b - 2;
+    const size_t ne = nb;
+    while (nb > 0 && IsIdentChar(s[nb - 1])) --nb;
+    if (nb == ne) break;  // Leading `::` (global qualifier): stop.
+    b = nb;
+  }
+  *begin_out = b;
+  return s.substr(b, end - b);
+}
+
+std::string LastComponent(const std::string& qualified) {
+  const size_t sep = qualified.rfind("::");
+  return sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+}
+
+// class/struct body extents, innermost resolvable by extent size; used
+// to qualify inline member definitions.
+struct ClassScope {
+  std::string name;
+  size_t open;
+  size_t close;
+};
+
+std::vector<ClassScope> CollectClassScopes(const std::string& code) {
+  std::vector<ClassScope> scopes;
+  for (const char* kw : {"class", "struct"}) {
+    const std::string key = kw;
+    size_t pos = 0;
+    while ((pos = code.find(key, pos)) != std::string::npos) {
+      if (!TokenAt(code, pos, key)) {
+        pos += key.size();
+        continue;
+      }
+      size_t i = SkipWsForward(code, pos + key.size());
+      size_t name_end = i;
+      while (name_end < code.size() && IsIdentChar(code[name_end])) {
+        ++name_end;
+      }
+      if (name_end == i) {  // Anonymous — nothing to qualify with.
+        pos += key.size();
+        continue;
+      }
+      const std::string name = code.substr(i, name_end - i);
+      // Body '{' before any ';' (otherwise: forward declaration, or a
+      // `struct X* p;` style mention).
+      size_t j = name_end;
+      while (j < code.size() && code[j] != '{' && code[j] != ';') ++j;
+      if (j < code.size() && code[j] == '{') {
+        const size_t close = MatchBrace(code, j);
+        if (close != std::string::npos) scopes.push_back({name, j, close});
+      }
+      pos = name_end;
+    }
+  }
+  return scopes;
+}
+
+bool IsFunctionNameKeyword(const std::string& name) {
+  static const std::set<std::string> kNot = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "alignof", "decltype", "operator"};
+  return kNot.count(name) > 0;
+}
+
+}  // namespace
+
+std::vector<FunctionDef> ExtractFunctions(const Source& src) {
+  const std::string& code = src.code();
+  const std::vector<ClassScope> classes = CollectClassScopes(code);
+  std::vector<FunctionDef> out;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i] != '{') continue;
+    const size_t body_close = MatchBrace(code, i);
+    if (body_close == std::string::npos) continue;
+
+    // Backward over trailing specifiers (`) const noexcept {`) to the
+    // ')' that must close either the parameter list or the last item
+    // of a constructor initializer list.
+    size_t at = PrevNonWsAt(code, i);
+    bool plausible = true;
+    while (at != std::string::npos && IsIdentChar(code[at])) {
+      static const std::set<std::string> kSpecifiers = {
+          "const", "noexcept", "override", "final", "mutable"};
+      const std::string ident = IdentBefore(code, at + 1);
+      if (kSpecifiers.count(ident) == 0) {
+        plausible = false;
+        break;
+      }
+      at = PrevNonWsAt(code, at + 1 - ident.size());
+    }
+    // A '}' is also admissible: the last ctor-initializer item may be
+    // brace-initialized (`: a_(x), b_{y} {`). The hop loop below then
+    // requires the chain to end at a real '(' parameter list.
+    if (!plausible || at == std::string::npos ||
+        (code[at] != ')' && code[at] != '}')) {
+      continue;
+    }
+
+    // Hop backward through ctor-initializer items (`: a_(x), b_{y}`)
+    // until the name before the parameter list.
+    std::string name;
+    size_t name_pos = 0;
+    size_t item_close = at;
+    for (int guard = 0; guard < 64; ++guard) {
+      const size_t open =
+          code[item_close] == ')'
+              ? MatchBackward(code, item_close, '(', ')')
+              : MatchBackward(code, item_close, '{', '}');
+      if (open == std::string::npos) break;
+      const size_t p = PrevNonWsAt(code, open);
+      if (p == std::string::npos || code[p] == ']' ||
+          !IsIdentChar(code[p])) {
+        break;  // Lambda or expression — not a definition.
+      }
+      size_t nb = 0;
+      const std::string candidate = QualifiedNameBefore(code, p + 1, &nb);
+      if (candidate.empty() ||
+          IsFunctionNameKeyword(LastComponent(candidate))) {
+        break;
+      }
+      const size_t q = PrevNonWsAt(code, nb);
+      const bool after_comma = q != std::string::npos && code[q] == ',';
+      const bool after_init_colon =
+          q != std::string::npos && code[q] == ':' &&
+          (q == 0 || code[q - 1] != ':') &&
+          IdentBefore(code, q) != "public" &&
+          IdentBefore(code, q) != "protected" &&
+          IdentBefore(code, q) != "private";
+      if (after_comma || after_init_colon) {
+        // `candidate` was an initializer item; the previous ')'/'}' is
+        // one more item (after ',') or the parameter list (after ':').
+        const size_t r = PrevNonWsAt(code, q);
+        if (r == std::string::npos ||
+            (code[r] != ')' && code[r] != '}')) {
+          break;
+        }
+        item_close = r;
+        continue;
+      }
+      if (q != std::string::npos && IsIdentChar(code[q]) &&
+          IdentBefore(code, q + 1) == "operator") {
+        break;  // Conversion operator: `operator bool() {`.
+      }
+      if (code[item_close] != ')') {
+        break;  // `ident{...} {` with no initializer list: not a def.
+      }
+      name = candidate;
+      name_pos = nb;
+      break;
+    }
+    if (name.empty()) continue;
+
+    // Qualify inline member definitions with their enclosing class
+    // scopes, innermost last-prepended.
+    if (name.find("::") == std::string::npos) {
+      std::vector<const ClassScope*> enclosing;
+      for (const ClassScope& c : classes) {
+        if (c.open < name_pos && name_pos < c.close) {
+          enclosing.push_back(&c);
+        }
+      }
+      std::sort(enclosing.begin(), enclosing.end(),
+                [](const ClassScope* a, const ClassScope* b) {
+                  return a->close - a->open < b->close - b->open;
+                });
+      for (const ClassScope* c : enclosing) {
+        name = c->name + "::" + name;
+      }
+    }
+
+    FunctionDef fn;
+    fn.name = std::move(name);
+    fn.name_pos = name_pos;
+    fn.body_open = i;
+    fn.body_close = body_close;
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+std::vector<CallSite> ExtractCallSites(const Source& src, size_t begin,
+                                       size_t end) {
+  const std::string& code = src.code();
+  std::vector<CallSite> out;
+  end = std::min(end, code.size());
+  size_t i = begin;
+  while (i < end) {
+    const char c = code[i];
+    if (!IsIdentChar(c) ||
+        std::isdigit(static_cast<unsigned char>(c)) ||
+        (i > 0 && IsIdentChar(code[i - 1]))) {
+      ++i;
+      continue;
+    }
+    // Start of an identifier chain; consume `A::B::C` with tight `::`.
+    const size_t chain_start = i;
+    std::string chain;
+    size_t j = i;
+    while (true) {
+      size_t e = j;
+      while (e < code.size() && IsIdentChar(code[e])) ++e;
+      chain.append(code, j, e - j);
+      if (e + 2 < code.size() && code[e] == ':' && code[e + 1] == ':' &&
+          IsIdentChar(code[e + 2])) {
+        chain += "::";
+        j = e + 2;
+      } else {
+        j = e;
+        break;
+      }
+    }
+    // Optional template argument list between name and '('.
+    size_t after = SkipWsForward(code, j);
+    if (after < code.size() && code[after] == '<') {
+      const size_t close = MatchAngle(code, after);
+      if (close != std::string::npos && close < end) {
+        after = SkipWsForward(code, close + 1);
+      }
+    }
+    if (after < end && code[after] == '(') {
+      static const std::set<std::string> kNotCalls = {
+          "if",         "for",
+          "while",      "switch",
+          "catch",      "return",
+          "sizeof",     "alignof",
+          "decltype",   "static_assert",
+          "static_cast", "dynamic_cast",
+          "reinterpret_cast", "const_cast",
+          "new",        "delete",
+          "throw",      "defined",
+          "assert"};
+      if (kNotCalls.count(LastComponent(chain)) == 0) {
+        out.push_back({std::move(chain), chain_start});
+      }
+    }
+    i = j;
+  }
+  return out;
 }
 
 // ------------------------------ Reports ---------------------------------
@@ -304,9 +607,67 @@ bool WriteReport(const std::string& path, const std::string& tool,
     out << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
         << f.line << ", \"rule\": \"" << f.rule << "\", \"suppressed\": "
         << (f.suppressed ? "true" : "false") << ", \"snippet\": \""
-        << JsonEscape(f.snippet) << "\"}";
+        << JsonEscape(f.snippet) << "\"";
+    if (!f.chain.empty()) {
+      out << ", \"chain\": \"" << JsonEscape(f.chain) << "\"";
+    }
+    out << "}";
   }
   out << (findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  out.flush();
+  return out.good();
+}
+
+bool WriteSarif(const std::string& path, const Tool& tool,
+                const std::vector<Finding>& findings) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"" << JsonEscape(tool.name) << "\",\n"
+      << "          \"informationUri\": "
+      << "\"tools/lint_rules.md\",\n"
+      << "          \"rules\": [";
+  for (size_t r = 0; r < tool.rule_count; ++r) {
+    out << (r == 0 ? "\n" : ",\n");
+    out << "            {\"id\": \"" << JsonEscape(tool.rules[r].name)
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(tool.rules[r].summary) << "\"}}";
+  }
+  out << (tool.rule_count == 0 ? "" : ",\n")
+      << "            {\"id\": \"" << kStaleWaiverRule
+      << "\", \"shortDescription\": {\"text\": \"an allow() entry that "
+      << "suppresses zero findings; never itself waivable\"}}\n"
+      << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::string message = f.snippet;
+    if (!f.chain.empty()) message += "; chain: " + f.chain;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(message)
+        << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << JsonEscape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]";
+    if (f.suppressed) {
+      out << ",\n          \"suppressions\": [{\"kind\": \"inSource\"}]";
+    }
+    out << "\n        }";
+  }
+  out << (findings.empty() ? "]\n" : "\n      ]\n")
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
   out.flush();
   return out.good();
 }
@@ -352,8 +713,9 @@ bool HasSourceExtension(const fs::path& p) {
 
 int Usage(const Tool& tool) {
   std::cerr << "usage: " << tool.name
-            << " [--report <file.json>] [--root <dir>] [--list-rules]\n"
-            << "       [--rules-md] [--check-waivers] <dir-or-file>...\n";
+            << " [--report <file.json>] [--sarif <file.sarif>] [--root <dir>]\n"
+            << "       [--list-rules] [--rules-md] [--check-waivers]"
+            << " <dir-or-file>...\n";
   return 1;
 }
 
@@ -377,12 +739,15 @@ void PrintRulesMarkdown(const Tool& tool) {
 int RunLinter(const Tool& tool, int argc, char** argv) {
   std::vector<std::string> targets;
   std::string report_path;
+  std::string sarif_path;
   std::string root;
   bool check_waivers = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--check-waivers") {
@@ -430,7 +795,11 @@ int RunLinter(const Tool& tool, int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
+  // Load every file up front: per-file scans see one Source at a time,
+  // but the whole-program pass (tool.scan_program) needs all of them —
+  // call graphs cross file boundaries.
+  std::vector<Source> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -444,14 +813,23 @@ int RunLinter(const Tool& tool, int argc, char** argv) {
       const std::string prefix = (fs::path(root) / "").string();
       if (shown.rfind(prefix, 0) == 0) shown = shown.substr(prefix.size());
     }
-    Source src(shown, buffer.str(), tool.name);
-    const size_t first_finding = findings.size();
-    tool.scan(src, &findings);
-    if (check_waivers) {
-      // Stale-waiver pass sees only this file's scan findings.
-      const std::vector<Finding> file_findings(
-          findings.begin() + static_cast<ptrdiff_t>(first_finding),
-          findings.end());
+    sources.emplace_back(shown, buffer.str(), tool.name);
+  }
+
+  std::vector<Finding> findings;
+  if (tool.scan) {
+    for (const Source& src : sources) tool.scan(src, &findings);
+  }
+  if (tool.scan_program) tool.scan_program(sources, &findings);
+  if (check_waivers) {
+    // Stale-waiver pass: each file's waivers against each file's
+    // findings (scan and scan_program alike — chains attribute to the
+    // entry point's file, which is where the waiver must sit).
+    for (const Source& src : sources) {
+      std::vector<Finding> file_findings;
+      for (const Finding& f : findings) {
+        if (f.file == src.path()) file_findings.push_back(f);
+      }
       CheckWaivers(src, file_findings, &findings);
     }
   }
@@ -474,11 +852,17 @@ int RunLinter(const Tool& tool, int argc, char** argv) {
               << "\"\n";
     return 1;
   }
+  if (!sarif_path.empty() && !WriteSarif(sarif_path, tool, findings)) {
+    std::cerr << tool.name << ": cannot write SARIF to \"" << sarif_path
+              << "\"\n";
+    return 1;
+  }
 
   for (const Finding& f : findings) {
     std::cout << f.file << ":" << f.line << ": "
               << (f.suppressed ? "allowed" : "error") << " [" << f.rule
               << "] " << f.snippet << "\n";
+    if (!f.chain.empty()) std::cout << "  chain: " << f.chain << "\n";
   }
   std::cout << tool.name << ": " << files.size() << " files, "
             << findings.size() << " findings, " << unsuppressed

@@ -2,12 +2,13 @@
 #define SHARDCHAIN_TOOLS_LIBLINT_LIBLINT_H_
 
 // liblint — the shared machinery behind the repo's token-level linters
-// (tools/detlint, tools/parlint). Each tool is a rule table plus a
-// per-file scan callback; everything else — file walking, comment and
-// string-literal stripping, inline `<tool>:allow(...)` waivers, JSON
-// reports, stale-waiver checking, findings/exit-code plumbing — lives
-// here so a lexer fix or a driver feature lands in both tools at once
-// (DESIGN.md §11).
+// (tools/detlint, tools/parlint, tools/flowlint). Each tool is a rule
+// table plus a scan callback (per-file, or whole-program for the
+// interprocedural pack); everything else — file walking, comment and
+// string-literal stripping, inline `<tool>:allow(...)` waivers,
+// function/call-site extraction, JSON and SARIF reports, stale-waiver
+// checking, findings/exit-code plumbing — lives here so a lexer fix or
+// a driver feature lands in every tool at once (DESIGN.md §11).
 //
 // The scanners are heuristic, text-level checkers, not compiler
 // plugins: they operate on a blanked copy of the source (comments and
@@ -35,6 +36,12 @@ struct Finding {
   std::string rule;
   std::string snippet;
   bool suppressed = false;
+  // Interprocedural findings carry the full call chain from the
+  // offending entry point to the seed ("BuildBlock (f.cc:10) →
+  // PackCandidates (f.cc:5) → system_clock [nondet:wall-clock]
+  // (f.cc:7)"). Empty for single-site findings; emitted into the JSON
+  // and SARIF reports only when non-empty.
+  std::string chain;
 };
 
 struct RuleInfo {
@@ -90,7 +97,7 @@ class Source {
  private:
   void IndexLines();
   bool SuppressedOn(size_t line, const std::string& rule) const;
-  void ParseAllow(const std::string& comment, size_t line);
+  void ParseAllow(const std::string& comment, size_t comment_start);
   void StripCommentsAndLiterals();
   void Blank(size_t begin, size_t end);
 
@@ -103,9 +110,57 @@ class Source {
 };
 
 // Appends a finding at `offset`, resolving line, snippet, and
-// suppression against `src`.
+// suppression against `src`. The chain overload attaches an
+// interprocedural call chain to the finding.
 void EmitFinding(const Source& src, size_t offset, const std::string& rule,
                  std::vector<Finding>* out);
+void EmitFinding(const Source& src, size_t offset, const std::string& rule,
+                 const std::string& chain, std::vector<Finding>* out);
+
+// --------------------- Function & call extraction -----------------------
+//
+// The token-level function index the interprocedural pack (flowlint)
+// builds its call graph from. Shared here so detlint/parlint rules can
+// reuse the same extraction when they need an enclosing-function or
+// callee view instead of re-deriving it per tool.
+
+// A function definition: qualified name and the lexical extent of its
+// body. Member functions defined inline inside a `class X { ... }`
+// body are qualified with the enclosing class name(s); out-of-line
+// definitions keep the qualifier as written ("Ledger::BuildBlock").
+// Namespaces do not participate in qualification.
+struct FunctionDef {
+  std::string name;       // "Ledger::BuildBlock", "RunSelectionGame".
+  size_t name_pos = 0;    // Offset of the name's first character.
+  size_t body_open = 0;   // Offset of the body '{'.
+  size_t body_close = 0;  // Offset of the matching '}'.
+};
+
+// All function definitions in `src`, in offset order. Heuristic token
+// scan over the blanked code: a '{' whose backward context reads
+// `name(params) [specifiers...]` — ascending through constructor
+// initializer lists — names a definition; control-flow headers
+// (if/for/while/switch/catch), lambdas, and operator overloads are
+// skipped.
+std::vector<FunctionDef> ExtractFunctions(const Source& src);
+
+// A call site: the callee as written, with tight `::` chains kept
+// ("std::chrono::system_clock::now"); member calls record the bare
+// member name ("Snapshot"). `offset` indexes the first character of
+// the (possibly qualified) name.
+struct CallSite {
+  std::string callee;
+  size_t offset = 0;
+};
+
+// Call-shaped tokens inside [begin, end) of `src`'s blanked code: an
+// identifier chain followed by '(' (template argument lists between
+// name and paren are skipped), minus control/cast keywords. Variable
+// initializations `T name(args)` surface `name` too — callers resolve
+// against a function index, so unresolvable names are cheap noise in
+// the over-approximating direction.
+std::vector<CallSite> ExtractCallSites(const Source& src, size_t begin,
+                                       size_t end);
 
 // ------------------------------ Reports ---------------------------------
 
@@ -114,6 +169,17 @@ std::string JsonEscape(const std::string& s);
 bool WriteReport(const std::string& path, const std::string& tool,
                  const std::vector<Finding>& findings, size_t files_scanned,
                  size_t unsuppressed);
+
+struct Tool;  // Defined below; WriteSarif needs the rule table.
+
+// SARIF 2.1.0, one run per tool: the driver's rule table (plus the
+// driver-level stale-waiver rule) becomes the reporting descriptors,
+// each finding becomes a result with a physical location; suppressed
+// findings carry an inSource suppression object so SARIF viewers show
+// them as waived rather than open. Interprocedural chains ride in the
+// result message.
+bool WriteSarif(const std::string& path, const Tool& tool,
+                const std::vector<Finding>& findings);
 
 // --------------------------- Waiver checking ----------------------------
 
@@ -136,11 +202,17 @@ struct Tool {
   size_t rule_count = 0;
   // Scans one preprocessed file, appending findings.
   std::function<void(const Source&, std::vector<Finding>*)> scan;
+  // Whole-program pass over every loaded file at once — the hook the
+  // interprocedural pack uses (call graphs cross file boundaries).
+  // Runs after the per-file scan (either may be unset). Findings it
+  // appends participate in per-file waiver checking like any other.
+  std::function<void(const std::vector<Source>&, std::vector<Finding>*)>
+      scan_program;
 };
 
 // Shared command-line driver:
-//   <tool> [--report <file.json>] [--root <dir>] [--list-rules]
-//          [--rules-md] [--check-waivers] <dir-or-file>...
+//   <tool> [--report <file.json>] [--sarif <file.sarif>] [--root <dir>]
+//          [--list-rules] [--rules-md] [--check-waivers] <dir-or-file>...
 //
 // Directory targets are walked recursively for C++ sources; directories
 // named "testdata" are skipped (lint fixtures are test inputs, not

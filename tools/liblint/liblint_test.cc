@@ -1,8 +1,9 @@
-// Unit tests for the shared lint core. Both detlint and parlint sit
-// on this lexer and driver plumbing, so a regression here would blind
-// both scanners at once — these tests pin the comment/literal
-// stripper, the waiver parser, the stale-waiver pass, and the JSON
-// report schema (against a golden fixture) directly.
+// Unit tests for the shared lint core. detlint, parlint, and flowlint
+// all sit on this lexer and driver plumbing, so a regression here
+// would blind every scanner at once — these tests pin the
+// comment/literal stripper, the waiver parser, the stale-waiver pass,
+// the function/call-site extraction, and the JSON report schema
+// (against a golden fixture) directly.
 
 #include "liblint/liblint.h"
 
@@ -43,6 +44,15 @@ TEST(MatchTest, AngleBailsAtStatementEnd) {
   EXPECT_EQ(MatchAngle(s, 7), std::string::npos);
 }
 
+TEST(MatchTest, AdjacentAngleClosersResolveInnerAndOuter) {
+  //                   0123456789012345678
+  const std::string s = "vector<vector<int>> x;";
+  EXPECT_EQ(MatchAngle(s, 6), 18u);   // Outer closes on the second '>'.
+  EXPECT_EQ(MatchAngle(s, 13), 17u);  // Inner closes on the first.
+  const std::string deep = "map<int, vector<pair<int, int>>> m;";
+  EXPECT_EQ(MatchAngle(deep, 3), 31u);
+}
+
 TEST(MatchTest, ParensAndBracesNest) {
   const std::string s = "f(g(h(1)), [] { return 0; })";
   EXPECT_EQ(MatchParen(s, 1), 27u);
@@ -78,6 +88,40 @@ TEST(SourceTest, BlanksRawStrings) {
              "tool");
   EXPECT_EQ(src.code().find("srand"), std::string::npos);
   EXPECT_NE(src.code().find("int x;"), std::string::npos);
+}
+
+TEST(SourceTest, BlanksRawStringsWithCustomDelimiters) {
+  // A plain )" inside the literal must NOT close it — only )xy" does.
+  Source src("t.cc",
+             "auto s = R\"xy(rand() )\" still inside)xy\";\nint x;\n",
+             "tool");
+  EXPECT_EQ(src.code().find("rand"), std::string::npos);
+  EXPECT_EQ(src.code().find("still inside"), std::string::npos);
+  EXPECT_NE(src.code().find("int x;"), std::string::npos);
+}
+
+TEST(SourceTest, BackslashContinuedLineCommentKeepsBlanking) {
+  // The comment logically continues onto the next physical line
+  // ([lex.phases] splicing): the continuation is comment text, not
+  // code, so the scanner must not see the rand() call.
+  Source src("t.cc",
+             "int a; // comment continues \\\n"
+             "rand(); still comment\n"
+             "int b;\n",
+             "tool");
+  EXPECT_EQ(src.code().find("rand"), std::string::npos);
+  EXPECT_NE(src.code().find("int a;"), std::string::npos);
+  EXPECT_NE(src.code().find("int b;"), std::string::npos);
+}
+
+TEST(SourceTest, CrLfBackslashContinuationAlsoContinues) {
+  Source src("t.cc",
+             "int a; // comment \\\r\n"
+             "srand(1); still comment\r\n"
+             "int b;\n",
+             "tool");
+  EXPECT_EQ(src.code().find("srand"), std::string::npos);
+  EXPECT_NE(src.code().find("int b;"), std::string::npos);
 }
 
 TEST(SourceTest, DigitSeparatorIsNotACharLiteral) {
@@ -129,6 +173,35 @@ TEST(SourceTest, WildcardSuppressesEverything) {
 TEST(SourceTest, OtherToolsTagIsIgnored) {
   Source src("t.cc", "int x; // othertool:allow(rule-a)\n", "tool");
   EXPECT_FALSE(src.Suppressed(1, "rule-a"));
+}
+
+TEST(SourceTest, WaiverOnContinuedCommentLineRegistersWhereItSits) {
+  // The allow() tag sits on the CONTINUATION line of a backslash-
+  // continued comment; it must register on line 2 (its own line), not
+  // line 1 (where the comment began), so it suppresses findings on
+  // lines 2 and 3.
+  Source src("t.cc",
+             "int a; // see below \\\n"
+             "tool:allow(rule-a): waiver on a continued line\n"
+             "int b;\n",
+             "tool");
+  ASSERT_EQ(src.waivers().size(), 1u);
+  EXPECT_TRUE(src.waivers().count(2));
+  EXPECT_TRUE(src.Suppressed(2, "rule-a"));
+  EXPECT_TRUE(src.Suppressed(3, "rule-a"));
+  EXPECT_FALSE(src.Suppressed(1, "rule-a"));
+}
+
+TEST(SourceTest, WaiverInMultiLineBlockCommentRegistersOnItsOwnLine) {
+  Source src("t.cc",
+             "/* prose\n"
+             "   tool:allow(rule-a)\n"
+             "   more prose */\n"
+             "int x;\n",
+             "tool");
+  ASSERT_EQ(src.waivers().size(), 1u);
+  EXPECT_TRUE(src.waivers().count(2));
+  EXPECT_TRUE(src.Suppressed(3, "rule-a"));
 }
 
 // --------------------------- Stale waivers ------------------------------
@@ -183,6 +256,102 @@ TEST(CheckWaiversTest, WildcardUsedByAnyAdjacentFinding) {
   EXPECT_TRUE(out.empty());
 }
 
+// --------------------- Function & call extraction -----------------------
+
+std::vector<std::string> FunctionNames(const Source& src) {
+  std::vector<std::string> names;
+  for (const FunctionDef& fn : ExtractFunctions(src)) {
+    names.push_back(fn.name);
+  }
+  return names;
+}
+
+TEST(ExtractFunctionsTest, FindsFreeAndQualifiedDefinitions) {
+  Source src("t.cc",
+             "uint64_t Mix(uint64_t h) { return h * 3; }\n"
+             "Block Ledger::BuildBlock(const Address& a,\n"
+             "                         uint64_t ts) const {\n"
+             "  return Block{};\n"
+             "}\n",
+             "tool");
+  const std::vector<FunctionDef> fns = ExtractFunctions(src);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].name, "Mix");
+  EXPECT_EQ(fns[1].name, "Ledger::BuildBlock");
+  EXPECT_EQ(src.LineOf(fns[1].name_pos), 2u);
+  EXPECT_LT(fns[1].body_open, fns[1].body_close);
+}
+
+TEST(ExtractFunctionsTest, QualifiesInlineMembersWithClassScope) {
+  Source src("t.cc",
+             "class StateDB {\n"
+             " public:\n"
+             "  size_t Snapshot() { return 1; }\n"
+             "  struct Cursor {\n"
+             "    void Next() { ++i_; }\n"
+             "    int i_ = 0;\n"
+             "  };\n"
+             "};\n",
+             "tool");
+  const std::vector<std::string> names = FunctionNames(src);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "StateDB::Snapshot");
+  EXPECT_EQ(names[1], "StateDB::Cursor::Next");
+}
+
+TEST(ExtractFunctionsTest, AscendsThroughConstructorInitializerLists) {
+  Source src("t.cc",
+             "Pool::Pool(size_t n, Config c)\n"
+             "    : threads_(n), config_{std::move(c)} {\n"
+             "  Start();\n"
+             "}\n",
+             "tool");
+  const std::vector<std::string> names = FunctionNames(src);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "Pool::Pool");
+}
+
+TEST(ExtractFunctionsTest, SkipsControlFlowLambdasAndClassBodies) {
+  Source src("t.cc",
+             "void Walk(int n) {\n"
+             "  if (n > 0) { n = -n; }\n"
+             "  for (int i = 0; i < n; ++i) { Touch(i); }\n"
+             "  auto f = [n](int x) { return x + n; };\n"
+             "  while (n < 0) { ++n; }\n"
+             "}\n"
+             "struct Tag {};\n",
+             "tool");
+  // Only Walk itself: control blocks and the lambda body are not
+  // function definitions, and Tag{} has no parameter list.
+  EXPECT_EQ(FunctionNames(src), std::vector<std::string>{"Walk"});
+}
+
+TEST(ExtractCallSitesTest, FindsCallsWithQualifiersAndTemplateArgs) {
+  Source src("t.cc",
+             "void F() {\n"
+             "  PackCandidates(h);\n"
+             "  std::chrono::system_clock::now();\n"
+             "  obj.Snapshot();\n"
+             "  Make<Block>(1);\n"
+             "  if (x) { return; }\n"
+             "  static_cast<uint64_t>(y);\n"
+             "}\n",
+             "tool");
+  std::vector<std::string> callees;
+  for (const CallSite& call :
+       ExtractCallSites(src, 0, src.code().size())) {
+    callees.push_back(call.callee);
+  }
+  // if/static_cast are filtered; member calls record the member name;
+  // the template argument list between name and '(' is skipped. (`F`
+  // itself is a declaration-followed-by-paren and shows up too — the
+  // extraction over-approximates and resolution discards unknowns.)
+  const std::vector<std::string> expected = {
+      "F", "PackCandidates", "std::chrono::system_clock::now", "Snapshot",
+      "Make"};
+  EXPECT_EQ(callees, expected);
+}
+
 // ------------------------------ Reports ---------------------------------
 
 TEST(JsonEscapeTest, EscapesSpecials) {
@@ -215,11 +384,22 @@ TEST(WriteReportTest, MatchesGoldenFixture) {
   b.rule = "stale-waiver";
   b.snippet = "allow(std-rand) suppresses no finding: int x;";
   b.suppressed = true;
+  Finding c;
+  c.file = "src/chain/ledger.cc";
+  c.line = 140;
+  c.rule = "consensus-reaches-nondet";
+  c.snippet = "Block Ledger::BuildBlock(...) {";
+  c.suppressed = false;
+  c.chain =
+      "Ledger::BuildBlock (src/chain/ledger.cc:140) → "
+      "PackCandidates (src/chain/ledger.cc:95) → "
+      "system_clock [nondet:wall-clock] (src/chain/ledger.cc:97)";
   findings.push_back(a);
   findings.push_back(b);
+  findings.push_back(c);
 
   const std::string path = ::testing::TempDir() + "/liblint_report.json";
-  ASSERT_TRUE(WriteReport(path, "testtool", findings, 7, 1));
+  ASSERT_TRUE(WriteReport(path, "testtool", findings, 7, 2));
   EXPECT_EQ(ReadFile(path),
             ReadFile(std::string(LIBLINT_TESTDATA_DIR) +
                      "/golden_report.json"));

@@ -49,7 +49,8 @@ using liblint::TokenAt;
 
 constexpr RuleInfo kRules[] = {
     {"raw-threading",
-     "std::thread/async/mutex/atomic/condition_variable (and friends) "
+     "std::thread/async/future/promise/call_once/mutex/atomic/"
+     "condition_variable (and friends) or a thread_local declaration "
      "outside src/parallel/; all concurrency must go through the §9 "
      "primitives so the determinism contract stays in one place"},
     {"parallel-ref-capture",
@@ -228,8 +229,9 @@ class Scanner {
     }
   }
 
-  // Rule 1: raw-threading — `std::` followed by a threading name,
-  // anywhere outside src/parallel/.
+  // Rule 1: raw-threading — `std::` followed by a threading name, or a
+  // bare `thread_local` declaration (per-thread state makes results a
+  // function of the schedule), anywhere outside src/parallel/.
   void ScanRawThreading() {
     if (src_.path().find(kParallelDir) != std::string::npos) return;
     size_t pos = 0;
@@ -239,6 +241,13 @@ class Scanner {
         Emit(pos, "raw-threading");
       }
       pos += 5;
+    }
+    pos = 0;
+    while ((pos = code_.find("thread_local", pos)) != std::string::npos) {
+      if (TokenAt(code_, pos, "thread_local")) {
+        Emit(pos, "raw-threading");
+      }
+      pos += 12;
     }
   }
 

@@ -26,10 +26,19 @@ void ParallelChunks(ThreadPool*, size_t, size_t, const B&);
 // Rule: raw-threading — concurrency primitives outside src/parallel/.
 inline std::mutex g_lock;
 inline std::atomic<int> g_counter{0};
+inline std::once_flag g_once;
+thread_local int tl_scratch = 0;
 
 inline void SpawnWorker() {
   std::thread worker([] {});
   worker.join();
+}
+
+inline int FutureSum(std::promise<int>& result) {
+  std::future<int> pending = result.get_future();
+  auto task = std::async([] { return 41; });
+  std::call_once(g_once, [] {});
+  return task.get() + pending.get();
 }
 
 inline void RefCaptureAndSharedSum(ThreadPool* pool,

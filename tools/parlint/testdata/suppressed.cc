@@ -25,6 +25,14 @@ void ParallelChunks(ThreadPool*, size_t, size_t, const B&);
 // parlint:allow(raw-threading): fixture exercising the waiver path
 inline std::mutex g_lock;
 
+// parlint:allow(raw-threading): scratch buffer audited, never observable
+thread_local int tl_scratch = 0;
+
+inline int AsyncSum() {
+  auto task = std::async([] { return 41; });  // parlint:allow(raw-threading)
+  return task.get() + 1;
+}
+
 inline void RefCapture(ThreadPool* pool, std::vector<double>* out) {
   // parlint:allow(parallel-ref-capture): body audited, writes disjoint
   ParallelFor(pool, out->size(), 64, [&](size_t i) {
