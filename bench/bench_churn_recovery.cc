@@ -1,0 +1,320 @@
+// Churn recovery (DESIGN.md §12): how epoch liveness and shard
+// utilisation degrade as the miner population churns, swept over churn
+// rates {0, 0.1, 0.2, 0.3}:
+//
+//   liveness   — EpochLivenessSim under seeded join/retire/crash
+//                schedules (core/churn.h): fraction of epochs that end
+//                in the MaxShard fallback, fraction of non-fallback
+//                epochs won only after a view change, and the mean
+//                length of consecutive-fallback runs (epochs to
+//                recover once liveness is lost).
+//   system     — the full ShardingSystem driven by the adversarial
+//                workload stream with churn applied between epochs:
+//                empty-block rate across all shard chains, accepted
+//                cross-shard migrations, and degraded (fallback)
+//                epochs.
+//
+// Before anything is reported, every accepted migration is re-verified
+// against its source shard root (the authenticated-handoff gate); a
+// failure aborts the bench.
+//
+// Emits BENCH_churn.json into the working directory for CI artifact
+// collection.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/emit_json.h"
+#include "common/rng.h"
+#include "contract/registry.h"
+#include "core/churn.h"
+#include "core/migration.h"
+#include "core/sharding_system.h"
+#include "sim/liveness.h"
+#include "sim/workload.h"
+
+namespace shardchain {
+namespace {
+
+const double kChurnRates[] = {0.0, 0.1, 0.2, 0.3};
+constexpr uint64_t kLivenessSeeds = 10;
+constexpr int kLivenessEpochs = 12;
+constexpr uint64_t kSystemSeeds = 5;
+constexpr uint64_t kSystemEpochs = 6;
+
+ChurnConfig ChurnAt(double rate, size_t min_live) {
+  ChurnConfig churn;
+  churn.retire_probability = rate / 2.0;
+  churn.crash_probability = rate / 2.0;
+  // Joins roughly balance expected departures so the population holds
+  // steady instead of draining to the floor.
+  churn.join_rate = rate * 8.0;
+  churn.max_joins_per_epoch = 4;
+  churn.min_live_miners = min_live;
+  return churn;
+}
+
+// -------------------------- liveness sweep ----------------------------
+
+struct LivenessPoint {
+  double churn_rate = 0.0;
+  size_t epochs = 0;
+  size_t fallback_epochs = 0;
+  size_t view_change_wins = 0;
+  double mean_recovery_epochs = 0.0;  ///< Mean consecutive-fallback run.
+};
+
+LivenessPoint SweepLiveness(double rate) {
+  LivenessConfig config;
+  config.num_miners = 18;
+  config.gossip.deterministic_latency = true;
+
+  LivenessPoint point;
+  point.churn_rate = rate;
+  size_t fallback_runs = 0;
+  size_t fallback_run_epochs = 0;
+  for (uint64_t seed = 1; seed <= kLivenessSeeds; ++seed) {
+    EpochLivenessSim sim(config, seed);
+    const ChurnConfig churn = ChurnAt(rate, /*min_live=*/12);
+    size_t current_run = 0;
+    for (int epoch = 0; epoch < kLivenessEpochs; ++epoch) {
+      FaultConfig faults;
+      sim.ApplyChurn(DrawChurnEvents(churn, seed * 17 + 3, epoch,
+                                     sim.LiveMiners()),
+                     &faults);
+      sim.AppendDepartureCrashes(&faults);
+      FaultPlan plan(faults, seed * 1013 + epoch);
+      const EpochOutcome out = sim.RunEpoch(&plan);
+      ++point.epochs;
+
+      bool fell_back = false;
+      bool view_changed = false;
+      for (const MinerDecision& d : out.decisions) {
+        if (!d.live) continue;
+        if (d.fallback) fell_back = true;
+        if (!d.fallback && d.view > 0) view_changed = true;
+      }
+      if (fell_back) {
+        ++point.fallback_epochs;
+        if (current_run == 0) ++fallback_runs;
+        ++current_run;
+        ++fallback_run_epochs;
+      } else {
+        current_run = 0;
+        if (view_changed) ++point.view_change_wins;
+      }
+    }
+  }
+  point.mean_recovery_epochs =
+      fallback_runs > 0
+          ? static_cast<double>(fallback_run_epochs) /
+                static_cast<double>(fallback_runs)
+          : 0.0;
+  return point;
+}
+
+// --------------------------- system sweep -----------------------------
+
+struct SystemPoint {
+  double churn_rate = 0.0;
+  size_t epochs = 0;
+  size_t degraded_epochs = 0;
+  size_t blocks = 0;
+  size_t empty_blocks = 0;
+  size_t migrations = 0;
+  size_t joins = 0;
+  size_t departures = 0;
+};
+
+[[noreturn]] void HandoffGateFailure(double rate, uint64_t seed) {
+  std::fprintf(stderr,
+               "FATAL: accepted migration fails proof re-verification "
+               "(churn rate %.2f, seed %llu)\n",
+               rate, static_cast<unsigned long long>(seed));
+  std::exit(1);
+}
+
+SystemPoint SweepSystem(double rate) {
+  SystemPoint point;
+  point.churn_rate = rate;
+  for (uint64_t seed = 1; seed <= kSystemSeeds; ++seed) {
+    ShardingSystemConfig config;
+    config.chain.max_txs_per_block = 32;
+    ShardingSystem system(config, seed);
+    for (int i = 0; i < 10; ++i) system.AddMiner();
+
+    AdversarialWorkloadConfig wl;
+    wl.base.num_transactions = 48;
+    wl.base.num_contracts = 4;
+    wl.returning_senders = 8;
+    wl.returning_fraction = 0.4;
+    AdversarialWorkloadStream stream(wl, seed * 101);
+
+    // The stream draws its own contract addresses; map each index onto
+    // a really deployed contract so calls execute instead of no-op.
+    std::vector<Address> deployed;
+    for (size_t c = 0; c < wl.base.num_contracts; ++c) {
+      Address creator;
+      creator.bytes.fill(static_cast<uint8_t>(0xd0 + c));
+      Result<Address> addr = system.DeployContract(
+          creator, contracts::UnconditionalTransfer(creator));
+      if (!addr.ok()) HandoffGateFailure(rate, seed);
+      deployed.push_back(*addr);
+    }
+
+    const ChurnConfig churn = ChurnAt(rate, /*min_live=*/5);
+    for (uint64_t epoch = 0; epoch < kSystemEpochs; ++epoch) {
+      const std::vector<ChurnEvent> events = DrawChurnEvents(
+          churn, seed * 29 + 11, epoch, system.LiveMiners());
+      for (const ChurnEvent& e : events) {
+        if (e.kind == ChurnEventKind::kJoin) {
+          ++point.joins;
+        } else {
+          ++point.departures;
+        }
+      }
+      if (!system.ApplyChurn(events).ok()) HandoffGateFailure(rate, seed);
+      ++point.epochs;
+      if (system.EpochDegraded()) {
+        ++point.degraded_epochs;
+        if (!system.BeginFallbackEpoch().ok()) {
+          HandoffGateFailure(rate, seed);
+        }
+      } else if (!system.BeginEpoch(epoch).ok()) {
+        HandoffGateFailure(rate, seed);
+      }
+
+      const Workload w = stream.NextEpoch();
+      for (size_t i = 0; i < w.transactions.size(); ++i) {
+        Transaction tx = w.transactions[i];
+        if (w.contract_of[i] >= 0) {
+          tx.recipient = deployed[static_cast<size_t>(w.contract_of[i])];
+        }
+        system.Mint(tx.sender, tx.fee + tx.value);
+        (void)system.SubmitTransaction(tx);  // Stale-nonce txs may drop.
+      }
+      for (NodeId m : system.LiveMiners()) {
+        (void)system.MineBlock(m);
+      }
+    }
+
+    // Authenticated-handoff gate: every accepted migration must still
+    // verify against its source root before it counts in the report.
+    for (const HandoffRecord& record : system.MigrationLog()) {
+      if (!VerifyHandoff(record).ok()) HandoffGateFailure(rate, seed);
+    }
+    point.migrations += system.MigrationLog().size();
+
+    // detlint:allow(pointer-keyed-order): dedup only; sums are order-free.
+    std::set<const Ledger*> chains;  // Merged shards alias one ledger.
+    for (ShardId s = 0; s < system.ShardCount(); ++s) {
+      chains.insert(system.ShardLedger(s));
+    }
+    for (const Ledger* chain : chains) {
+      point.blocks += chain->CanonicalLength() - 1;  // Minus genesis.
+      point.empty_blocks += chain->CanonicalEmptyBlocks();
+    }
+  }
+  return point;
+}
+
+}  // namespace
+}  // namespace shardchain
+
+int main() {
+  using namespace shardchain;
+
+  bench::Banner(
+      "BENCH churn recovery (DESIGN.md §12)",
+      "epoch liveness and shard utilisation vs miner churn rate: "
+      "fallback/view-change rates, epochs-to-recover, empty-block "
+      "rate, verified cross-shard migrations");
+
+  std::vector<LivenessPoint> liveness;
+  std::vector<SystemPoint> systems;
+  bench::Row({"churn", "fallback%", "viewchg%", "recover", "empty%",
+              "migrations"});
+  for (const double rate : kChurnRates) {
+    const LivenessPoint lp = SweepLiveness(rate);
+    const SystemPoint sp = SweepSystem(rate);
+    liveness.push_back(lp);
+    systems.push_back(sp);
+    const double fallback_pct =
+        100.0 * static_cast<double>(lp.fallback_epochs) /
+        static_cast<double>(lp.epochs);
+    const double viewchg_pct =
+        100.0 * static_cast<double>(lp.view_change_wins) /
+        static_cast<double>(lp.epochs);
+    const double empty_pct =
+        sp.blocks > 0 ? 100.0 * static_cast<double>(sp.empty_blocks) /
+                            static_cast<double>(sp.blocks)
+                      : 0.0;
+    bench::Row({bench::Fmt(rate, 2), bench::Fmt(fallback_pct, 1),
+                bench::Fmt(viewchg_pct, 1),
+                bench::Fmt(lp.mean_recovery_epochs, 2),
+                bench::Fmt(empty_pct, 1),
+                std::to_string(sp.migrations)});
+  }
+
+  bench::Json doc = bench::Json::Object();
+  doc.Set("bench", bench::Json::Str("churn_recovery"));
+  doc.Set("handoff_gate",
+          bench::Json::Str("every accepted migration re-verified against "
+                           "its source shard root before reporting "
+                           "(asserted pre-emit)"));
+  doc.Set("liveness_seeds",
+          bench::Json::Int(static_cast<int64_t>(kLivenessSeeds)));
+  doc.Set("liveness_epochs_per_seed",
+          bench::Json::Int(static_cast<int64_t>(kLivenessEpochs)));
+  doc.Set("system_seeds",
+          bench::Json::Int(static_cast<int64_t>(kSystemSeeds)));
+  doc.Set("system_epochs_per_seed",
+          bench::Json::Int(static_cast<int64_t>(kSystemEpochs)));
+
+  bench::Json arr = bench::Json::Array();
+  for (size_t i = 0; i < liveness.size(); ++i) {
+    const LivenessPoint& lp = liveness[i];
+    const SystemPoint& sp = systems[i];
+    bench::Json row = bench::Json::Object();
+    row.Set("churn_rate", bench::Json::Num(lp.churn_rate));
+    row.Set("epochs", bench::Json::Int(static_cast<int64_t>(lp.epochs)));
+    row.Set("fallback_rate",
+            bench::Json::Num(static_cast<double>(lp.fallback_epochs) /
+                             static_cast<double>(lp.epochs)));
+    row.Set("view_change_rate",
+            bench::Json::Num(static_cast<double>(lp.view_change_wins) /
+                             static_cast<double>(lp.epochs)));
+    row.Set("mean_recovery_epochs",
+            bench::Json::Num(lp.mean_recovery_epochs));
+    row.Set("system_epochs",
+            bench::Json::Int(static_cast<int64_t>(sp.epochs)));
+    row.Set("degraded_epochs",
+            bench::Json::Int(static_cast<int64_t>(sp.degraded_epochs)));
+    row.Set("blocks", bench::Json::Int(static_cast<int64_t>(sp.blocks)));
+    row.Set("empty_block_rate",
+            bench::Json::Num(sp.blocks > 0
+                                 ? static_cast<double>(sp.empty_blocks) /
+                                       static_cast<double>(sp.blocks)
+                                 : 0.0));
+    row.Set("migrations",
+            bench::Json::Int(static_cast<int64_t>(sp.migrations)));
+    row.Set("joins", bench::Json::Int(static_cast<int64_t>(sp.joins)));
+    row.Set("departures",
+            bench::Json::Int(static_cast<int64_t>(sp.departures)));
+    arr.Push(std::move(row));
+  }
+  doc.Set("results", std::move(arr));
+
+  const std::string path = "BENCH_churn.json";
+  if (!bench::WriteJsonFile(path, doc)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -131,6 +131,13 @@ echo "==== bench_state_scaling (root identity gate) ===="
 (cd "$prefix-release" && ./bench/bench_state_scaling)
 echo "artifact: $prefix-release/BENCH_state.json"
 
+# Churn recovery bench. Also a correctness gate: it aborts unless every
+# accepted cross-shard migration re-verifies against its source shard
+# root (DESIGN.md §12). Artifact: BENCH_churn.json.
+echo "==== bench_churn_recovery (handoff verification gate) ===="
+(cd "$prefix-release" && ./bench/bench_churn_recovery)
+echo "artifact: $prefix-release/BENCH_churn.json"
+
 print_lint_summary "$prefix-release"
 
 echo "All checks passed."

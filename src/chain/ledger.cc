@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 namespace shardchain {
 
@@ -221,6 +222,39 @@ size_t Ledger::CanonicalTxCount() const {
     count += nodes_.at(hash).block.transactions.size();
   }
   return count;
+}
+
+std::vector<Address> Ledger::TouchedAddresses() const {
+  std::set<Address> touched;
+  for (const Hash256& hash : CanonicalChain()) {
+    const Node& node = nodes_.at(hash);
+    if (node.height > 0) touched.insert(node.block.header.miner);
+    for (const Transaction& tx : node.block.transactions) {
+      touched.insert(tx.sender);
+      touched.insert(tx.recipient);
+      for (const Address& input : tx.input_accounts) touched.insert(input);
+    }
+  }
+  return std::vector<Address>(touched.begin(), touched.end());
+}
+
+Status Ledger::ImportAccount(const Address& addr, const Account& account) {
+  Node& tip = nodes_.at(tip_hash_);
+  Account& slot = tip.post_state.GetOrCreate(addr);
+  slot = account;
+  slot.MarkDigestDirty();
+  // The tip post-state changed under any cached built block.
+  last_built_.reset();
+  return Status::OK();
+}
+
+Status Ledger::EvictAccount(const Address& addr) {
+  Node& tip = nodes_.at(tip_hash_);
+  if (!tip.post_state.EraseAccount(addr)) {
+    return Status::NotFound("account not present at tip");
+  }
+  last_built_.reset();
+  return Status::OK();
 }
 
 }  // namespace shardchain

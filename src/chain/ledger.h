@@ -88,6 +88,22 @@ class Ledger {
   /// Total number of transactions confirmed on the canonical chain.
   size_t CanonicalTxCount() const;
 
+  /// Addresses the canonical chain has touched (senders, recipients,
+  /// input accounts, coinbases), sorted ascending — the set whose
+  /// authoritative state lives on THIS shard's chain and must be handed
+  /// off when the shard's accounts migrate (DESIGN.md §12).
+  std::vector<Address> TouchedAddresses() const;
+
+  /// Cross-shard migration receive side: overwrites `addr` in the tip
+  /// post-state with verified handed-off contents. Callers MUST have
+  /// checked the handoff proof first (core/migration.h VerifyHandoff);
+  /// the ledger only applies the state change.
+  Status ImportAccount(const Address& addr, const Account& account);
+
+  /// Cross-shard migration send side: removes `addr` from the tip
+  /// post-state after its authoritative home moved to another shard.
+  Status EvictAccount(const Address& addr);
+
   /// Executes `txs` in order against `state`: nonce check, fee charge,
   /// value transfer / contract call / deploy. Stops with an error on
   /// the first invalid transaction (states are not rolled back by this

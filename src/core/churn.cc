@@ -1,0 +1,71 @@
+#include "core/churn.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace shardchain {
+
+namespace {
+
+/// Uniform double in [0, 1) from one SplitMix64 output.
+double UnitDraw(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* ChurnEventKindName(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::kJoin:
+      return "join";
+    case ChurnEventKind::kRetire:
+      return "retire";
+    case ChurnEventKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+std::vector<ChurnEvent> DrawChurnEvents(
+    const ChurnConfig& config, uint64_t seed, uint64_t epoch,
+    const std::vector<NodeId>& live_miners) {
+  // Domain-separated chain: epoch e's draws never reuse epoch e+1's.
+  uint64_t base = seed ^ 0x636875726e2e7631ULL;  // "churn.v1"
+  uint64_t mixer = epoch;
+  base ^= SplitMix64(&mixer);
+  uint64_t state = base;
+
+  std::vector<ChurnEvent> events;
+
+  // Joins: expectation join_rate, capped.
+  size_t joins = static_cast<size_t>(config.join_rate);
+  const double frac = config.join_rate - static_cast<double>(joins);
+  if (frac > 0.0 && UnitDraw(&state) < frac) ++joins;
+  joins = std::min(joins, config.max_joins_per_epoch);
+  for (size_t j = 0; j < joins; ++j) {
+    events.push_back(ChurnEvent{ChurnEventKind::kJoin, 0, 0.0});
+  }
+
+  // Departures: one retire coin and one crash coin per live miner, in
+  // ascending NodeId order (callers pass the live set sorted; the loop
+  // order is part of the canonical schedule). The floor counts joins as
+  // replacements arriving at the same boundary retires take effect.
+  size_t live = live_miners.size() + joins;
+  for (NodeId node : live_miners) {
+    if (live <= config.min_live_miners) break;
+    const double retire_coin = UnitDraw(&state);
+    const double crash_coin = UnitDraw(&state);
+    const double crash_at = UnitDraw(&state);
+    if (crash_coin < config.crash_probability) {
+      events.push_back(ChurnEvent{ChurnEventKind::kCrash, node, crash_at});
+      --live;
+    } else if (retire_coin < config.retire_probability) {
+      events.push_back(ChurnEvent{ChurnEventKind::kRetire, node, 0.0});
+      --live;
+    }
+  }
+  return events;
+}
+
+}  // namespace shardchain

@@ -1,0 +1,58 @@
+#ifndef SHARDCHAIN_CORE_CHURN_H_
+#define SHARDCHAIN_CORE_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "types/block.h"
+
+namespace shardchain {
+
+/// \brief What happens to one miner in a churn schedule.
+enum class ChurnEventKind : uint8_t {
+  kJoin = 0,    ///< A fresh miner enters at the NEXT epoch boundary.
+  kRetire = 1,  ///< Voluntary leave: serves out the epoch, then departs.
+  kCrash = 2,   ///< Crash-stop mid-epoch at fraction `when` of the epoch.
+};
+
+const char* ChurnEventKindName(ChurnEventKind kind);
+
+/// \brief One drawn churn event. `node` is the victim for retire/crash
+/// (always one of the live miners passed to DrawChurnEvents) and unused
+/// for joins. `when` is the crash instant as a fraction of the epoch in
+/// [0, 1); zero for joins and retires, which take effect at boundaries.
+struct ChurnEvent {
+  ChurnEventKind kind = ChurnEventKind::kJoin;
+  NodeId node = 0;
+  double when = 0.0;
+};
+
+/// \brief Rates of the seeded churn process. All probabilities are per
+/// epoch; departures stop once the live population would drop below
+/// `min_live_miners`, so a schedule can never extinguish the system.
+struct ChurnConfig {
+  /// Expected number of joins per epoch (the fractional part is a
+  /// Bernoulli coin).
+  double join_rate = 0.0;
+  /// Per live miner: probability of a voluntary leave this epoch.
+  double retire_probability = 0.0;
+  /// Per live miner: probability of a crash-stop this epoch.
+  double crash_probability = 0.0;
+  size_t min_live_miners = 4;
+  size_t max_joins_per_epoch = 4;
+};
+
+/// Draws the churn schedule of one epoch as a pure function of
+/// (config, seed, epoch, live set): a private SplitMix64 chain keyed by
+/// seed and epoch drives every coin, so two miners replaying the same
+/// history draw bit-identical events regardless of thread count or call
+/// interleaving. Events come out in a canonical order — joins first,
+/// then per-miner retire/crash decisions in ascending NodeId order.
+std::vector<ChurnEvent> DrawChurnEvents(const ChurnConfig& config,
+                                        uint64_t seed, uint64_t epoch,
+                                        const std::vector<NodeId>& live_miners);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CORE_CHURN_H_

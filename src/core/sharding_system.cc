@@ -20,7 +20,8 @@ NodeId ShardingSystem::AddMiner() {
   KeyPair keys = KeyPair::Generate(&rng_);
   const Hash256 id = keys.public_key().Fingerprint();
   const NodeId node = static_cast<NodeId>(miners_.size());
-  miners_.push_back(MinerRecord{std::move(keys), id, kMaxShardId, 0});
+  miners_.push_back(MinerRecord{std::move(keys), id, kMaxShardId, 0,
+                                MinerStatus::kActive});
   net_.Register(node, kMaxShardId);
   return node;
 }
@@ -34,27 +35,144 @@ Result<Address> ShardingSystem::DeployContract(
   return ContractRegistry::Deploy(&genesis_state_, creator, program);
 }
 
+// --- Churn -----------------------------------------------------------
+
+NodeId ShardingSystem::JoinMiner() {
+  KeyPair keys = KeyPair::Generate(&rng_);
+  const Hash256 id = keys.public_key().Fingerprint();
+  const NodeId node = static_cast<NodeId>(miners_.size());
+  miners_.push_back(MinerRecord{std::move(keys), id, kMaxShardId, 0,
+                                MinerStatus::kPending});
+  // Not on the network until activation at the next boundary.
+  return node;
+}
+
+Status ShardingSystem::RetireMiner(NodeId miner) {
+  if (miner >= miners_.size()) {
+    return Status::InvalidArgument("unknown miner");
+  }
+  MinerRecord& m = miners_[miner];
+  if (m.status == MinerStatus::kDeparted) {
+    return Status::FailedPrecondition("miner already departed");
+  }
+  if (m.status == MinerStatus::kPending) {
+    // Never served: drop it outright at the next boundary.
+    m.status = MinerStatus::kDeparted;
+    return Status::OK();
+  }
+  m.status = MinerStatus::kRetiring;
+  return Status::OK();
+}
+
+Status ShardingSystem::CrashMiner(NodeId miner) {
+  if (miner >= miners_.size()) {
+    return Status::InvalidArgument("unknown miner");
+  }
+  MinerRecord& m = miners_[miner];
+  if (m.status == MinerStatus::kDeparted) {
+    return Status::FailedPrecondition("miner already departed");
+  }
+  const bool was_serving = m.status == MinerStatus::kActive ||
+                           m.status == MinerStatus::kRetiring;
+  m.status = MinerStatus::kDeparted;
+  net_.Unregister(miner);
+  if (epoch_active_ && was_serving) {
+    if (miner == leader_) leader_crashed_ = true;
+    RecoverOrphanedShards();
+  }
+  return Status::OK();
+}
+
+Status ShardingSystem::ApplyChurn(const std::vector<ChurnEvent>& events) {
+  for (const ChurnEvent& event : events) {
+    switch (event.kind) {
+      case ChurnEventKind::kJoin:
+        (void)JoinMiner();
+        break;
+      case ChurnEventKind::kRetire:
+        SHARDCHAIN_RETURN_IF_ERROR(RetireMiner(event.node));
+        break;
+      case ChurnEventKind::kCrash:
+        SHARDCHAIN_RETURN_IF_ERROR(CrashMiner(event.node));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+bool ShardingSystem::MinerLive(NodeId miner) const {
+  if (miner >= miners_.size()) return false;
+  const MinerStatus s = miners_[miner].status;
+  return s == MinerStatus::kActive || s == MinerStatus::kRetiring;
+}
+
+size_t ShardingSystem::LiveMinerCount() const {
+  size_t count = 0;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    if (MinerLive(static_cast<NodeId>(i))) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> ShardingSystem::LiveMiners() const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    const NodeId m = static_cast<NodeId>(i);
+    if (MinerLive(m)) out.push_back(m);
+  }
+  return out;
+}
+
+MinerStatus ShardingSystem::StatusOfMiner(NodeId miner) const {
+  assert(miner < miners_.size());
+  return miners_[miner].status;
+}
+
+bool ShardingSystem::EpochDegraded() const {
+  if (!epoch_active_) return false;
+  if (leader_crashed_ && !fallback_epoch_) return true;
+  return 2 * LiveMinerCount() < epoch_population_;
+}
+
+void ShardingSystem::ActivateBoundaryChurn() {
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    MinerRecord& m = miners_[i];
+    if (m.status == MinerStatus::kPending) {
+      m.status = MinerStatus::kActive;
+      net_.Register(static_cast<NodeId>(i), kMaxShardId);
+    } else if (m.status == MinerStatus::kRetiring) {
+      m.status = MinerStatus::kDeparted;
+      net_.Unregister(static_cast<NodeId>(i));
+    }
+  }
+}
+
+// --- Epochs ----------------------------------------------------------
+
 Status ShardingSystem::BeginEpoch(uint64_t epoch_nonce) {
   (void)epoch_nonce;  // The chained epoch seed supersedes the nonce.
-  if (miners_.empty()) {
-    return Status::FailedPrecondition("no miners registered");
+  FlushPendingEvictions();
+  ActivateBoundaryChurn();
+  const std::vector<NodeId> live = LiveMiners();
+  if (live.empty()) {
+    return Status::FailedPrecondition("no live miners");
   }
   // Epoch seed chains from history (EpochManager): public and
   // grind-resistant.
   const Hash256 seed = epochs_.NextSeed();
 
-  // Leader election: every miner evaluates her VRF; lowest valid
+  // Leader election: every live miner evaluates her VRF; lowest valid
   // ticket wins (Sec. III-B / Omniledger). The evaluations are
   // independent per key, so they run as one batch over the pool.
   std::vector<const KeyPair*> keys;
-  keys.reserve(miners_.size());
-  for (const MinerRecord& m : miners_) keys.push_back(&m.keys);
+  keys.reserve(live.size());
+  for (NodeId m : live) keys.push_back(&miners_[m].keys);
   std::vector<VrfOutput> vrfs = VrfEvaluateBatch(keys, seed, pool_.get());
   std::vector<LeaderCandidate> candidates;
-  candidates.reserve(miners_.size());
-  for (size_t i = 0; i < miners_.size(); ++i) {
-    candidates.push_back(LeaderCandidate{miners_[i].keys.public_key(),
-                                         std::move(vrfs[i])});
+  candidates.reserve(live.size());
+  for (size_t c = 0; c < live.size(); ++c) {
+    candidates.push_back(LeaderCandidate{miners_[live[c]].keys.public_key(),
+                                         std::move(vrfs[c])});
   }
 
   // Fractions come from the MaxShard's view of routed transactions.
@@ -62,29 +180,41 @@ Status ShardingSystem::BeginEpoch(uint64_t epoch_nonce) {
 
   Result<EpochRecord> record = epochs_.Advance(candidates, fractions_);
   if (!record.ok()) return record.status();
-  leader_ = static_cast<NodeId>(record->leader_index);
+  // leader_index ranks within the candidate (live) set; map it back to
+  // the true NodeId — with no churn, live[c] == c and this is identity.
+  leader_ = live[record->leader_index];
   randomness_ = record->randomness;
 
-  // Everyone derives their shard from public data.
+  // Everyone derives their shard from public data. Registration routes
+  // through the true NodeIds, NOT the candidate positions: under churn
+  // the live set has holes, and positional registration would pin a
+  // stale node onto another miner's shard (the stale-shard bug class).
   std::vector<Hash256> ids;
-  ids.reserve(miners_.size());
-  for (const MinerRecord& m : miners_) ids.push_back(m.id);
+  ids.reserve(live.size());
+  for (NodeId m : live) ids.push_back(miners_[m].id);
   const std::vector<ShardId> assignment =
-      AssignAllMiners(randomness_, ids, fractions_, &net_);
-  for (size_t i = 0; i < miners_.size(); ++i) {
-    miners_[i].shard = assignment[i];
+      AssignAllMiners(randomness_, ids, fractions_, /*net=*/nullptr);
+  for (size_t c = 0; c < live.size(); ++c) {
+    miners_[live[c]].shard = assignment[c];
+    net_.Register(live[c], assignment[c]);
   }
 
   // Leader broadcast of (randomness, fractions): one message per node.
   net_.Broadcast(leader_, MsgKind::kLeaderBroadcast);
   epoch_active_ = true;
   fallback_epoch_ = false;
+  leader_crashed_ = false;
+  epoch_population_ = live.size();
+  epoch_log_start_ = migration_log_.size();
   return Status::OK();
 }
 
 Status ShardingSystem::BeginFallbackEpoch() {
-  if (miners_.empty()) {
-    return Status::FailedPrecondition("no miners registered");
+  FlushPendingEvictions();
+  ActivateBoundaryChurn();
+  const std::vector<NodeId> live = LiveMiners();
+  if (live.empty()) {
+    return Status::FailedPrecondition("no live miners");
   }
   Result<EpochRecord> record = epochs_.AdvanceFallback();
   if (!record.ok()) return record.status();
@@ -95,29 +225,36 @@ Status ShardingSystem::BeginFallbackEpoch() {
   // The single 100% fraction routes every draw to the MaxShard; the
   // assignment still runs so membership checks verify as usual.
   std::vector<Hash256> ids;
-  ids.reserve(miners_.size());
-  for (const MinerRecord& m : miners_) ids.push_back(m.id);
+  ids.reserve(live.size());
+  for (NodeId m : live) ids.push_back(miners_[m].id);
   const std::vector<ShardId> assignment =
-      AssignAllMiners(randomness_, ids, fractions_, &net_);
-  for (size_t i = 0; i < miners_.size(); ++i) {
-    miners_[i].shard = assignment[i];
+      AssignAllMiners(randomness_, ids, fractions_, /*net=*/nullptr);
+  for (size_t c = 0; c < live.size(); ++c) {
+    miners_[live[c]].shard = assignment[c];
+    net_.Register(live[c], assignment[c]);
   }
   // No leader broadcast: the fallback needs no message to agree on.
   epoch_active_ = true;
   fallback_epoch_ = true;
+  leader_crashed_ = false;
+  epoch_population_ = live.size();
+  epoch_log_start_ = migration_log_.size();
   return Status::OK();
 }
 
 ShardId ShardingSystem::ShardOfMiner(NodeId miner) const {
   assert(miner < miners_.size());
+  if (!MinerLive(miner)) return kUnassignedShard;
   return ResolveShard(miners_[miner].shard);
 }
 
 std::vector<NodeId> ShardingSystem::MinersOfShard(ShardId shard) const {
   std::vector<NodeId> out;
   for (size_t i = 0; i < miners_.size(); ++i) {
+    const NodeId m = static_cast<NodeId>(i);
+    if (!MinerLive(m)) continue;
     if (ResolveShard(miners_[i].shard) == ResolveShard(shard)) {
-      out.push_back(static_cast<NodeId>(i));
+      out.push_back(m);
     }
   }
   return out;
@@ -147,6 +284,26 @@ ShardingSystem::ShardState& ShardingSystem::GetOrCreateShard(ShardId shard) {
 Result<ShardId> ShardingSystem::SubmitTransaction(const Transaction& tx) {
   const ShardId routed = formation_.Route(tx);
   const ShardId shard = ResolveShard(routed);
+
+  // Sender-home tracking: when the routed shard moves — the sender's
+  // contract set changed (shard → MaxShard) or a popularity shift
+  // re-routed its contract — the authoritative account state follows
+  // under an authenticated handoff before the transaction pools.
+  auto home_it = home_.find(tx.sender);
+  if (home_it == home_.end()) {
+    home_.emplace(tx.sender, shard);
+  } else if (ResolveShard(home_it->second) != shard) {
+    const ShardId from = ResolveShard(home_it->second);
+    Result<HandoffRecord> moved = MigrateAccount(tx.sender, from, shard);
+    // NotFound: the account never materialized on the source chain —
+    // the destination's genesis view is still authoritative.
+    if (!moved.ok() &&
+        moved.status().code() != Status::Code::kNotFound) {
+      return moved.status();
+    }
+    home_it->second = shard;
+  }
+
   ShardState& state = GetOrCreateShard(shard);
   SHARDCHAIN_RETURN_IF_ERROR(state.pool.Add(tx));
   // The user's broadcast reaches every miner; miners of other shards
@@ -165,6 +322,12 @@ Result<Hash256> ShardingSystem::MineBlock(NodeId miner) {
     return Status::InvalidArgument("unknown miner");
   }
   MinerRecord& record = miners_[miner];
+  if (record.status == MinerStatus::kPending) {
+    return Status::Unauthorized("miner enters at the next epoch boundary");
+  }
+  if (record.status == MinerStatus::kDeparted) {
+    return Status::Unauthorized("miner has departed");
+  }
   const ShardId shard = ResolveShard(record.shard);
 
   // The membership check every receiver would also run (Sec. III-C):
@@ -206,14 +369,22 @@ Status ShardingSystem::VerifyIncomingBlock(const Block& block,
   if (!epoch_active_) {
     return Status::FailedPrecondition("no active epoch");
   }
-  // 1. Is the packer a registered miner at all? The miner set is part
+  // 1. Is the packer a currently serving miner? The miner set is part
   //    of the leader's broadcast (Sec. IV-C), so every receiver knows
-  //    it.
-  const bool known = std::any_of(
-      miners_.begin(), miners_.end(),
-      [&](const MinerRecord& m) { return m.id == packer_id; });
-  if (!known) {
+  //    it — including who departed or has not entered yet.
+  const MinerRecord* packer = nullptr;
+  for (const MinerRecord& m : miners_) {
+    if (m.id == packer_id) {
+      packer = &m;
+      break;
+    }
+  }
+  if (packer == nullptr) {
     return Status::Unauthorized("packer is not a registered miner");
+  }
+  if (packer->status == MinerStatus::kPending ||
+      packer->status == MinerStatus::kDeparted) {
+    return Status::Unauthorized("packer is not serving this epoch");
   }
   // 2. Does the packer really correspond to the ShardID in the header?
   SHARDCHAIN_RETURN_IF_ERROR(VerifyShardMembership(
@@ -224,6 +395,166 @@ Status ShardingSystem::VerifyIncomingBlock(const Block& block,
   }
   return Status::OK();
 }
+
+// --- Cross-shard migration -------------------------------------------
+
+void ShardingSystem::ApplyVerifiedHandoff(const HandoffRecord& record) {
+  ShardState& dest = GetOrCreateShard(ResolveShard(record.dest));
+  Status imported = dest.ledger->ImportAccount(record.addr, record.account);
+  assert(imported.ok());
+  (void)imported;
+  // Eviction is deferred to the boundary: removing the leaf now would
+  // move the source root mid-epoch, and every other handoff leaving
+  // this shard this epoch anchors its proof to that root.
+  pending_evictions_[record.source].insert(record.addr);
+  migration_log_.push_back(record);
+}
+
+void ShardingSystem::FlushPendingEvictions() {
+  // Ordered maps/sets: evictions land in (shard, address) order on
+  // every node regardless of the order migrations were triggered in.
+  for (const auto& [shard, addrs] : pending_evictions_) {
+    auto it = shards_.find(shard);
+    if (it == shards_.end() || it->second.merged_into.has_value()) continue;
+    for (const Address& addr : addrs) {
+      (void)it->second.ledger->EvictAccount(addr);
+    }
+  }
+  pending_evictions_.clear();
+}
+
+Result<HandoffRecord> ShardingSystem::MigrateAccount(const Address& addr,
+                                                     ShardId source,
+                                                     ShardId dest) {
+  source = ResolveShard(source);
+  dest = ResolveShard(dest);
+  if (source == dest) {
+    return Status::InvalidArgument("source and destination coincide");
+  }
+  auto it = shards_.find(source);
+  if (it == shards_.end()) {
+    return Status::NotFound("no ledger for the source shard");
+  }
+  HandoffRecord record;
+  SHARDCHAIN_ASSIGN_OR_RETURN(
+      record, BuildHandoff(it->second.ledger->tip_state(), source, dest, addr));
+  SHARDCHAIN_RETURN_IF_ERROR(VerifyHandoff(record));
+  ApplyVerifiedHandoff(record);
+  return record;
+}
+
+Status ShardingSystem::ApplyHandoff(const HandoffRecord& record) {
+  SHARDCHAIN_RETURN_IF_ERROR(VerifyHandoff(record));
+  // When this node holds the source ledger, the proof must bind to its
+  // CURRENT root — a replayed handoff from an older root is stale.
+  auto src_it = shards_.find(record.source);
+  if (src_it != shards_.end() && !src_it->second.merged_into.has_value()) {
+    if (src_it->second.ledger->tip_state().StateRoot() != record.source_root) {
+      return Status::Unauthorized("handoff root is stale");
+    }
+  }
+  ApplyVerifiedHandoff(record);
+  return Status::OK();
+}
+
+Status ShardingSystem::MigrateShardState(ShardId source, ShardId target) {
+  auto it = shards_.find(source);
+  if (it == shards_.end()) return Status::OK();  // Nothing materialized.
+  const Ledger& ledger = *it->second.ledger;
+  // All proofs anchor to the ONE pre-migration root; evictions are
+  // deferred to the boundary, so nothing moves that root mid-batch.
+  const auto pending = pending_evictions_.find(source);
+  std::vector<HandoffRecord> batch;
+  for (const Address& addr : ledger.TouchedAddresses()) {
+    // Already migrated out earlier this epoch (eviction pending): the
+    // destination copy is authoritative; re-exporting the stale source
+    // leaf would roll it back.
+    if (pending != pending_evictions_.end() && pending->second.count(addr)) {
+      continue;
+    }
+    Result<HandoffRecord> record =
+        BuildHandoff(ledger.tip_state(), source, target, addr);
+    if (!record.ok()) {
+      if (record.status().code() == Status::Code::kNotFound) continue;
+      return record.status();
+    }
+    SHARDCHAIN_RETURN_IF_ERROR(VerifyHandoff(*record));
+    batch.push_back(std::move(*record));
+  }
+  for (const HandoffRecord& record : batch) {
+    ApplyVerifiedHandoff(record);
+  }
+  return Status::OK();
+}
+
+Result<MigrationPlan> ShardingSystem::MigrateShardToMaxShard(ShardId shard) {
+  shard = ResolveShard(shard);
+  if (shard == kMaxShardId) {
+    return Status::InvalidArgument("the MaxShard cannot migrate into itself");
+  }
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) {
+    return Status::NotFound("unknown shard");
+  }
+
+  MigrationPlan plan;
+  plan.epoch = epochs_.EpochCount();
+  const size_t log_start = migration_log_.size();
+  SHARDCHAIN_RETURN_IF_ERROR(MigrateShardState(shard, kMaxShardId));
+  plan.handoffs.assign(migration_log_.begin() + log_start,
+                       migration_log_.end());
+  CanonicalizeMigrationPlan(&plan);
+
+  // Pool, surviving miners, and routing follow the state.
+  ShardState& source = shards_.at(shard);
+  ShardState& dest = GetOrCreateShard(kMaxShardId);
+  for (const Transaction& tx : source.pool.All()) {
+    (void)dest.pool.Add(tx);
+  }
+  source.pool.RemoveAll(source.pool.All());
+  source.merged_into = kMaxShardId;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    const NodeId m = static_cast<NodeId>(i);
+    if (!MinerLive(m)) continue;
+    if (miners_[i].shard == shard) {
+      miners_[i].shard = kMaxShardId;
+      net_.Register(m, kMaxShardId);
+    }
+  }
+  return plan;
+}
+
+void ShardingSystem::RecoverOrphanedShards() {
+  // A shard is orphaned when no live miner serves it anymore. Instead
+  // of letting its transactions stall until the next boundary, its
+  // authenticated state and pool degrade into the MaxShard (which the
+  // remaining population always serves as catch-all).
+  std::vector<ShardId> orphans;
+  for (const auto& [shard, state] : shards_) {
+    if (shard == kMaxShardId || state.merged_into.has_value()) continue;
+    bool any_live = false;
+    for (size_t i = 0; i < miners_.size() && !any_live; ++i) {
+      const NodeId m = static_cast<NodeId>(i);
+      any_live = MinerLive(m) && ResolveShard(miners_[i].shard) == shard;
+    }
+    if (!any_live) orphans.push_back(shard);
+  }
+  for (ShardId shard : orphans) {
+    (void)MigrateShardToMaxShard(shard);
+  }
+}
+
+MigrationPlan ShardingSystem::EpochMigrationPlan() const {
+  MigrationPlan plan;
+  plan.epoch = epochs_.EpochCount();
+  plan.handoffs.assign(migration_log_.begin() +
+                           static_cast<std::ptrdiff_t>(epoch_log_start_),
+                       migration_log_.end());
+  CanonicalizeMigrationPlan(&plan);
+  return plan;
+}
+
+// --- Shard state ------------------------------------------------------
 
 std::vector<uint64_t> ShardingSystem::PendingPerShard() const {
   std::vector<uint64_t> out(formation_.ShardCount(), 0);
@@ -266,7 +597,7 @@ IterativeMergeResult ShardingSystem::MergeSmallShards() {
   UnifiedParameters params;
   params.randomness = randomness_;
   params.shard_sizes = sizes;
-  params.num_miners = miners_.size();
+  params.num_miners = LiveMinerCount();
   params.merge_config = config_.merge;
   const IterativeMergeResult plan = ComputeMergePlan(params, pool_.get());
 
@@ -280,6 +611,12 @@ IterativeMergeResult ShardingSystem::MergeSmallShards() {
     for (size_t idx : group) {
       const ShardId source = small_ids[idx];
       if (source == target) continue;
+      // Authenticated state handoff BEFORE the pool moves: senders with
+      // advanced nonces on the source chain keep executing on the
+      // merged shard (strict_nonces) instead of silently dropping.
+      Status migrated = MigrateShardState(source, target);
+      assert(migrated.ok());
+      (void)migrated;
       ShardState& source_state = shards_.at(source);
       for (const Transaction& tx : source_state.pool.All()) {
         (void)target_state.pool.Add(tx);
@@ -287,9 +624,11 @@ IterativeMergeResult ShardingSystem::MergeSmallShards() {
       source_state.pool.RemoveAll(source_state.pool.All());
       source_state.merged_into = target;
     }
-    // Shard reward: every miner of a merged small shard gets G
-    // (Sec. IV-A1), credited system-side like the block reward.
-    for (MinerRecord& m : miners_) {
+    // Shard reward: every (serving) miner of a merged small shard gets
+    // G (Sec. IV-A1), credited system-side like the block reward.
+    for (size_t i = 0; i < miners_.size(); ++i) {
+      if (!MinerLive(static_cast<NodeId>(i))) continue;
+      MinerRecord& m = miners_[i];
       for (size_t idx : group) {
         if (m.shard == small_ids[idx]) {
           m.shard_rewards += config_.shard_reward;
@@ -297,14 +636,17 @@ IterativeMergeResult ShardingSystem::MergeSmallShards() {
         }
       }
     }
-    // Miners of merged shards now serve the surviving shard.
-    for (MinerRecord& m : miners_) {
-      for (size_t idx : group) {
-        if (m.shard == small_ids[idx]) m.shard = target;
-      }
-    }
+    // Miners of merged shards now serve the surviving shard. Only live
+    // miners re-register — a departed miner's stale shard id must not
+    // resurface in the network's membership view (stale-shard bug
+    // class, DESIGN.md §12).
     for (size_t i = 0; i < miners_.size(); ++i) {
-      net_.Register(static_cast<NodeId>(i), miners_[i].shard);
+      const NodeId m = static_cast<NodeId>(i);
+      if (!MinerLive(m)) continue;
+      for (size_t idx : group) {
+        if (miners_[i].shard == small_ids[idx]) miners_[i].shard = target;
+      }
+      net_.Register(m, miners_[i].shard);
     }
   }
   return plan;
@@ -321,8 +663,9 @@ std::vector<ShardSelectionPlan> ShardingSystem::ComputeShardSelectionPlans()
     live.push_back(shard);
   }
   std::vector<size_t> miners_per_shard(live.size(), 0);
-  for (const MinerRecord& m : miners_) {
-    const ShardId resolved = ResolveShard(m.shard);
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    if (!MinerLive(static_cast<NodeId>(i))) continue;
+    const ShardId resolved = ResolveShard(miners_[i].shard);
     for (size_t k = 0; k < live.size(); ++k) {
       if (live[k] == resolved) {
         ++miners_per_shard[k];

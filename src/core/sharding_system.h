@@ -5,13 +5,16 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "chain/ledger.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "core/churn.h"
 #include "core/epoch.h"
 #include "core/merging_game.h"
+#include "core/migration.h"
 #include "core/miner_assignment.h"
 #include "core/shard_formation.h"
 #include "core/unification.h"
@@ -46,6 +49,14 @@ struct ShardSelectionPlan {
   SelectionResult plan;
 };
 
+/// \brief Lifecycle of a miner under churn (DESIGN.md §12).
+enum class MinerStatus : uint8_t {
+  kPending = 0,   ///< Joined; enters candidacy at the next boundary.
+  kActive = 1,    ///< Serving normally.
+  kRetiring = 2,  ///< Serves out the current epoch, departs at the boundary.
+  kDeparted = 3,  ///< Gone (crashed or retired); never serves again.
+};
+
 /// \brief The full distributed sharding system (Sec. III): contract-
 /// centric shard formation, VRF leader election, verifiable miner
 /// assignment, per-shard ledgers with real transaction execution, and
@@ -58,13 +69,23 @@ struct ShardSelectionPlan {
 ///      lets an assigned miner pack and commit a block, with the
 ///      Sec. III-C receive-side verifications applied;
 ///   4. optionally MergeSmallShards between epochs.
+///
+/// Churn (DESIGN.md §12): JoinMiner/RetireMiner/CrashMiner (or a drawn
+/// schedule via ApplyChurn) change the population. Joins and retires
+/// take effect at the next epoch boundary through the normal candidacy
+/// flow; crashes are immediate — a shard left without live miners is
+/// merged into the MaxShard with an authenticated state handoff instead
+/// of stalling, and EpochDegraded() tells callers when to cut the epoch
+/// short via BeginFallbackEpoch.
 class ShardingSystem {
  public:
   ShardingSystem(ShardingSystemConfig config, uint64_t seed);
 
   // --- Setup (before the first epoch) ---------------------------------
 
-  /// Creates a miner with a fresh Lamport key pair; returns its NodeId.
+  /// Creates an immediately active miner with a fresh Lamport key pair;
+  /// returns its NodeId. Setup-time API: use JoinMiner for mid-run
+  /// entry.
   NodeId AddMiner();
 
   /// Funds an account in the genesis state. Shard ledgers snapshot the
@@ -78,20 +99,53 @@ class ShardingSystem {
 
   size_t MinerCount() const { return miners_.size(); }
 
+  // --- Churn (miner population dynamics, DESIGN.md §12) ---------------
+
+  /// Registers a miner that enters candidacy and assignment at the NEXT
+  /// epoch boundary (it cannot mine or verify blocks before that).
+  NodeId JoinMiner();
+
+  /// Voluntary leave: the miner serves out the current epoch and is
+  /// excluded from the next epoch's candidacy and assignment.
+  Status RetireMiner(NodeId miner);
+
+  /// Crash-stop, effective immediately: the miner stops serving
+  /// mid-epoch. Shards left without any live miner are merged into the
+  /// MaxShard with an authenticated state handoff so their transactions
+  /// keep confirming instead of stalling.
+  Status CrashMiner(NodeId miner);
+
+  /// Applies a drawn churn schedule (core/churn.h) in order.
+  Status ApplyChurn(const std::vector<ChurnEvent>& events);
+
+  /// True for miners currently serving (kActive or kRetiring).
+  bool MinerLive(NodeId miner) const;
+  size_t LiveMinerCount() const;
+  /// NodeIds of live miners, ascending.
+  std::vector<NodeId> LiveMiners() const;
+  MinerStatus StatusOfMiner(NodeId miner) const;
+
+  /// True when the current epoch lost its leader to a crash or over
+  /// half of the population it started with — callers should end it
+  /// early via BeginFallbackEpoch (graceful degradation, DESIGN.md §8).
+  bool EpochDegraded() const;
+
   // --- Epochs ----------------------------------------------------------
 
-  /// Advances one epoch: VRF leader election over all miners on the
-  /// chained epoch seed (see EpochManager), then assigns every miner to
-  /// a shard using the current transaction fractions. Counts the
+  /// Advances one epoch: activates pending joiners and departs retiring
+  /// miners, then runs VRF leader election over the live miners on the
+  /// chained epoch seed (see EpochManager) and assigns every live miner
+  /// to a shard using the current transaction fractions. Counts the
   /// leader's broadcast on the network. `epoch_nonce` is kept for API
   /// compatibility and folded into nothing — the seed chain alone
   /// determines the randomness.
   Status BeginEpoch(uint64_t epoch_nonce);
 
   /// Graceful degradation (the liveness safety net): starts an epoch in
-  /// which EVERY miner serves the MaxShard and fully validates — the
-  /// paper's catch-all shard as safe mode. Used when no verified leader
-  /// broadcast (unified parameters) arrived by the epoch deadline:
+  /// which EVERY live miner serves the MaxShard and fully validates —
+  /// the paper's catch-all shard as safe mode. Used when no verified
+  /// leader broadcast (unified parameters) arrived by the epoch
+  /// deadline, or when churn degraded the epoch (EpochDegraded):
   /// instead of stalling, all miners derive the same leaderless
   /// randomness from the seed chain and proceed with unsharded
   /// validation for one epoch. The seed chain stays unbroken, so the
@@ -107,19 +161,25 @@ class ShardingSystem {
   bool EpochActive() const { return epoch_active_; }
   NodeId leader() const { return leader_; }
   const Hash256& epoch_randomness() const { return randomness_; }
+  /// Current shard of a miner (kUnassignedShard once departed).
   ShardId ShardOfMiner(NodeId miner) const;
   std::vector<NodeId> MinersOfShard(ShardId shard) const;
 
   // --- Transaction flow -------------------------------------------------
 
   /// Routes a transaction to its shard (Sec. III-A) and pools it there.
-  /// Counts the user's gossip on the network.
+  /// Counts the user's gossip on the network. When the sender's
+  /// authoritative home shard differs from the routed shard (its
+  /// contract set changed — e.g. a second contract demoted it to the
+  /// MaxShard, Sec. II-C), the account migrates first under an
+  /// authenticated handoff (DESIGN.md §12).
   Result<ShardId> SubmitTransaction(const Transaction& tx);
 
   /// Lets `miner` pack pending transactions of her shard into a block,
   /// append it to the shard ledger, and gossip it. Fails with
   /// Unauthorized if the miner's claimed shard does not re-derive
-  /// (the Sec. III-C check every receiver also performs).
+  /// (the Sec. III-C check every receiver also performs) or the miner
+  /// is not currently serving (pending joiner / departed).
   Result<Hash256> MineBlock(NodeId miner);
 
   /// Receive-side verification a miner applies to a foreign block
@@ -134,6 +194,42 @@ class ShardingSystem {
   Result<Hash256> ReceiveBlockBytes(const Bytes& wire,
                                     const Hash256& packer_id);
 
+  // --- Cross-shard migration (DESIGN.md §12) ----------------------------
+
+  /// Moves one account between shards under an authenticated handoff:
+  /// builds a trie proof against the source shard's current root,
+  /// verifies it, and imports at the destination. The source-side
+  /// eviction is DEFERRED to the next epoch boundary, so every handoff
+  /// leaving one shard within an epoch anchors to the same source root
+  /// — migration plans stay byte-identical across arrival orders.
+  /// NotFound when the account never materialized on the source chain.
+  Result<HandoffRecord> MigrateAccount(const Address& addr, ShardId source,
+                                       ShardId dest);
+
+  /// Receive side: verifies a handoff (proof against the carried source
+  /// root, which must also match the source ledger's current root when
+  /// this node holds that ledger) and imports the account at the
+  /// destination. A tampered handoff is rejected with Unauthorized and
+  /// the epoch continues — rejection never halts the system.
+  Status ApplyHandoff(const HandoffRecord& record);
+
+  /// Degradation path for a shard with no live miners: migrates every
+  /// account materialized on its chain into the MaxShard (each under a
+  /// verified handoff anchored to the shard's pre-migration root),
+  /// moves its pending pool, and aliases the shard to the MaxShard.
+  /// Returns the applied plan.
+  Result<MigrationPlan> MigrateShardToMaxShard(ShardId shard);
+
+  /// Every handoff applied since construction, in application order.
+  const std::vector<HandoffRecord>& MigrationLog() const {
+    return migration_log_;
+  }
+
+  /// The current epoch's handoffs in canonical (source, dest, addr)
+  /// order — byte-identical across arrival orders and thread counts
+  /// once encoded (core/migration.h codec).
+  MigrationPlan EpochMigrationPlan() const;
+
   // --- Shard state -------------------------------------------------------
 
   size_t ShardCount() const { return formation_.ShardCount(); }
@@ -147,9 +243,10 @@ class ShardingSystem {
   // --- Inter-shard merging ------------------------------------------------
 
   /// Runs the unified merge plan over the currently small shards
-  /// (pending size < L), moves their pools and miners into merged
-  /// shards, and credits the shard reward to every small-shard miner of
-  /// a formed group (Sec. IV-A). Returns the merge plan.
+  /// (pending size < L), moves their pools, miners, AND authenticated
+  /// account state into merged shards, and credits the shard reward to
+  /// every small-shard miner of a formed group (Sec. IV-A). Returns the
+  /// merge plan.
   IterativeMergeResult MergeSmallShards();
 
   /// Computes every live shard's transaction-selection plan (Alg. 2)
@@ -173,6 +270,7 @@ class ShardingSystem {
     Hash256 id;  // Public-key fingerprint.
     ShardId shard = kMaxShardId;
     Amount shard_rewards = 0;
+    MinerStatus status = MinerStatus::kActive;
   };
 
   struct ShardState {
@@ -186,6 +284,29 @@ class ShardingSystem {
   ShardState& GetOrCreateShard(ShardId shard);
   ShardId ResolveShard(ShardId shard) const;
 
+  /// Epoch-boundary churn: pending joiners activate, retiring miners
+  /// depart (and leave the network's membership view).
+  void ActivateBoundaryChurn();
+
+  /// Moves every account materialized on `source`'s canonical chain
+  /// into `target` under handoffs anchored to `source`'s pre-migration
+  /// root (all proofs are built against that one root, then verified
+  /// and applied).
+  Status MigrateShardState(ShardId source, ShardId target);
+
+  /// Merges every live shard that lost all its live miners into the
+  /// MaxShard (called after a crash).
+  void RecoverOrphanedShards();
+
+  /// Verified-handoff application: import at dest, schedule the
+  /// source-side eviction for the next boundary, append to the log.
+  /// Callers must have verified `record`.
+  void ApplyVerifiedHandoff(const HandoffRecord& record);
+
+  /// Applies the deferred source-side evictions (shard id, then address
+  /// order) at the epoch boundary.
+  void FlushPendingEvictions();
+
   ShardingSystemConfig config_;
   /// Created once from config_.parallel; stays null for threads = 1 so
   /// the serial path has zero pool overhead.
@@ -197,9 +318,25 @@ class ShardingSystem {
   std::vector<MinerRecord> miners_;
   std::map<ShardId, ShardState> shards_;
 
+  /// Authoritative home shard per sender, updated on migration. Ordered
+  /// map: iteration never feeds consensus, but determinism by default.
+  std::map<Address, ShardId> home_;
+  std::vector<HandoffRecord> migration_log_;
+  /// Source-side evictions awaiting the next epoch boundary: migrating
+  /// an account out must not change the source root mid-epoch (other
+  /// handoffs from the same shard anchor to it).
+  std::map<ShardId, std::set<Address>> pending_evictions_;
+  /// migration_log_ size at the last epoch boundary — the current
+  /// epoch's handoffs are the suffix.
+  size_t epoch_log_start_ = 0;
+
   bool epoch_active_ = false;
   bool fallback_epoch_ = false;
   NodeId leader_ = 0;
+  /// The current epoch's leader crash-stopped mid-epoch.
+  bool leader_crashed_ = false;
+  /// Live population at the last epoch boundary (degradation baseline).
+  size_t epoch_population_ = 0;
   Hash256 randomness_;
   std::vector<double> fractions_;
   EpochManager epochs_{Sha256Digest("shardchain.genesis.v1")};

@@ -210,5 +210,47 @@ Result<IterativeMergeResult> DecodeMergePlan(const Bytes& data) {
   return plan;
 }
 
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §12)
+Bytes EncodeEpochRecord(const EpochRecord& record) {
+  Bytes out;
+  AppendUint64(&out, record.number);
+  out.insert(out.end(), record.seed.bytes.begin(), record.seed.bytes.end());
+  out.insert(out.end(), record.randomness.bytes.begin(),
+             record.randomness.bytes.end());
+  AppendUint64(&out, record.leader_index);
+  AppendUint32(&out, record.view);
+  out.push_back(record.fallback ? 1 : 0);
+  AppendUint64(&out, record.fractions.size());
+  for (double f : record.fractions) AppendDouble(&out, f);
+  return out;
+}
+
+// flowlint: deterministic-root — consensus byte stream (DESIGN.md §12)
+Result<EpochRecord> DecodeEpochRecord(const Bytes& data) {
+  Reader r(data);
+  EpochRecord record;
+  SHARDCHAIN_ASSIGN_OR_RETURN(record.number, r.ReadU64());
+  SHARDCHAIN_ASSIGN_OR_RETURN(record.seed, r.ReadHash());
+  SHARDCHAIN_ASSIGN_OR_RETURN(record.randomness, r.ReadHash());
+  uint64_t leader = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(leader, r.ReadU64());
+  record.leader_index = static_cast<size_t>(leader);
+  SHARDCHAIN_ASSIGN_OR_RETURN(record.view, r.ReadU32());
+  uint8_t fallback = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(fallback, r.ReadByte());
+  if (fallback > 1) return Status::Corruption("bad bool byte");
+  record.fallback = fallback == 1;
+  size_t fractions = 0;
+  SHARDCHAIN_ASSIGN_OR_RETURN(fractions, ReadCount(&r, 8));
+  record.fractions.reserve(fractions);
+  for (size_t i = 0; i < fractions; ++i) {
+    double f = 0.0;
+    SHARDCHAIN_ASSIGN_OR_RETURN(f, ReadDouble(&r));
+    record.fractions.push_back(f);
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after record");
+  return record;
+}
+
 }  // namespace codec
 }  // namespace shardchain

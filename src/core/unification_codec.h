@@ -2,6 +2,7 @@
 #define SHARDCHAIN_CORE_UNIFICATION_CODEC_H_
 
 #include "common/result.h"
+#include "core/epoch.h"
 #include "core/merging_game.h"
 #include "core/selection_game.h"
 #include "core/unification.h"
@@ -37,6 +38,12 @@ Result<SelectionResult> DecodeSelectionPlan(const Bytes& data);
 /// under unification (new-shard groups, leftover shards, slot count).
 Bytes EncodeMergePlan(const IterativeMergeResult& plan);
 Result<IterativeMergeResult> DecodeMergePlan(const Bytes& data);
+
+/// One epoch's public record (seed chain, randomness, leader/view,
+/// fallback flag, fractions) — what the churn determinism gate compares
+/// byte-for-byte across runs.
+Bytes EncodeEpochRecord(const EpochRecord& record);
+Result<EpochRecord> DecodeEpochRecord(const Bytes& data);
 
 }  // namespace codec
 }  // namespace shardchain

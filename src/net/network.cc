@@ -31,6 +31,8 @@ void Network::Register(NodeId node, ShardId shard) {
   shard_of_[node] = shard;
 }
 
+void Network::Unregister(NodeId node) { shard_of_.erase(node); }
+
 ShardId Network::ShardOf(NodeId node) const {
   auto it = shard_of_.find(node);
   return it == shard_of_.end() ? kUnassignedShard : it->second;

@@ -58,8 +58,12 @@ class Network {
   Network() = default;
 
   /// Registers a node and its shard. Re-registering updates the shard
-  /// (used after merging).
+  /// (used after merging and epoch-boundary reassignment).
   void Register(NodeId node, ShardId shard);
+
+  /// Removes a departed node: it stops appearing in Members() and its
+  /// ShardOf reverts to kUnassignedShard. No-op for unknown nodes.
+  void Unregister(NodeId node);
 
   /// Total: returns kUnassignedShard for nodes never registered.
   ShardId ShardOf(NodeId node) const;

@@ -63,6 +63,75 @@ EpochLivenessSim::EpochLivenessSim(const LivenessConfig& config, uint64_t seed)
     const Hash256 id = keys.public_key().Fingerprint();
     miners_.push_back(Miner{std::move(keys), id});
   }
+  departed_.resize(config.num_miners, false);
+}
+
+NodeId EpochLivenessSim::Join() {
+  KeyPair keys = KeyPair::Generate(&rng_);
+  const Hash256 id = keys.public_key().Fingerprint();
+  const NodeId node = static_cast<NodeId>(miners_.size());
+  miners_.push_back(Miner{std::move(keys), id});
+  departed_.push_back(false);
+  // The overlay is sized at construction; rebuild it for the larger
+  // population. The rebuild draws from the sim's seeded stream, so two
+  // runs replaying the same join sequence get identical overlays.
+  gossip_ = GossipNetwork(miners_.size(), config_.gossip, &rng_);
+  return node;
+}
+
+void EpochLivenessSim::Depart(NodeId miner) {
+  if (miner < departed_.size()) departed_[miner] = true;
+}
+
+bool EpochLivenessSim::IsDeparted(NodeId miner) const {
+  return miner < departed_.size() && departed_[miner];
+}
+
+size_t EpochLivenessSim::LiveMinerCount() const {
+  size_t count = 0;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    if (!departed_[i]) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> EpochLivenessSim::LiveMiners() const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < miners_.size(); ++i) {
+    if (!departed_[i]) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+void EpochLivenessSim::ApplyChurn(const std::vector<ChurnEvent>& events,
+                                  FaultConfig* faults) {
+  for (const ChurnEvent& event : events) {
+    switch (event.kind) {
+      case ChurnEventKind::kJoin:
+        (void)Join();
+        break;
+      case ChurnEventKind::kRetire:
+        Depart(event.node);
+        break;
+      case ChurnEventKind::kCrash:
+        // Dies mid-epoch: the fault plan silences it from `when` on;
+        // the permanent departure lands after the epoch has run.
+        if (faults != nullptr) {
+          faults->crashes.emplace_back(
+              event.node, event.when * config_.decision_deadline);
+        }
+        crashing_this_epoch_.push_back(event.node);
+        break;
+    }
+  }
+}
+
+void EpochLivenessSim::AppendDepartureCrashes(FaultConfig* faults) const {
+  for (size_t i = 0; i < departed_.size(); ++i) {
+    if (departed_[i]) {
+      faults->crashes.emplace_back(static_cast<NodeId>(i), 0.0);
+    }
+  }
 }
 
 void EpochLivenessSim::BuildCandidates(
@@ -72,6 +141,7 @@ void EpochLivenessSim::BuildCandidates(
   std::vector<const KeyPair*> keys;
   for (size_t i = 0; i < miners_.size(); ++i) {
     const NodeId m = static_cast<NodeId>(i);
+    if (departed_[i]) continue;  // Churned out for good.
     if (std::find(excluded_.begin(), excluded_.end(), m) != excluded_.end()) {
       continue;  // Last epoch's beacon withholders sit this one out.
     }
@@ -145,6 +215,7 @@ EpochOutcome EpochLivenessSim::RunEpoch(FaultPlan* faults) {
   bool degraded = false;
   for (size_t i = 0; i < n; ++i) {
     const NodeId m = static_cast<NodeId>(i);
+    if (departed_[i]) continue;  // Departed miners play no part.
     // Commits and reveals spread evenly inside their phases, so a crash
     // instant inside a phase splits participants into committed /
     // not-committed (and revealed / withholding) sets.
@@ -227,6 +298,7 @@ EpochOutcome EpochLivenessSim::RunEpoch(FaultPlan* faults) {
     for (size_t i = 0; i < n; ++i) {
       const NodeId m = static_cast<NodeId>(i);
       MinerDecision& d = out.decisions[i];
+      if (departed_[i]) continue;  // Not live; decides nothing.
       if (faults != nullptr && faults->IsCrashed(m, queue.Now())) continue;
       d.live = true;
       if (inbox[i].empty()) {
@@ -290,6 +362,10 @@ EpochOutcome EpochLivenessSim::RunEpoch(FaultPlan* faults) {
 
   // Beacon withholders lose candidacy for the next epoch.
   excluded_ = out.withholders;
+  // Mid-epoch crash victims of this epoch's churn schedule are gone for
+  // good from the next epoch on.
+  for (NodeId m : crashing_this_epoch_) Depart(m);
+  crashing_this_epoch_.clear();
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "core/beacon.h"
+#include "core/churn.h"
 #include "core/epoch.h"
 #include "core/miner_assignment.h"
 #include "crypto/keys.h"
@@ -121,6 +122,37 @@ class EpochLivenessSim {
   /// beacon withholders).
   const std::vector<NodeId>& excluded() const { return excluded_; }
 
+  // --- Churn (DESIGN.md §12) -----------------------------------------
+
+  /// A fresh miner joining at the next epoch boundary: new keys from
+  /// the sim's seeded stream, gossip overlay rebuilt deterministically
+  /// for the larger population. Returns its NodeId.
+  NodeId Join();
+
+  /// Permanent departure (voluntary leave, or a crash discovered at the
+  /// boundary): excluded from candidacy, beacon, and decisions of every
+  /// subsequent epoch.
+  void Depart(NodeId miner);
+
+  bool IsDeparted(NodeId miner) const;
+  size_t LiveMinerCount() const;
+
+  /// Live (non-departed) miner ids, ascending — the population churn
+  /// schedules are drawn over.
+  std::vector<NodeId> LiveMiners() const;
+
+  /// Applies one epoch's drawn churn schedule (core/churn.h): joins and
+  /// retires take effect now (next RunEpoch sees them); crash events
+  /// become crash-stop entries in `faults` at `when × decision_deadline`
+  /// so the victim dies mid-epoch, and the victim departs permanently
+  /// after the next RunEpoch returns.
+  void ApplyChurn(const std::vector<ChurnEvent>& events, FaultConfig* faults);
+
+  /// Adds crash-at-zero entries for every already-departed miner, so a
+  /// FaultPlan built from `faults` silences them in the gossip overlay
+  /// too (a departed miner must not relay or repair).
+  void AppendDepartureCrashes(FaultConfig* faults) const;
+
   /// Failover order for the NEXT epoch: miner ids ranked by VRF ticket
   /// on the upcoming seed, excluded miners removed. ranking[0] is the
   /// would-be leader, ranking[v] the leader after v view changes.
@@ -156,6 +188,11 @@ class EpochLivenessSim {
   GossipNetwork gossip_;
   EpochManager epochs_{Sha256Digest("shardchain.liveness.genesis.v1")};
   std::vector<NodeId> excluded_;
+  /// departed_[m]: miner m left for good (indexed by NodeId).
+  std::vector<bool> departed_;
+  /// Mid-epoch crash victims of the current churn schedule; they depart
+  /// permanently once the epoch they crash in has run.
+  std::vector<NodeId> crashing_this_epoch_;
 };
 
 }  // namespace shardchain

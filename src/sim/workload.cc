@@ -122,6 +122,89 @@ std::vector<Transaction> GenerateKInputTransactions(size_t n, size_t k,
   return txs;
 }
 
+AdversarialWorkloadStream::AdversarialWorkloadStream(
+    const AdversarialWorkloadConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.base.popularity = ContractPopularity::kZipf;
+  if (config_.base.num_contracts == 0) config_.base.num_contracts = 1;
+  contracts_.reserve(config_.base.num_contracts);
+  for (size_t i = 0; i < config_.base.num_contracts; ++i) {
+    contracts_.push_back(RandomAddress(&rng_));
+  }
+  senders_.reserve(config_.returning_senders);
+  home_.reserve(config_.returning_senders);
+  for (size_t i = 0; i < config_.returning_senders; ++i) {
+    senders_.push_back(RandomAddress(&rng_));
+    home_.push_back(rng_.UniformInt(contracts_.size()));
+  }
+  nonces_.assign(config_.returning_senders, 0);
+}
+
+Workload AdversarialWorkloadStream::NextEpoch() {
+  // Epoch-boundary drift, drawn before any transaction: a switched pool
+  // sender calls only its NEW home contract for the whole epoch, so the
+  // migration set this epoch induces is fixed here, not by arrival
+  // order of the transactions below.
+  for (size_t i = 0; i < senders_.size(); ++i) {
+    if (rng_.Bernoulli(config_.contract_switch_probability) &&
+        contracts_.size() > 1) {
+      const size_t hop = 1 + rng_.UniformInt(contracts_.size() - 1);
+      home_[i] = (home_[i] + hop) % contracts_.size();
+    }
+  }
+  ++epoch_;
+  last_flash_ =
+      config_.flash_period > 0 && epoch_ % config_.flash_period == 0;
+  last_hot_ = -1;
+  if (last_flash_) {
+    last_hot_ = static_cast<int>(rng_.UniformInt(contracts_.size()));
+  }
+
+  Workload w;
+  w.contracts = contracts_;
+  w.transactions.reserve(config_.base.num_transactions);
+  w.contract_of.reserve(config_.base.num_transactions);
+  size_t next_pool = 0;  // Round-robin over the returning pool.
+  for (size_t i = 0; i < config_.base.num_transactions; ++i) {
+    Transaction tx;
+    tx.kind = TxKind::kContractCall;
+    tx.value = config_.base.value_per_tx;
+    tx.fee = DrawFee(config_.base, &rng_);
+
+    size_t contract_idx;
+    const bool returning = config_.returning_senders > 0 &&
+                           rng_.Bernoulli(config_.returning_fraction);
+    if (returning) {
+      const size_t p = next_pool++ % senders_.size();
+      tx.sender = senders_[p];
+      tx.nonce = nonces_[p]++;
+      contract_idx = home_[p];
+    } else {
+      tx.sender = RandomAddress(&rng_);
+      tx.nonce = 0;
+      if (last_flash_ && rng_.Bernoulli(config_.flash_crowd_share)) {
+        contract_idx = static_cast<size_t>(last_hot_);
+      } else {
+        contract_idx =
+            contracts_.size() > 1
+                ? rng_.Zipf(static_cast<uint32_t>(contracts_.size()),
+                            config_.base.zipf_exponent) -
+                      1
+                : 0;
+      }
+    }
+    if (last_flash_ && config_.fee_attack_fraction > 0.0 &&
+        rng_.Bernoulli(config_.fee_attack_fraction)) {
+      tx.fee = static_cast<Amount>(static_cast<double>(tx.fee) *
+                                   config_.fee_attack_multiplier);
+    }
+    tx.recipient = contracts_[contract_idx];
+    w.contract_of.push_back(static_cast<int>(contract_idx));
+    w.transactions.push_back(std::move(tx));
+  }
+  return w;
+}
+
 void FundWorkload(const std::vector<Transaction>& txs, StateDB* state) {
   assert(state != nullptr);
   for (const Transaction& tx : txs) {

@@ -91,6 +91,82 @@ void FundWorkload(const std::vector<Transaction>& txs, StateDB* state);
 /// actors in large-scale simulations do not need signatures).
 Address RandomAddress(Rng* rng);
 
+/// \brief Adversarial traffic knobs layered on a base WorkloadConfig
+/// (DESIGN.md §12): power-law contract popularity, periodic flash-crowd
+/// epochs that pile a large share of traffic onto one hot contract, a
+/// pool of returning senders whose home contract drifts across epochs
+/// (each switch forces a cross-shard account migration), and
+/// fee-manipulation bursts that inflate fees during flash epochs to
+/// stress the fee-driven shard-selection game.
+struct AdversarialWorkloadConfig {
+  /// Base distribution; `base.popularity` is forced to kZipf by the
+  /// stream (the adversary exploits skew, not uniformity).
+  WorkloadConfig base;
+
+  /// Fraction of an epoch's transactions redirected at the hot contract
+  /// during a flash-crowd epoch.
+  double flash_crowd_share = 0.5;
+  /// A flash crowd hits every `flash_period`-th epoch (0 = never).
+  size_t flash_period = 3;
+
+  /// Size of the persistent sender pool reused across epochs. These are
+  /// the only senders with cross-epoch identity, so they are the only
+  /// accounts whose shard residency can go stale.
+  size_t returning_senders = 16;
+  /// Fraction of an epoch's transactions issued by pool senders.
+  double returning_fraction = 0.25;
+  /// Probability that a pool sender switches its home contract at an
+  /// epoch boundary. A switched sender calls ONLY the new contract for
+  /// the whole epoch, so the set of accounts needing migration is a
+  /// pure function of the seed — independent of transaction arrival
+  /// order within the epoch.
+  double contract_switch_probability = 0.2;
+
+  /// During a flash epoch, this fraction of transactions carries an
+  /// inflated fee (fee manipulation aimed at luring miners onto the hot
+  /// shard, Sec. V's game).
+  double fee_attack_fraction = 0.1;
+  double fee_attack_multiplier = 8.0;
+};
+
+/// \brief Stateful multi-epoch generator of adversarial workloads.
+///
+/// The contract universe and the returning-sender pool are fixed at
+/// construction; `NextEpoch()` advances the drift state (contract
+/// switches, flash schedule, nonces) and emits one epoch's Workload.
+/// All randomness flows through the single seeded stream, so the full
+/// trace is a pure function of (config, seed).
+class AdversarialWorkloadStream {
+ public:
+  AdversarialWorkloadStream(const AdversarialWorkloadConfig& config,
+                            uint64_t seed);
+
+  /// Generates the next epoch's transactions and advances drift state.
+  Workload NextEpoch();
+
+  size_t EpochsGenerated() const { return epoch_; }
+  /// Whether the most recent NextEpoch() was a flash-crowd epoch.
+  bool LastEpochWasFlash() const { return last_flash_; }
+  /// Index (into the workload's contract list) of the most recent flash
+  /// epoch's hot contract, or -1 if the last epoch was not a flash.
+  int LastHotContract() const { return last_hot_; }
+
+  const std::vector<Address>& ReturningSenders() const { return senders_; }
+  /// Current home contract index of pool sender `i`.
+  size_t HomeContractOf(size_t i) const { return home_.at(i); }
+
+ private:
+  AdversarialWorkloadConfig config_;
+  Rng rng_;
+  std::vector<Address> contracts_;
+  std::vector<Address> senders_;   ///< Returning pool, fixed at birth.
+  std::vector<size_t> home_;       ///< home_[i]: pool sender i's contract.
+  std::vector<uint64_t> nonces_;   ///< Per pool-sender nonce counters.
+  size_t epoch_ = 0;
+  bool last_flash_ = false;
+  int last_hot_ = -1;
+};
+
 }  // namespace shardchain
 
 #endif  // SHARDCHAIN_SIM_WORKLOAD_H_

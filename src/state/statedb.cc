@@ -121,6 +121,19 @@ void StateDB::StorageSet(const Address& addr, uint64_t key, int64_t value) {
   GetOrCreate(addr).storage[key] = value;
 }
 
+bool StateDB::EraseAccount(const Address& addr) {
+  auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return false;
+  if (!marks_.empty()) {
+    journal_.push_back(UndoEntry{addr, std::optional<Account>(it->second)});
+  }
+  accounts_.erase(it);
+  // FlushDirty sees the address dirty with no account and deletes the
+  // trie leaf.
+  dirty_.insert(addr);
+  return true;
+}
+
 size_t StateDB::Snapshot() {
   marks_.push_back(journal_.size());
   return marks_.size() - 1;

@@ -77,6 +77,11 @@ class StateDB {
   int64_t StorageGet(const Address& addr, uint64_t key) const;
   void StorageSet(const Address& addr, uint64_t key, int64_t value);
 
+  /// Removes `addr` entirely (cross-shard migration: the account's
+  /// authoritative home moved away). Journaled like any write; the trie
+  /// leaf is deleted at the next flush. Returns false when absent.
+  bool EraseAccount(const Address& addr);
+
   /// Marks a revert point; RevertTo restores it. O(1): no state is
   /// copied — subsequent writes record undo entries (touched accounts
   /// only) in a journal. Snapshot ids are monotonically increasing and

@@ -14,7 +14,12 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/churn.h"
+#include "core/migration.h"
+#include "core/sharding_system.h"
+#include "core/unification_codec.h"
 #include "sim/liveness.h"
+#include "sim/workload.h"
 
 namespace shardchain {
 namespace {
@@ -210,6 +215,207 @@ TEST(ChaosSuite, PartitionAcrossBroadcastHealsWithoutSplit) {
   }
   EXPECT_GT(out.repair_sends + out.retransmissions, 0u)
       << "recovery traffic must have crossed the healed boundary";
+}
+
+// ------------------------- Churn chaos (§12) ---------------------------
+
+/// Islands up to `budget` live miners across a window that heals at
+/// least 2 s before the decision deadline, skipping the given victims.
+void AddHealingPartition(const LivenessConfig& config,
+                         const std::vector<NodeId>& live,
+                         const std::set<NodeId>& skip, size_t budget,
+                         Rng* rng, FaultConfig* faults) {
+  if (budget == 0) return;
+  PartitionWindow window;
+  window.start = rng->UniformDouble() * (config.decision_deadline - 5.0);
+  window.end =
+      window.start +
+      rng->UniformDouble() * (config.decision_deadline - 2.0 - window.start);
+  for (NodeId n : live) {
+    if (window.island.size() >= budget) break;
+    if (skip.count(n) > 0) continue;
+    if (rng->Bernoulli(0.5)) window.island.push_back(n);
+  }
+  if (!window.island.empty()) faults->partitions.push_back(window);
+}
+
+TEST(ChaosSuite, ChurnSchedulesWithPartitionHealNeverSplit) {
+  // Seeded churn (joins, voluntary leaves, mid-epoch crash-stops drawn
+  // from core/churn.h) composed with partition-heal schedules: across
+  // 25 seeds x 3 epochs the no-split invariant must hold on the codec
+  // bytes every surviving miner decides on.
+  const LivenessConfig config = ChaosConfig();
+  ChurnConfig churn;
+  churn.join_rate = 0.6;
+  churn.retire_probability = 0.05;
+  churn.crash_probability = 0.05;
+  churn.min_live_miners = 12;
+  churn.max_joins_per_epoch = 2;
+
+  size_t joins = 0;
+  size_t leaves = 0;
+  size_t crashes = 0;
+  size_t islanded_epochs = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    EpochLivenessSim sim(config, seed);
+    Rng rng(0x636875726eull ^ seed);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      FaultConfig faults;
+      faults.drop_probability = 0.25 * rng.UniformDouble();
+
+      const std::vector<ChurnEvent> events = DrawChurnEvents(
+          churn, /*seed=*/seed * 31 + 7, epoch, sim.LiveMiners());
+      sim.ApplyChurn(events, &faults);
+      sim.AppendDepartureCrashes(&faults);
+      std::set<NodeId> mid_epoch_victims;
+      for (const ChurnEvent& e : events) {
+        switch (e.kind) {
+          case ChurnEventKind::kJoin: ++joins; break;
+          case ChurnEventKind::kRetire: ++leaves; break;
+          case ChurnEventKind::kCrash:
+            ++crashes;
+            mid_epoch_victims.insert(e.node);
+            break;
+        }
+      }
+
+      // Partition-heal on top, staying inside the recoverable envelope:
+      // crashed + islanded together at most 1/3 of the live population.
+      const std::vector<NodeId> live = sim.LiveMiners();
+      const size_t envelope = live.size() / 3;
+      if (envelope > mid_epoch_victims.size()) {
+        const size_t before = faults.partitions.size();
+        AddHealingPartition(config, live, mid_epoch_victims,
+                            envelope - mid_epoch_victims.size(), &rng,
+                            &faults);
+        if (faults.partitions.size() > before) ++islanded_epochs;
+      }
+
+      FaultPlan plan(faults, seed * 1009 + epoch);
+      const EpochOutcome out = sim.RunEpoch(&plan);
+      AssertNoSplit(out, seed, epoch);
+    }
+  }
+  // The schedules must genuinely churn AND island, not degenerate into
+  // happy-path epochs.
+  EXPECT_GT(joins, 10u) << "schedules drew no joins";
+  EXPECT_GT(leaves + crashes, 10u) << "schedules drew no departures";
+  EXPECT_GT(islanded_epochs, 25u) << "schedules never partitioned";
+}
+
+TEST(ChaosSuite, ChurnRunsAreByteReproducible) {
+  // Same seeds, same churn, same faults: every miner's decided plan
+  // bytes must be identical across independent process-local reruns.
+  const LivenessConfig config = ChaosConfig();
+  ChurnConfig churn;
+  churn.join_rate = 1.0;
+  churn.retire_probability = 0.1;
+  churn.crash_probability = 0.08;
+  churn.min_live_miners = 12;
+  auto run = [&config, &churn]() {
+    EpochLivenessSim sim(config, 99);
+    Rng rng(99);
+    std::vector<Bytes> plans;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      FaultConfig faults;
+      faults.drop_probability = 0.2 * rng.UniformDouble();
+      sim.ApplyChurn(
+          DrawChurnEvents(churn, 99, epoch, sim.LiveMiners()), &faults);
+      sim.AppendDepartureCrashes(&faults);
+      FaultPlan plan(faults, 990 + epoch);
+      const EpochOutcome out = sim.RunEpoch(&plan);
+      for (const MinerDecision& d : out.decisions) {
+        if (d.live) plans.push_back(d.plan);
+      }
+    }
+    return plans;
+  };
+  EXPECT_EQ(run(), run()) << "churn runs must be reproducible from seeds";
+}
+
+TEST(ChaosSuite, ShardingChurnMigrationInvariantsOverSeeds) {
+  // The full system under seeded churn + drifting workload, 25 seeds:
+  // every accepted cross-shard migration must re-verify against its
+  // source root, and a rerun of the same seed must produce the same
+  // epoch-record and migration-plan bytes.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    auto run = [seed]() {
+      ShardingSystemConfig config;
+      config.chain.max_txs_per_block = 32;
+      ShardingSystem system(config, seed);
+      for (int i = 0; i < 8; ++i) system.AddMiner();
+
+      std::vector<Address> contracts;
+      for (uint8_t c = 1; c <= 3; ++c) {
+        Address creator;
+        creator.bytes.fill(c);
+        Result<Address> deployed = system.DeployContract(
+            creator, contracts::UnconditionalTransfer(creator));
+        EXPECT_TRUE(deployed.ok());
+        contracts.push_back(*deployed);
+      }
+      std::vector<Address> senders;
+      std::vector<size_t> homes;
+      std::vector<uint64_t> nonces;
+      for (uint8_t u = 0; u < 5; ++u) {
+        Address s;
+        s.bytes.fill(static_cast<uint8_t>(0x30 + u));
+        senders.push_back(s);
+        system.Mint(s, 1'000'000);
+        homes.push_back(u % contracts.size());
+        nonces.push_back(0);
+      }
+
+      ChurnConfig churn;
+      churn.join_rate = 0.8;
+      churn.retire_probability = 0.1;
+      churn.crash_probability = 0.1;
+      churn.min_live_miners = 4;
+
+      std::vector<Bytes> bytes;
+      for (uint64_t epoch = 0; epoch < 4; ++epoch) {
+        EXPECT_TRUE(
+            system
+                .ApplyChurn(DrawChurnEvents(churn, seed * 7 + 1, epoch,
+                                            system.LiveMiners()))
+                .ok());
+        if (system.EpochDegraded()) {
+          EXPECT_TRUE(system.BeginFallbackEpoch().ok());
+        } else {
+          EXPECT_TRUE(system.BeginEpoch(epoch).ok());
+        }
+        bytes.push_back(
+            codec::EncodeEpochRecord(*system.epochs().Current()));
+
+        Rng workload(seed * 1000 + epoch);
+        for (size_t u = 0; u < senders.size(); ++u) {
+          if (workload.Bernoulli(0.4)) {
+            homes[u] = (homes[u] + 1) % contracts.size();
+          }
+          Transaction tx;
+          tx.kind = TxKind::kContractCall;
+          tx.sender = senders[u];
+          tx.recipient = contracts[homes[u]];
+          tx.value = 10;
+          tx.fee = 1 + workload.UniformInt(20);
+          tx.nonce = nonces[u]++;
+          Result<ShardId> routed = system.SubmitTransaction(tx);
+          EXPECT_TRUE(routed.ok()) << routed.status().message();
+        }
+        for (NodeId m : system.LiveMiners()) {
+          EXPECT_TRUE(system.MineBlock(m).ok());
+        }
+        bytes.push_back(
+            codec::EncodeMigrationPlan(system.EpochMigrationPlan()));
+      }
+      for (const HandoffRecord& record : system.MigrationLog()) {
+        EXPECT_TRUE(VerifyHandoff(record).ok())
+            << "accepted migration fails re-verification at seed " << seed;
+      }
+      return bytes;
+    };
+    EXPECT_EQ(run(), run()) << "seed " << seed << " is not reproducible";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,562 @@
+// Churn-tolerant epochs and authenticated cross-shard migration
+// (DESIGN.md §12): miner lifecycle under join/retire/crash, orphan-
+// shard degradation into the MaxShard, handoff proof verification, and
+// the differential determinism gate — identical churn + workload seeds
+// must yield byte-identical epoch records, canonical migration plans,
+// and state roots across shuffled transaction arrival orders and
+// thread counts {1, 4}.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/churn.h"
+#include "core/migration.h"
+#include "core/sharding_system.h"
+#include "core/unification_codec.h"
+
+namespace shardchain {
+namespace {
+
+Address Addr(uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+ShardingSystemConfig SmallConfig(size_t threads = 1) {
+  ShardingSystemConfig config;
+  config.chain.max_txs_per_block = 64;
+  config.merge.min_shard_size = 2;
+  config.merge.subslots = 16;
+  config.merge.max_slots = 80;
+  config.parallel = ParallelConfig{threads};
+  return config;
+}
+
+class ChurnMigrationTest : public ::testing::Test {
+ protected:
+  ChurnMigrationTest() : system_(SmallConfig(), /*seed=*/7) {}
+
+  Address Deploy(uint8_t tag) {
+    Result<Address> contract = system_.DeployContract(
+        Addr(tag), contracts::UnconditionalTransfer(Addr(0xee)));
+    EXPECT_TRUE(contract.ok());
+    return *contract;
+  }
+
+  Transaction CallTx(const Address& sender, const Address& contract,
+                     uint64_t nonce = 0, Amount fee = 10) {
+    Transaction tx;
+    tx.kind = TxKind::kContractCall;
+    tx.sender = sender;
+    tx.recipient = contract;
+    tx.value = 50;
+    tx.fee = fee;
+    tx.nonce = nonce;
+    return tx;
+  }
+
+  /// Every live miner packs once, in ascending NodeId order.
+  void MineRound() {
+    for (NodeId m : system_.LiveMiners()) {
+      Result<Hash256> mined = system_.MineBlock(m);
+      EXPECT_TRUE(mined.ok()) << mined.status().message();
+    }
+  }
+
+  ShardingSystem system_;
+};
+
+// --------------------------- Miner lifecycle ---------------------------
+
+TEST_F(ChurnMigrationTest, JoinerEntersAtNextBoundary) {
+  for (int i = 0; i < 4; ++i) system_.AddMiner();
+  ASSERT_TRUE(system_.BeginEpoch(1).ok());
+
+  const NodeId joiner = system_.JoinMiner();
+  EXPECT_EQ(system_.StatusOfMiner(joiner), MinerStatus::kPending);
+  EXPECT_FALSE(system_.MinerLive(joiner));
+  EXPECT_EQ(system_.LiveMinerCount(), 4u);
+  EXPECT_TRUE(system_.MineBlock(joiner).status().IsUnauthorized());
+  EXPECT_EQ(system_.ShardOfMiner(joiner), kUnassignedShard);
+
+  ASSERT_TRUE(system_.BeginEpoch(2).ok());
+  EXPECT_EQ(system_.StatusOfMiner(joiner), MinerStatus::kActive);
+  EXPECT_EQ(system_.LiveMinerCount(), 5u);
+  EXPECT_NE(system_.ShardOfMiner(joiner), kUnassignedShard);
+  EXPECT_TRUE(system_.MineBlock(joiner).ok());
+}
+
+TEST_F(ChurnMigrationTest, RetireeServesOutTheEpoch) {
+  for (int i = 0; i < 4; ++i) system_.AddMiner();
+  ASSERT_TRUE(system_.BeginEpoch(1).ok());
+
+  ASSERT_TRUE(system_.RetireMiner(2).ok());
+  EXPECT_EQ(system_.StatusOfMiner(2), MinerStatus::kRetiring);
+  EXPECT_TRUE(system_.MinerLive(2));
+  EXPECT_TRUE(system_.MineBlock(2).ok()) << "retiree serves out the epoch";
+
+  ASSERT_TRUE(system_.BeginEpoch(2).ok());
+  EXPECT_EQ(system_.StatusOfMiner(2), MinerStatus::kDeparted);
+  EXPECT_FALSE(system_.MinerLive(2));
+  EXPECT_EQ(system_.ShardOfMiner(2), kUnassignedShard);
+  EXPECT_TRUE(system_.MineBlock(2).status().IsUnauthorized());
+  EXPECT_TRUE(system_.RetireMiner(2).IsFailedPrecondition());
+}
+
+TEST_F(ChurnMigrationTest, CrashedMinerStopsServingImmediately) {
+  for (int i = 0; i < 4; ++i) system_.AddMiner();
+  ASSERT_TRUE(system_.BeginEpoch(1).ok());
+
+  ASSERT_TRUE(system_.CrashMiner(3).ok());
+  EXPECT_EQ(system_.StatusOfMiner(3), MinerStatus::kDeparted);
+  EXPECT_TRUE(system_.MineBlock(3).status().IsUnauthorized());
+  EXPECT_EQ(system_.LiveMinerCount(), 3u);
+  EXPECT_TRUE(system_.CrashMiner(3).IsFailedPrecondition());
+}
+
+TEST_F(ChurnMigrationTest, LeaderCrashDegradesAndFallbackRecovers) {
+  for (int i = 0; i < 5; ++i) system_.AddMiner();
+  ASSERT_TRUE(system_.BeginEpoch(1).ok());
+  EXPECT_FALSE(system_.EpochDegraded());
+
+  ASSERT_TRUE(system_.CrashMiner(system_.leader()).ok());
+  EXPECT_TRUE(system_.EpochDegraded()) << "leader crash must degrade";
+
+  // Graceful degradation: the fallback epoch puts every survivor on the
+  // MaxShard, and EpochDegraded clears.
+  ASSERT_TRUE(system_.BeginFallbackEpoch().ok());
+  EXPECT_TRUE(system_.CurrentEpochIsFallback());
+  EXPECT_FALSE(system_.EpochDegraded());
+  for (NodeId m : system_.LiveMiners()) {
+    EXPECT_EQ(system_.ShardOfMiner(m), kMaxShardId);
+    EXPECT_TRUE(system_.MineBlock(m).ok());
+  }
+  // The seed chain is unbroken: the next epoch elects a leader again.
+  ASSERT_TRUE(system_.BeginEpoch(3).ok());
+  EXPECT_FALSE(system_.CurrentEpochIsFallback());
+  EXPECT_TRUE(system_.MinerLive(system_.leader()));
+}
+
+// ---------------------- Orphan-shard degradation -----------------------
+
+TEST_F(ChurnMigrationTest, OrphanedShardMergesIntoMaxShardWithProofs) {
+  for (int i = 0; i < 6; ++i) system_.AddMiner();
+  const Address c1 = Deploy(1);
+  const Address sender = Addr(10);
+  system_.Mint(sender, 10'000);
+  ASSERT_TRUE(system_.BeginEpoch(1).ok());
+
+  // A second populated shard keeps part of the population (and the
+  // system) alive when the first shard's miners all crash.
+  const Address c2 = Deploy(2);
+  const Address other = Addr(11);
+  system_.Mint(other, 10'000);
+
+  Result<ShardId> routed = system_.SubmitTransaction(CallTx(sender, c1, 0));
+  ASSERT_TRUE(routed.ok());
+  const ShardId shard = *routed;
+  ASSERT_NE(shard, kMaxShardId);
+  ASSERT_TRUE(system_.SubmitTransaction(CallTx(other, c2, 0)).ok());
+  // Re-run the epoch so the fractions include the new shards — miners
+  // then land on them and confirm the pooled transactions.
+  ASSERT_TRUE(system_.BeginEpoch(2).ok());
+  ASSERT_FALSE(system_.MinersOfShard(shard).empty());
+  ASSERT_LT(system_.MinersOfShard(shard).size(), system_.LiveMinerCount());
+  MineRound();
+  const Ledger* source = system_.ShardLedger(shard);
+  ASSERT_NE(source, nullptr);
+  const uint64_t nonce_on_source = source->tip_state().NonceOf(sender);
+  ASSERT_EQ(nonce_on_source, 1u);
+
+  // Crash every miner serving the contract shard: the shard is orphaned
+  // and must degrade into the MaxShard instead of stalling.
+  for (NodeId m : system_.MinersOfShard(shard)) {
+    ASSERT_TRUE(system_.CrashMiner(m).ok());
+  }
+  ASSERT_GT(system_.LiveMinerCount(), 0u);
+  EXPECT_EQ(system_.ShardLedger(shard), system_.ShardLedger(kMaxShardId))
+      << "orphaned shard must alias to the MaxShard";
+
+  // Routing now resolves to the MaxShard, and the sender's executed
+  // state (its advanced nonce) followed under verified handoffs.
+  Result<ShardId> rerouted = system_.SubmitTransaction(CallTx(sender, c1, 1));
+  ASSERT_TRUE(rerouted.ok());
+  EXPECT_EQ(*rerouted, kMaxShardId);
+  const Ledger* max = system_.ShardLedger(kMaxShardId);
+  ASSERT_NE(max, nullptr);
+  EXPECT_EQ(max->tip_state().NonceOf(sender), nonce_on_source);
+
+  ASSERT_FALSE(system_.MigrationLog().empty());
+  for (const HandoffRecord& record : system_.MigrationLog()) {
+    EXPECT_TRUE(VerifyHandoff(record).ok())
+        << "every accepted migration must re-verify against its root";
+    EXPECT_EQ(record.dest, kMaxShardId);
+  }
+  // Graceful degradation end-to-end: the fallback epoch puts the
+  // survivors on the MaxShard, which confirms the rerouted traffic.
+  ASSERT_TRUE(system_.BeginFallbackEpoch().ok());
+  MineRound();
+  EXPECT_EQ(max->tip_state().NonceOf(sender), nonce_on_source + 1);
+}
+
+// ------------------------ Authenticated handoffs -----------------------
+
+TEST_F(ChurnMigrationTest, ContractSetChangeMigratesSenderUnderProof) {
+  for (int i = 0; i < 4; ++i) system_.AddMiner();
+  const Address c1 = Deploy(1);
+  const Address c2 = Deploy(2);
+  const Address sender = Addr(10);
+  system_.Mint(sender, 10'000);
+  ASSERT_TRUE(system_.BeginEpoch(1).ok());
+
+  Result<ShardId> s1 = system_.SubmitTransaction(CallTx(sender, c1, 0));
+  ASSERT_TRUE(s1.ok());
+  // Re-run the epoch: the fractions now route every miner to the new
+  // shard (it holds 100% of routed transactions), confirming the tx.
+  ASSERT_TRUE(system_.BeginEpoch(2).ok());
+  MineRound();
+  const Ledger* source = system_.ShardLedger(*s1);
+  const Amount balance_on_source = source->tip_state().BalanceOf(sender);
+  ASSERT_EQ(source->tip_state().NonceOf(sender), 1u);
+
+  // Calling a SECOND contract demotes the sender to the MaxShard
+  // (Sec. II-C); its executed account state must migrate along, under a
+  // handoff whose proof anchors to the source shard's root.
+  Result<ShardId> s2 = system_.SubmitTransaction(CallTx(sender, c2, 1));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, kMaxShardId);
+  ASSERT_EQ(system_.MigrationLog().size(), 1u);
+  const HandoffRecord& record = system_.MigrationLog().front();
+  EXPECT_EQ(record.addr, sender);
+  EXPECT_EQ(record.source, *s1);
+  EXPECT_EQ(record.dest, kMaxShardId);
+  EXPECT_TRUE(VerifyHandoff(record).ok());
+  EXPECT_EQ(record.account.nonce, 1u);
+
+  const Ledger* max = system_.ShardLedger(kMaxShardId);
+  EXPECT_EQ(max->tip_state().NonceOf(sender), 1u);
+  EXPECT_EQ(max->tip_state().BalanceOf(sender), balance_on_source);
+  // The source-side eviction is deferred to the boundary (so other
+  // handoffs from the shard keep anchoring to the same root); after the
+  // next epoch begins, the account no longer double-exists.
+  EXPECT_NE(source->tip_state().Find(sender), nullptr);
+  ASSERT_TRUE(system_.BeginEpoch(3).ok());
+  EXPECT_EQ(source->tip_state().Find(sender), nullptr);
+}
+
+TEST_F(ChurnMigrationTest, TamperedHandoffRejectedWithoutHaltingEpoch) {
+  for (int i = 0; i < 4; ++i) system_.AddMiner();
+  const Address c1 = Deploy(1);
+  const Address sender = Addr(10);
+  system_.Mint(sender, 10'000);
+  system_.Mint(Addr(11), 10'000);  // Funded before the shard forms.
+  ASSERT_TRUE(system_.BeginEpoch(1).ok());
+  Result<ShardId> s1 = system_.SubmitTransaction(CallTx(sender, c1, 0));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(system_.BeginEpoch(2).ok());
+  MineRound();
+
+  const Ledger* source = system_.ShardLedger(*s1);
+  ASSERT_EQ(source->tip_state().NonceOf(sender), 1u);
+  Result<HandoffRecord> honest =
+      BuildHandoff(source->tip_state(), *s1, kMaxShardId, sender);
+  ASSERT_TRUE(honest.ok());
+  ASSERT_TRUE(VerifyHandoff(*honest).ok());
+
+  // Inflate the carried balance: the digest no longer matches the
+  // proven leaf, so the receive side must reject...
+  HandoffRecord forged = *honest;
+  forged.account.balance += 1;
+  EXPECT_TRUE(system_.ApplyHandoff(forged).IsUnauthorized());
+  // ...a proof rewired to a root that never existed is malformed...
+  HandoffRecord rewired = *honest;
+  rewired.source_root = Hash256{};
+  EXPECT_FALSE(system_.ApplyHandoff(rewired).ok());
+
+  // ...and a replay of a once-valid handoff whose source chain moved on
+  // is stale: the proof still verifies against the CARRIED root, but
+  // that root is no longer the source ledger's current one.
+  const Address other = Addr(11);
+  ASSERT_TRUE(system_.SubmitTransaction(CallTx(other, c1, 0)).ok());
+  MineRound();
+  ASSERT_NE(source->tip_state().StateRoot(), honest->source_root);
+  ASSERT_TRUE(VerifyHandoff(*honest).ok());
+  EXPECT_TRUE(system_.ApplyHandoff(*honest).IsUnauthorized());
+
+  // Rejection never halts: the epoch is still active, mining and a
+  // freshly built handoff still work.
+  EXPECT_TRUE(system_.EpochActive());
+  EXPECT_TRUE(system_.MigrationLog().empty());
+  Result<HandoffRecord> fresh =
+      BuildHandoff(source->tip_state(), *s1, kMaxShardId, sender);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(system_.ApplyHandoff(*fresh).ok());
+  EXPECT_EQ(system_.MigrationLog().size(), 1u);
+  MineRound();
+}
+
+// ------------------------ Churn schedule drawing -----------------------
+
+TEST(ChurnScheduleTest, SameSeedSameSchedule) {
+  ChurnConfig config;
+  config.join_rate = 1.5;
+  config.retire_probability = 0.1;
+  config.crash_probability = 0.1;
+  config.min_live_miners = 4;
+  std::vector<NodeId> live{0, 1, 2, 3, 4, 5, 6, 7};
+
+  const auto a = DrawChurnEvents(config, 99, 3, live);
+  const auto b = DrawChurnEvents(config, 99, 3, live);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].when, b[i].when);
+  }
+}
+
+TEST(ChurnScheduleTest, DeparturesRespectTheMinLiveFloor) {
+  ChurnConfig config;
+  config.retire_probability = 1.0;  // Everyone wants to leave...
+  config.crash_probability = 1.0;
+  config.min_live_miners = 5;       // ...but the floor holds.
+  std::vector<NodeId> live{0, 1, 2, 3, 4, 5, 6, 7};
+  for (uint64_t epoch = 0; epoch < 8; ++epoch) {
+    size_t departures = 0;
+    for (const ChurnEvent& e : DrawChurnEvents(config, 7, epoch, live)) {
+      if (e.kind != ChurnEventKind::kJoin) ++departures;
+      if (e.kind == ChurnEventKind::kCrash) {
+        EXPECT_GE(e.when, 0.0);
+        EXPECT_LT(e.when, 1.0);
+      }
+    }
+    EXPECT_LE(departures, live.size() - config.min_live_miners);
+  }
+}
+
+// --------------------------- Migration codecs --------------------------
+
+TEST(MigrationCodecTest, HandoffAndPlanRoundTripByteExactly) {
+  ShardingSystemConfig config = SmallConfig();
+  ShardingSystem system(config, /*seed=*/7);
+  system.AddMiner();
+  Result<Address> c1 = system.DeployContract(
+      Addr(1), contracts::UnconditionalTransfer(Addr(0xee)));
+  ASSERT_TRUE(c1.ok());
+  const Address sender = Addr(10);
+  system.Mint(sender, 10'000);
+  ASSERT_TRUE(system.BeginEpoch(1).ok());
+  Transaction tx;
+  tx.kind = TxKind::kContractCall;
+  tx.sender = sender;
+  tx.recipient = *c1;
+  tx.value = 50;
+  tx.fee = 10;
+  Result<ShardId> shard = system.SubmitTransaction(tx);
+  ASSERT_TRUE(shard.ok());
+  for (NodeId m : system.LiveMiners()) ASSERT_TRUE(system.MineBlock(m).ok());
+
+  Result<HandoffRecord> record = BuildHandoff(
+      system.ShardLedger(*shard)->tip_state(), *shard, kMaxShardId, sender);
+  ASSERT_TRUE(record.ok());
+
+  const Bytes wire = codec::EncodeHandoffRecord(*record);
+  Result<HandoffRecord> back = codec::DecodeHandoffRecord(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(codec::EncodeHandoffRecord(*back), wire);
+  // The decoded handoff still verifies: codec preserves proof fidelity.
+  EXPECT_TRUE(VerifyHandoff(*back).ok());
+
+  MigrationPlan plan;
+  plan.epoch = 3;
+  plan.handoffs = {*record};
+  const Bytes plan_wire = codec::EncodeMigrationPlan(plan);
+  Result<MigrationPlan> plan_back = codec::DecodeMigrationPlan(plan_wire);
+  ASSERT_TRUE(plan_back.ok());
+  EXPECT_EQ(plan_back->epoch, 3u);
+  EXPECT_EQ(codec::EncodeMigrationPlan(*plan_back), plan_wire);
+
+  // Truncation and trailing garbage are malformed, not misread.
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(codec::DecodeHandoffRecord(truncated).ok());
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(codec::DecodeHandoffRecord(padded).ok());
+}
+
+TEST(MigrationCodecTest, AccountStateRejectsUnsortedStorage) {
+  Account account;
+  account.balance = 5;
+  account.nonce = 2;
+  account.storage = {{1, 10}, {2, -20}};
+  const Bytes wire = codec::EncodeAccountState(account);
+  Result<Account> back = codec::DecodeAccountState(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(codec::EncodeAccountState(*back), wire);
+  EXPECT_EQ(back->storage.at(2), -20);
+
+  // Swapping the two 16-byte storage slots breaks the strictly-
+  // ascending key order the canonical stream requires (layout: balance,
+  // nonce, code length, empty code, slot count, then the slots at
+  // offset 32).
+  Bytes unsorted = wire;
+  ASSERT_EQ(unsorted.size(), 64u);
+  std::swap_ranges(unsorted.begin() + 32, unsorted.begin() + 48,
+                   unsorted.begin() + 48);
+  EXPECT_FALSE(codec::DecodeAccountState(unsorted).ok());
+}
+
+// ---------------------- Differential determinism gate ------------------
+
+struct Trace {
+  std::vector<Bytes> epoch_records;
+  std::vector<Bytes> migration_plans;
+  std::vector<Bytes> state_roots;
+  size_t migrations = 0;
+
+  bool operator==(const Trace& other) const {
+    return epoch_records == other.epoch_records &&
+           migration_plans == other.migration_plans &&
+           state_roots == other.state_roots;
+  }
+};
+
+/// One full churn-and-migration run: seeded churn schedule, per-epoch
+/// workload with returning senders that switch contracts (forcing
+/// migrations), intra-epoch submissions SHUFFLED by `shuffle_salt`
+/// after a fixed route-pinning preamble. Everything consensus-visible
+/// is recorded in canonical bytes.
+Trace RunTrace(size_t threads, uint64_t shuffle_salt) {
+  ShardingSystem system(SmallConfig(threads), /*seed=*/11);
+  for (int i = 0; i < 8; ++i) system.AddMiner();
+
+  std::vector<Address> contracts;
+  for (uint8_t c = 1; c <= 4; ++c) {
+    Result<Address> deployed = system.DeployContract(
+        Addr(c), contracts::UnconditionalTransfer(Addr(0xee)));
+    EXPECT_TRUE(deployed.ok());
+    contracts.push_back(*deployed);
+  }
+  std::vector<Address> senders;
+  std::vector<size_t> homes;
+  std::vector<uint64_t> nonces;
+  for (uint8_t u = 0; u < 6; ++u) {
+    senders.push_back(Addr(static_cast<uint8_t>(0x40 + u)));
+    system.Mint(senders.back(), 1'000'000);
+    homes.push_back(u % contracts.size());
+    nonces.push_back(0);
+  }
+  // Route-pinning preamble: one funded probe per contract, in fixed
+  // order, so ShardFormation numbers the shards identically no matter
+  // how later arrivals are shuffled.
+  for (uint8_t c = 0; c < contracts.size(); ++c) {
+    system.Mint(Addr(static_cast<uint8_t>(0x80 + c)), 1'000);
+  }
+
+  ChurnConfig churn;
+  churn.join_rate = 0.7;
+  churn.retire_probability = 0.08;
+  churn.crash_probability = 0.08;
+  churn.min_live_miners = 4;
+
+  Trace trace;
+  for (uint64_t epoch = 0; epoch < 4; ++epoch) {
+    const std::vector<ChurnEvent> events =
+        DrawChurnEvents(churn, /*seed=*/555, epoch, system.LiveMiners());
+    EXPECT_TRUE(system.ApplyChurn(events).ok());
+    if (system.EpochDegraded()) {
+      EXPECT_TRUE(system.BeginFallbackEpoch().ok());
+    } else {
+      EXPECT_TRUE(system.BeginEpoch(epoch).ok());
+    }
+    trace.epoch_records.push_back(
+        codec::EncodeEpochRecord(*system.epochs().Current()));
+
+    if (epoch == 0) {
+      for (uint8_t c = 0; c < contracts.size(); ++c) {
+        Transaction probe;
+        probe.kind = TxKind::kContractCall;
+        probe.sender = Addr(static_cast<uint8_t>(0x80 + c));
+        probe.recipient = contracts[c];
+        probe.value = 1;
+        probe.fee = 1;
+        Result<ShardId> pinned = system.SubmitTransaction(probe);
+        EXPECT_TRUE(pinned.ok());
+      }
+    }
+
+    // Workload: drawn from the WORKLOAD seed alone — identical across
+    // runs. A switching sender calls only its new contract this epoch,
+    // so the migration set cannot depend on intra-epoch order.
+    Rng workload(0xBEEF0000 + epoch);
+    std::vector<Transaction> txs;
+    for (size_t u = 0; u < senders.size(); ++u) {
+      if (workload.Bernoulli(0.5)) {
+        homes[u] = (homes[u] + 1 + workload.UniformInt(contracts.size() - 1)) %
+                   contracts.size();
+      }
+      for (int k = 0; k < 2; ++k) {
+        Transaction tx;
+        tx.kind = TxKind::kContractCall;
+        tx.sender = senders[u];
+        tx.recipient = contracts[homes[u]];
+        tx.value = 50;
+        tx.fee = 5 + workload.UniformInt(40);
+        tx.nonce = nonces[u]++;
+        txs.push_back(tx);
+      }
+    }
+
+    // The gate's independent variable: intra-epoch arrival order.
+    Rng shuffler(shuffle_salt ^ (epoch * 0x9e37));
+    shuffler.Shuffle(&txs);
+    for (const Transaction& tx : txs) {
+      Result<ShardId> routed = system.SubmitTransaction(tx);
+      EXPECT_TRUE(routed.ok()) << routed.status().message();
+    }
+    for (NodeId m : system.LiveMiners()) {
+      EXPECT_TRUE(system.MineBlock(m).ok());
+    }
+
+    trace.migration_plans.push_back(
+        codec::EncodeMigrationPlan(system.EpochMigrationPlan()));
+  }
+
+  trace.migrations = system.MigrationLog().size();
+  for (const HandoffRecord& record : system.MigrationLog()) {
+    EXPECT_TRUE(VerifyHandoff(record).ok());
+  }
+  // Final roots of every live shard, in id order.
+  for (ShardId s = 0; s < system.ShardCount(); ++s) {
+    const Ledger* ledger = system.ShardLedger(s);
+    if (ledger == nullptr) continue;
+    const Hash256 root = ledger->tip_state().StateRoot();
+    trace.state_roots.emplace_back(root.bytes.begin(), root.bytes.end());
+  }
+  return trace;
+}
+
+TEST(ChurnDeterminismGate, ByteIdenticalAcrossArrivalOrdersAndThreads) {
+  const Trace baseline = RunTrace(/*threads=*/1, /*shuffle_salt=*/0xA1);
+  EXPECT_GT(baseline.migrations, 0u)
+      << "the gate must actually exercise migrations";
+  bool any_plan_nonempty = false;
+  for (const Bytes& plan : baseline.migration_plans) {
+    Result<MigrationPlan> decoded = codec::DecodeMigrationPlan(plan);
+    ASSERT_TRUE(decoded.ok());
+    if (!decoded->handoffs.empty()) any_plan_nonempty = true;
+  }
+  EXPECT_TRUE(any_plan_nonempty);
+
+  EXPECT_EQ(RunTrace(1, 0xB2), baseline) << "arrival order leaked into bytes";
+  EXPECT_EQ(RunTrace(4, 0xA1), baseline) << "thread count leaked into bytes";
+  EXPECT_EQ(RunTrace(4, 0xC3), baseline)
+      << "threads x arrival order leaked into bytes";
+}
+
+}  // namespace
+}  // namespace shardchain

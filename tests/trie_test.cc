@@ -290,6 +290,112 @@ TEST(TrieProofTest, EmptyTrieProof) {
   EXPECT_FALSE(verified->has_value());
 }
 
+// ----------------------- Seeded proof fuzzing ------------------------
+
+Bytes RandomKey(Rng* rng) {
+  Bytes key(1 + rng->UniformInt(24));
+  for (auto& b : key) b = static_cast<uint8_t>(rng->UniformInt(256));
+  return key;
+}
+
+TEST(TrieProofFuzzTest, RandomKeysRoundTripPresenceAndAbsence) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(0x70726f6f66ull * seed);
+    MerklePatriciaTrie trie;
+    std::map<Bytes, Bytes> expected;
+    while (expected.size() < 200) {
+      const Bytes key = RandomKey(&rng);
+      Bytes value(1 + rng.UniformInt(16));
+      for (auto& b : value) b = static_cast<uint8_t>(rng.UniformInt(256));
+      trie.Put(key, value);
+      expected[key] = value;
+    }
+    const Hash256 root = trie.RootHash();
+
+    // Every inserted key proves present with its exact value.
+    for (const auto& [key, value] : expected) {
+      const auto proof = trie.Prove(key);
+      auto verified = MerklePatriciaTrie::VerifyProof(root, key, proof);
+      ASSERT_TRUE(verified.ok())
+          << "seed " << seed << ": " << verified.status().ToString();
+      ASSERT_TRUE(verified->has_value()) << "seed " << seed;
+      EXPECT_EQ(**verified, value) << "seed " << seed;
+    }
+
+    // Fresh random keys (re-drawn if they collide) prove absent.
+    int absent = 0;
+    while (absent < 100) {
+      const Bytes key = RandomKey(&rng);
+      if (expected.count(key) > 0) continue;
+      ++absent;
+      const auto proof = trie.Prove(key);
+      auto verified = MerklePatriciaTrie::VerifyProof(root, key, proof);
+      ASSERT_TRUE(verified.ok())
+          << "seed " << seed << ": " << verified.status().ToString();
+      EXPECT_FALSE(verified->has_value()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(TrieProofFuzzTest, CorruptedProofsNeverVerifyToOriginalValue) {
+  // Flipping any byte of any node, truncating the proof, or dropping an
+  // interior node must never leave a proof that still verifies to the
+  // honest value. (Some corruptions may verify to "absent" or another
+  // value on a disjoint path — that is fine; claiming the original
+  // binding from mutated evidence is not.)
+  Rng rng(0xc0de);
+  MerklePatriciaTrie trie;
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 64; ++i) {
+    const Bytes key = RandomKey(&rng);
+    trie.Put(key, Key("val-", i));
+    keys.push_back(key);
+  }
+  const Hash256 root = trie.RootHash();
+
+  auto survives = [&root](const Bytes& key, const MerklePatriciaTrie::Proof& p,
+                          const Bytes& honest) {
+    auto verified = MerklePatriciaTrie::VerifyProof(root, key, p);
+    return verified.ok() && verified->has_value() && **verified == honest;
+  };
+
+  int byte_flips = 0;
+  for (size_t k = 0; k < keys.size(); k += 7) {
+    const Bytes& key = keys[k];
+    const auto proof = trie.Prove(key);
+    auto verified = MerklePatriciaTrie::VerifyProof(root, key, proof);
+    ASSERT_TRUE(verified.ok() && verified->has_value());
+    const Bytes honest = **verified;
+
+    // One random byte flipped in every node of the path.
+    for (size_t n = 0; n < proof.size(); ++n) {
+      auto mutated = proof;
+      ASSERT_FALSE(mutated[n].encoded.empty());
+      const size_t pos = rng.UniformInt(mutated[n].encoded.size());
+      mutated[n].encoded[pos] ^= static_cast<uint8_t>(
+          1 + rng.UniformInt(255));
+      EXPECT_FALSE(survives(key, mutated, honest))
+          << "byte flip in node " << n << " of key " << k << " survived";
+      ++byte_flips;
+    }
+
+    // Truncated proof: the terminal node (and its value) is missing.
+    if (!proof.empty()) {
+      auto truncated = proof;
+      truncated.pop_back();
+      EXPECT_FALSE(survives(key, truncated, honest));
+    }
+
+    // An interior node dropped from the middle of the path.
+    if (proof.size() >= 3) {
+      auto gapped = proof;
+      gapped.erase(gapped.begin() + static_cast<long>(gapped.size() / 2));
+      EXPECT_FALSE(survives(key, gapped, honest));
+    }
+  }
+  EXPECT_GT(byte_flips, 10) << "fuzz loop degenerated";
+}
+
 TEST(TrieProofTest, ProofSizeIsLogarithmic) {
   MerklePatriciaTrie trie;
   Rng rng(99);

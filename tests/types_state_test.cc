@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <map>
 #include <set>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -357,6 +359,130 @@ TEST(WorkloadTest, UniformFeeModelInRange) {
     const Amount f = DrawFee(config, &rng);
     EXPECT_GE(f, 10u);
     EXPECT_LE(f, 20u);
+  }
+}
+
+// --------------------- Adversarial workload ----------------------------
+
+/// Flat comparable fingerprint of one transaction, enough to detect any
+/// divergence between two generated traces.
+std::vector<std::tuple<Address, Address, uint64_t, Amount, Amount, int>>
+Fingerprint(const Workload& w) {
+  std::vector<std::tuple<Address, Address, uint64_t, Amount, Amount, int>> out;
+  for (size_t i = 0; i < w.transactions.size(); ++i) {
+    const Transaction& tx = w.transactions[i];
+    out.emplace_back(tx.sender, tx.recipient, tx.nonce, tx.fee, tx.value,
+                     w.contract_of[i]);
+  }
+  return out;
+}
+
+TEST(AdversarialWorkloadTest, SameSeedProducesIdenticalTrace) {
+  AdversarialWorkloadConfig config;
+  config.base.num_transactions = 120;
+  AdversarialWorkloadStream a(config, 77);
+  AdversarialWorkloadStream b(config, 77);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    EXPECT_EQ(Fingerprint(a.NextEpoch()), Fingerprint(b.NextEpoch()))
+        << "epoch " << epoch;
+  }
+  AdversarialWorkloadStream c(config, 78);
+  a = AdversarialWorkloadStream(config, 77);
+  EXPECT_NE(Fingerprint(a.NextEpoch()), Fingerprint(c.NextEpoch()));
+}
+
+TEST(AdversarialWorkloadTest, FlashEpochsFollowThePeriod) {
+  AdversarialWorkloadConfig config;
+  config.base.num_transactions = 40;
+  config.flash_period = 3;
+  AdversarialWorkloadStream stream(config, 9);
+  for (int epoch = 1; epoch <= 9; ++epoch) {
+    stream.NextEpoch();
+    EXPECT_EQ(stream.LastEpochWasFlash(), epoch % 3 == 0) << epoch;
+    if (epoch % 3 == 0) {
+      EXPECT_GE(stream.LastHotContract(), 0);
+    } else {
+      EXPECT_EQ(stream.LastHotContract(), -1);
+    }
+  }
+}
+
+TEST(AdversarialWorkloadTest, FlashCrowdConcentratesOnHotContract) {
+  AdversarialWorkloadConfig config;
+  config.base.num_transactions = 1000;
+  config.base.num_contracts = 10;
+  config.flash_period = 1;  // Every epoch is a flash.
+  config.flash_crowd_share = 0.8;
+  config.returning_fraction = 0.0;
+  AdversarialWorkloadStream stream(config, 5);
+  const Workload w = stream.NextEpoch();
+  ASSERT_GE(stream.LastHotContract(), 0);
+  const auto counts = w.PerContractCounts();
+  // The hot contract absorbs well above the Zipf-head share.
+  EXPECT_GT(counts[static_cast<size_t>(stream.LastHotContract())], 600u);
+}
+
+TEST(AdversarialWorkloadTest, ReturningSendersCallOnlyTheirHomeContract) {
+  // The order-invariance contract: within one epoch, every pool sender
+  // calls exactly one contract — its (possibly freshly switched) home —
+  // with strictly increasing nonces.
+  AdversarialWorkloadConfig config;
+  config.base.num_transactions = 600;
+  config.returning_fraction = 0.5;
+  config.contract_switch_probability = 0.5;
+  AdversarialWorkloadStream stream(config, 21);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const Workload w = stream.NextEpoch();
+    std::map<Address, std::set<Address>> called;
+    std::map<Address, uint64_t> last_nonce;
+    const std::set<Address> pool(stream.ReturningSenders().begin(),
+                                 stream.ReturningSenders().end());
+    size_t pool_txs = 0;
+    for (const Transaction& tx : w.transactions) {
+      if (pool.count(tx.sender) == 0) continue;
+      ++pool_txs;
+      called[tx.sender].insert(tx.recipient);
+      auto it = last_nonce.find(tx.sender);
+      if (it != last_nonce.end()) {
+        EXPECT_GT(tx.nonce, it->second);
+      }
+      last_nonce[tx.sender] = tx.nonce;
+    }
+    EXPECT_GT(pool_txs, 100u);
+    for (const auto& [sender, contracts] : called) {
+      EXPECT_EQ(contracts.size(), 1u)
+          << "pool sender touched two contracts within one epoch";
+    }
+  }
+}
+
+TEST(AdversarialWorkloadTest, FlashEpochsCarryInflatedFees) {
+  AdversarialWorkloadConfig config;
+  config.base.num_transactions = 2000;
+  config.base.fee_model = FeeModel::kEqual;
+  config.base.fee_equal = 10;
+  config.flash_period = 2;
+  config.fee_attack_fraction = 0.2;
+  config.fee_attack_multiplier = 8.0;
+  AdversarialWorkloadStream stream(config, 33);
+  const Workload calm = stream.NextEpoch();   // epoch 1: no flash
+  const Workload flash = stream.NextEpoch();  // epoch 2: flash
+  ASSERT_FALSE(stream.EpochsGenerated() != 2 || !stream.LastEpochWasFlash());
+  auto inflated = [](const Workload& w) {
+    size_t n = 0;
+    for (const auto& tx : w.transactions) {
+      if (tx.fee > 10) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(inflated(calm), 0u);
+  const size_t hits = inflated(flash);
+  EXPECT_GT(hits, 250u);
+  EXPECT_LT(hits, 550u);
+  for (const auto& tx : flash.transactions) {
+    if (tx.fee > 10) {
+      EXPECT_EQ(tx.fee, 80u);
+    }
   }
 }
 

@@ -126,6 +126,17 @@ constexpr const char* kRequiredRoots[] = {
     "RunOneTimeMerge",
     "RunIterativeMerge",
     "RunRandomizedMerge",
+    // Churn and migration byte streams (DESIGN.md §12): epoch records,
+    // account handoffs, and migration plans are consensus-compared
+    // byte-for-byte across miners.
+    "EncodeEpochRecord",
+    "DecodeEpochRecord",
+    "EncodeAccountState",
+    "DecodeAccountState",
+    "EncodeHandoffRecord",
+    "DecodeHandoffRecord",
+    "EncodeMigrationPlan",
+    "DecodeMigrationPlan",
 };
 
 constexpr char kRootAnnotation[] = "flowlint: deterministic-root";
