@@ -246,14 +246,14 @@ void BenchBlockBuild(size_t accounts, std::vector<ScenarioResult>* out) {
 
   // Identity gate: the journaled build must commit to the same root as
   // the copy-everything build.
-  const Block block = ledger.BuildBlock(miner, txs, /*timestamp=*/1);
-  if (block.transactions.size() != txs.size() ||
-      block.header.state_root != OldStyleBuild(ledger, miner, txs)) {
+  Result<Block> built = ledger.BuildBlock(miner, txs, /*timestamp=*/1);
+  if (!built.ok() || built->transactions.size() != txs.size() ||
+      built->header.state_root != OldStyleBuild(ledger, miner, txs)) {
     IdentityFailure("block_build", accounts);
   }
 
   const double new_ops = MeasureOpsPerSec([&] {
-    return ledger.BuildBlock(miner, txs, 1).header.state_root.Prefix64();
+    return ledger.BuildBlock(miner, txs, 1)->header.state_root.Prefix64();
   });
   const double old_ops = MeasureOpsPerSec(
       [&] { return OldStyleBuild(ledger, miner, txs).Prefix64(); });

@@ -138,6 +138,15 @@ echo "==== bench_churn_recovery (handoff verification gate) ===="
 (cd "$prefix-release" && ./bench/bench_churn_recovery)
 echo "artifact: $prefix-release/BENCH_churn.json"
 
+# Parallel in-block execution bench. Also a correctness gate: it aborts
+# unless the lane-scheduled parallel build is byte-identical to the
+# serial build in every (conflict density, threads) cell (DESIGN.md
+# §13). Speedup > 1x needs multi-core hardware; the JSON records
+# hardware_concurrency. Artifact: BENCH_exec.json.
+echo "==== bench_exec_parallel (serial/parallel identity gate) ===="
+(cd "$prefix-release" && ./bench/bench_exec_parallel)
+echo "artifact: $prefix-release/BENCH_exec.json"
+
 print_lint_summary "$prefix-release"
 
 echo "All checks passed."

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <set>
 
+#include "chain/parallel_exec.h"
+
 namespace shardchain {
 
 namespace {
@@ -139,8 +141,9 @@ Result<Hash256> Ledger::Append(const Block& block) {
 }
 
 // flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
-Block Ledger::BuildBlock(const Address& miner, std::vector<Transaction> txs,
-                         uint64_t timestamp) const {
+Result<Block> Ledger::BuildBlock(const Address& miner,
+                                 std::vector<Transaction> txs,
+                                 uint64_t timestamp) const {
   const Node& tip = nodes_.at(tip_hash_);
   Block block;
   block.header.parent_hash = tip_hash_;
@@ -149,26 +152,38 @@ Block Ledger::BuildBlock(const Address& miner, std::vector<Transaction> txs,
   block.header.miner = miner;
   block.header.timestamp = timestamp;
 
-  // Greedily include executable transactions up to the block limit.
-  // Each candidate runs against a journaled revert point — committed
-  // if it executes, rolled back if not — so trying a transaction costs
-  // O(accounts it touches), not a copy of the whole state.
-  StateDB scratch = tip.post_state;
-  ChainConfig no_reward = config_;
-  no_reward.block_reward = 0;
-  for (Transaction& tx : txs) {
-    if (block.transactions.size() >= config_.max_txs_per_block) break;
-    const size_t trial = scratch.Snapshot();
-    const std::vector<Transaction> single{tx};
-    if (ExecuteTransactions(single, miner, no_reward, &scratch).ok()) {
-      Status committed = scratch.Commit(trial);
-      assert(committed.ok());
-      (void)committed;
-      block.transactions.push_back(std::move(tx));
-    } else {
-      Status reverted = scratch.RevertTo(trial);
-      assert(reverted.ok());
-      (void)reverted;
+  StateDB scratch;
+  if (exec_pool_ != nullptr) {
+    // Conflict-aware parallel packing: non-conflicting candidates run
+    // concurrently on lanes and merge deterministically; inclusion and
+    // state are bitwise identical to the serial loop below.
+    std::vector<uint8_t> included;
+    SHARDCHAIN_ASSIGN_OR_RETURN(
+        scratch, ExecuteCandidatesParallel(
+                     tip.post_state, txs, miner, config_,
+                     config_.max_txs_per_block, exec_pool_, &included,
+                     /*stats=*/nullptr));
+    for (size_t i = 0; i < txs.size(); ++i) {
+      if (included[i] != 0) block.transactions.push_back(std::move(txs[i]));
+    }
+  } else {
+    // Greedily include executable transactions up to the block limit.
+    // Each candidate runs against a journaled revert point — committed
+    // if it executes, rolled back if not — so trying a transaction
+    // costs O(accounts it touches), not a copy of the whole state.
+    scratch = tip.post_state;
+    ChainConfig no_reward = config_;
+    no_reward.block_reward = 0;
+    for (Transaction& tx : txs) {
+      if (block.transactions.size() >= config_.max_txs_per_block) break;
+      const size_t trial = scratch.Snapshot();
+      const std::vector<Transaction> single{tx};
+      if (ExecuteTransactions(single, miner, no_reward, &scratch).ok()) {
+        SHARDCHAIN_RETURN_IF_ERROR(scratch.Commit(trial));
+        block.transactions.push_back(std::move(tx));
+      } else {
+        SHARDCHAIN_RETURN_IF_ERROR(scratch.RevertTo(trial));
+      }
     }
   }
   scratch.Mint(miner, config_.block_reward);
@@ -240,9 +255,7 @@ std::vector<Address> Ledger::TouchedAddresses() const {
 
 Status Ledger::ImportAccount(const Address& addr, const Account& account) {
   Node& tip = nodes_.at(tip_hash_);
-  Account& slot = tip.post_state.GetOrCreate(addr);
-  slot = account;
-  slot.MarkDigestDirty();
+  tip.post_state.ApplyAccount(addr, account);
   // The tip post-state changed under any cached built block.
   last_built_.reset();
   return Status::OK();

@@ -16,6 +16,8 @@
 
 namespace shardchain {
 
+class ThreadPool;
+
 /// \brief Chain-level parameters.
 struct ChainConfig {
   Amount block_reward = 2'000'000'000;  ///< Paid per block, empty or not.
@@ -63,14 +65,27 @@ class Ledger {
   /// Convenience: builds a valid block on the current tip from `txs`
   /// (truncated to max_txs_per_block), executing them to fill in the
   /// roots. Transactions that fail execution are skipped, mirroring a
-  /// miner dropping invalid txs while packing. Does not append.
+  /// miner dropping invalid txs while packing. Does not append. Fails
+  /// only on internal invariant violations (snapshot bracket errors,
+  /// a journal escaping its derived footprint) — never on individual
+  /// invalid candidates.
   ///
-  /// Candidates execute against a journaled revert point on one shared
-  /// scratch state (no per-transaction StateDB copy), and the executed
+  /// With no exec pool installed, candidates execute serially against a
+  /// journaled revert point on one shared scratch state (no
+  /// per-transaction StateDB copy). With SetExecPool, non-conflicting
+  /// candidates execute concurrently on conflict-graph lanes against
+  /// forked COW views and merge deterministically
+  /// (chain/parallel_exec.h) — the block bytes, inclusion decisions,
+  /// and state root are bitwise identical either way. The executed
   /// post-state is retained so Append of the freshly built block skips
   /// re-execution and the second StateRoot() derivation.
-  Block BuildBlock(const Address& miner, std::vector<Transaction> txs,
-                   uint64_t timestamp) const;
+  Result<Block> BuildBlock(const Address& miner, std::vector<Transaction> txs,
+                           uint64_t timestamp) const;
+
+  /// Installs the thread pool BuildBlock uses for conflict-aware
+  /// parallel candidate execution (nullptr = serial greedy loop).
+  /// Never consensus-visible.
+  void SetExecPool(ThreadPool* pool) { exec_pool_ = pool; }
 
   bool Contains(const Hash256& block_hash) const;
   const Block* Find(const Hash256& block_hash) const;
@@ -130,6 +145,7 @@ class Ledger {
   /// change of the const BuildBlock.
   mutable std::optional<std::pair<Hash256, StateDB>> last_built_;
 
+  ThreadPool* exec_pool_ = nullptr;
   ShardId shard_id_;
   ChainConfig config_;
   Hash256 genesis_hash_;

@@ -1,0 +1,370 @@
+#include "chain/parallel_exec.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "contract/analyzer.h"
+#include "contract/registry.h"
+#include "parallel/parallel.h"
+
+namespace shardchain {
+
+namespace {
+
+/// Cap on the number of forked views per lane. The chunk decomposition
+/// is a function of the lane size and this constant only (§9 rule 1),
+/// so the fork count — and every byte downstream — is thread-count
+/// independent.
+constexpr size_t kMaxChunksPerLane = 16;
+
+/// One executed candidate's contribution, extracted from the fork's
+/// journal: absolute post-images of every written account (the account
+/// modification log) plus the fee credited to the miner as an additive
+/// delta. Replaying `mods` then minting `fee` in canonical candidate
+/// order reproduces the serial post-state exactly.
+struct TxEffect {
+  bool ok = false;
+  std::vector<std::pair<Address, Account>> mods;
+  Amount fee = 0;
+};
+
+/// Executes lane entries [begin, end) of `lane` against one fork of
+/// `lane_base`, recording each success's modification log into
+/// `effects` (disjoint slots — §9 rule 2). The fork rolls back to the
+/// lane base after every trial, so each transaction in the chunk sees
+/// exactly the merged state of all earlier lanes, never its chunk
+/// neighbours.
+Status ExecuteLaneChunk(const std::vector<Transaction>& candidates,
+                        const std::vector<uint32_t>& lane, size_t begin,
+                        size_t end, const Address& miner,
+                        const ChainConfig& no_reward, const StateDB& lane_base,
+                        const std::vector<TxFootprint>& footprints,
+                        std::vector<TxEffect>* effects) {
+  StateDB fork = lane_base;  // O(1) trie share; the base was pre-flushed.
+  for (size_t k = begin; k < end; ++k) {
+    const uint32_t idx = lane[k];
+    const Transaction& tx = candidates[idx];
+    TxEffect& eff = (*effects)[idx];
+    // The bracket reverts on both paths by design: the success effects
+    // live on as the extracted modification log, and the fork must
+    // return to the lane base before the next trial in this chunk.
+    // parlint:allow(unbalanced-snapshot): revert-only bracket, effects extracted from the journal
+    const size_t trial = fork.Snapshot();
+    const std::vector<Transaction> single{tx};
+    const bool executed =
+        Ledger::ExecuteTransactions(single, miner, no_reward, &fork).ok();
+    if (executed) {
+      std::vector<Address> touched;
+      SHARDCHAIN_ASSIGN_OR_RETURN(touched, fork.TouchedSince(trial));
+      const TxFootprint& fp = footprints[idx];
+      eff.mods.reserve(touched.size());
+      for (const Address& addr : touched) {
+        // The miner credit is Transfer'd inside ExecuteTransactions but
+        // merges as an additive fee delta, not a post-image.
+        if (addr == miner) continue;
+        if (!std::binary_search(fp.writes.begin(), fp.writes.end(), addr)) {
+          return Status::Internal(
+              "execution journal escaped the derived footprint: account " +
+              addr.ToHex());
+        }
+        const Account* post = fork.Find(addr);
+        if (post == nullptr) {
+          // Execution never erases accounts, so every journaled address
+          // must have a live post-image.
+          return Status::Internal("journaled account lost its post-image");
+        }
+        eff.mods.emplace_back(addr, *post);
+      }
+      eff.fee = tx.fee;
+      eff.ok = true;
+    }
+    SHARDCHAIN_RETURN_IF_ERROR(fork.RevertTo(trial));
+  }
+  return Status::OK();
+}
+
+/// Replays one effect onto `state`: post-images first, then the fee
+/// delta. Mint runs even for fee 0 so the miner account springs into
+/// existence exactly when the serial loop would have created it.
+void MergeEffect(const TxEffect& eff, const Address& miner, StateDB* state) {
+  for (const auto& [addr, account] : eff.mods) {
+    state->ApplyAccount(addr, account);
+  }
+  state->Mint(miner, eff.fee);
+}
+
+}  // namespace
+
+TxFootprint DeriveFootprint(const Transaction& tx, const StateDB& pre_state,
+                            const Address& miner) {
+  TxFootprint fp;
+  std::set<Address> reads(tx.input_accounts.begin(), tx.input_accounts.end());
+  std::set<Address> writes;
+  writes.insert(tx.sender);
+  switch (tx.kind) {
+    case TxKind::kDirectTransfer:
+      writes.insert(tx.recipient);
+      break;
+    case TxKind::kContractDeploy:
+      // The deployed address hashes the sender's nonce *at execution
+      // time*, which depends on every earlier in-block transaction of
+      // that sender — unresolvable before scheduling.
+      return fp;
+    case TxKind::kContractCall: {
+      Result<ContractProgram> program =
+          ContractRegistry::Load(pre_state, tx.recipient);
+      // Target absent (or undecodable) in the pre-state: the call could
+      // only succeed after an in-block deploy, so serialize it.
+      if (!program.ok()) return fp;
+      std::optional<PartyFootprint> parties = AnalyzePartyFootprint(*program);
+      if (!parties.has_value()) return fp;
+      writes.insert(tx.recipient);
+      if (parties->all_parties) {
+        for (const Address& party : program->parties) writes.insert(party);
+      } else {
+        for (uint8_t index : parties->party_indices) {
+          if (index < program->parties.size()) {
+            reads.insert(program->parties[index]);
+          }
+        }
+      }
+      break;
+    }
+  }
+  // The miner account accretes a fee from every merged transaction, so
+  // any transaction reading or writing it must see the fully-merged
+  // balance: serialize.
+  if (writes.count(miner) > 0 || reads.count(miner) > 0) return fp;
+  for (const Address& addr : writes) reads.erase(addr);
+  fp.resolvable = true;
+  fp.reads.assign(reads.begin(), reads.end());
+  fp.writes.assign(writes.begin(), writes.end());
+  return fp;
+}
+
+LaneSchedule ScheduleLanes(const std::vector<TxFootprint>& footprints) {
+  LaneSchedule schedule;
+  const size_t n = footprints.size();
+  schedule.lane_of.resize(n, 0);
+  schedule.serialized.assign(n, 0);
+  size_t num_lanes = 0;
+  // Deepest lane so far writing / reading each address. std::map keeps
+  // this deterministic by construction; it is only probed, never
+  // iterated.
+  std::map<Address, uint32_t> last_write_lane;
+  std::map<Address, uint32_t> last_read_lane;
+  // Minimum lane for the next candidate; raised past every serial
+  // barrier so unresolvable transactions order against everything.
+  uint32_t floor = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TxFootprint& fp = footprints[i];
+    if (!fp.resolvable) {
+      // Fresh lane above everything scheduled so far; everything after
+      // lands strictly above it.
+      const uint32_t lane = static_cast<uint32_t>(num_lanes);
+      schedule.lane_of[i] = lane;
+      schedule.serialized[i] = 1;
+      num_lanes = lane + 1;
+      floor = lane + 1;
+      continue;
+    }
+    uint32_t lane = floor;
+    for (const Address& addr : fp.writes) {
+      auto w = last_write_lane.find(addr);
+      if (w != last_write_lane.end()) lane = std::max(lane, w->second + 1);
+      auto r = last_read_lane.find(addr);
+      if (r != last_read_lane.end()) lane = std::max(lane, r->second + 1);
+    }
+    for (const Address& addr : fp.reads) {
+      auto w = last_write_lane.find(addr);
+      if (w != last_write_lane.end()) lane = std::max(lane, w->second + 1);
+    }
+    schedule.lane_of[i] = lane;
+    num_lanes = std::max(num_lanes, static_cast<size_t>(lane) + 1);
+    for (const Address& addr : fp.writes) {
+      auto [it, inserted] = last_write_lane.try_emplace(addr, lane);
+      if (!inserted) it->second = std::max(it->second, lane);
+    }
+    for (const Address& addr : fp.reads) {
+      auto [it, inserted] = last_read_lane.try_emplace(addr, lane);
+      if (!inserted) it->second = std::max(it->second, lane);
+    }
+  }
+  schedule.lanes.resize(num_lanes);
+  for (size_t i = 0; i < n; ++i) {
+    schedule.lanes[schedule.lane_of[i]].push_back(static_cast<uint32_t>(i));
+  }
+  return schedule;
+}
+
+Result<StateDB> ExecuteCandidatesParallel(
+    const StateDB& pre_state, const std::vector<Transaction>& candidates,
+    const Address& miner, const ChainConfig& config, size_t max_include,
+    ThreadPool* pool, std::vector<uint8_t>* included,
+    ParallelExecStats* stats) {
+  const size_t n = candidates.size();
+  std::vector<TxFootprint> footprints;
+  footprints.reserve(n);
+  for (const Transaction& tx : candidates) {
+    footprints.push_back(DeriveFootprint(tx, pre_state, miner));
+  }
+  const LaneSchedule schedule = ScheduleLanes(footprints);
+
+  ChainConfig no_reward = config;
+  no_reward.block_reward = 0;
+  StateDB working = pre_state;
+  std::vector<TxEffect> effects(n);
+
+  for (const std::vector<uint32_t>& lane : schedule.lanes) {
+    if (lane.size() == 1 && schedule.serialized[lane[0]] != 0) {
+      // Serial barrier: execute directly on the merged state, exactly
+      // like the serial greedy loop's trial bracket. Its lane sits
+      // above every earlier candidate's, so `working` holds precisely
+      // the effects of the successful candidates before it.
+      const uint32_t idx = lane[0];
+      const size_t trial = working.Snapshot();
+      const std::vector<Transaction> single{candidates[idx]};
+      if (Ledger::ExecuteTransactions(single, miner, no_reward, &working)
+              .ok()) {
+        // Record the modification log (miner post-image included — the
+        // fee is already folded in) for the overflow rebuild below.
+        std::vector<Address> touched;
+        SHARDCHAIN_ASSIGN_OR_RETURN(touched, working.TouchedSince(trial));
+        TxEffect& eff = effects[idx];
+        eff.mods.reserve(touched.size());
+        for (const Address& addr : touched) {
+          const Account* post = working.Find(addr);
+          if (post == nullptr) {
+            return Status::Internal("journaled account lost its post-image");
+          }
+          eff.mods.emplace_back(addr, *post);
+        }
+        eff.fee = 0;
+        eff.ok = true;
+        SHARDCHAIN_RETURN_IF_ERROR(working.Commit(trial));
+      } else {
+        SHARDCHAIN_RETURN_IF_ERROR(working.RevertTo(trial));
+      }
+      continue;
+    }
+
+    const size_t m = lane.size();
+    const size_t grain = (m + kMaxChunksPerLane - 1) / kMaxChunksPerLane;
+    if (pool == nullptr || pool->thread_count() <= 1 ||
+        NumChunks(m, grain) <= 1 || ThreadPool::InParallelRegion()) {
+      // The lane would execute serially anyway (ParallelChunks' own
+      // fallback conditions), so skip the per-chunk forks and run each
+      // trial directly on `working`. Byte-identical to the fork path:
+      // a lane member's actual reads and writes stay inside its
+      // footprint (DeriveFootprint covers every account the VM and the
+      // transfer path can touch), and the lane invariant guarantees no
+      // same-lane predecessor wrote any of those accounts, so seeing a
+      // neighbour's committed effects equals seeing the lane base.
+      for (const uint32_t idx : lane) {
+        const Transaction& tx = candidates[idx];
+        TxEffect& eff = effects[idx];
+        const size_t trial = working.Snapshot();
+        const std::vector<Transaction> single{tx};
+        if (Ledger::ExecuteTransactions(single, miner, no_reward, &working)
+                .ok()) {
+          std::vector<Address> touched;
+          SHARDCHAIN_ASSIGN_OR_RETURN(touched, working.TouchedSince(trial));
+          const TxFootprint& fp = footprints[idx];
+          eff.mods.reserve(touched.size());
+          for (const Address& addr : touched) {
+            // Fork-style effect log: the miner credit stays an additive
+            // fee delta so the overflow rebuild below can replay these
+            // logs in canonical order even though lane order diverges
+            // from it.
+            if (addr == miner) continue;
+            if (!std::binary_search(fp.writes.begin(), fp.writes.end(),
+                                    addr)) {
+              return Status::Internal(
+                  "execution journal escaped the derived footprint: "
+                  "account " +
+                  addr.ToHex());
+            }
+            const Account* post = working.Find(addr);
+            if (post == nullptr) {
+              return Status::Internal(
+                  "journaled account lost its post-image");
+            }
+            eff.mods.emplace_back(addr, *post);
+          }
+          eff.fee = tx.fee;
+          eff.ok = true;
+          SHARDCHAIN_RETURN_IF_ERROR(working.Commit(trial));
+        } else {
+          SHARDCHAIN_RETURN_IF_ERROR(working.RevertTo(trial));
+        }
+      }
+      continue;
+    }
+
+    // Flush pending writes into the shared trie once, serially, so the
+    // concurrent per-chunk forks below copy a fully-hashed structure
+    // (pure reads on the shared nodes; PR 4's TSan guarantee).
+    (void)working.StateRoot();
+    std::vector<Status> chunk_status(NumChunks(m, grain), Status::OK());
+    ParallelChunks(
+        pool, m, grain,
+        [&candidates, &lane, &miner, &no_reward, &working, &footprints,
+         &effects, &chunk_status](size_t begin, size_t end, size_t c) {
+          // Each chunk snapshots and reverts its own private fork of
+          // `working`; the shared base is read-only inside the region
+          // (§9 rule 2).
+          // flowlint:allow(parallel-body-effects): snapshot brackets run on a chunk-private fork
+          chunk_status[c] = ExecuteLaneChunk(candidates, lane, begin, end,
+                                             miner, no_reward, working,
+                                             footprints, &effects);
+        });
+    for (const Status& st : chunk_status) {
+      SHARDCHAIN_RETURN_IF_ERROR(st);
+    }
+    // Merge this lane's modification logs left-to-right in canonical
+    // candidate order before the next lane executes against them.
+    for (const uint32_t idx : lane) {
+      if (effects[idx].ok) MergeEffect(effects[idx], miner, &working);
+    }
+  }
+
+  // Inclusion pass: the first `max_include` successes in canonical
+  // order, exactly the prefix the serial greedy loop packs.
+  included->assign(n, 0);
+  size_t included_count = 0;
+  size_t total_ok = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!effects[i].ok) continue;
+    ++total_ok;
+    if (included_count < max_include) {
+      (*included)[i] = 1;
+      ++included_count;
+    }
+  }
+  if (stats != nullptr) {
+    stats->num_lanes = schedule.lanes.size();
+    stats->max_lane_width = 0;
+    for (const auto& lane : schedule.lanes) {
+      stats->max_lane_width = std::max(stats->max_lane_width, lane.size());
+    }
+    stats->serialized_txs = 0;
+    for (uint8_t s : schedule.serialized) stats->serialized_txs += s;
+    stats->included_txs = included_count;
+  }
+
+  if (total_ok <= max_include) return working;
+  // The block overflowed: `working` carries effects of successful
+  // candidates beyond the cap, which the serial loop never executes.
+  // Rebuild from the pre-state replaying only the included logs (their
+  // post-images are base-independent across non-conflicting merges, so
+  // this equals the serial scratch exactly).
+  StateDB rebuilt = pre_state;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*included)[i] != 0) MergeEffect(effects[i], miner, &rebuilt);
+  }
+  return rebuilt;
+}
+
+}  // namespace shardchain

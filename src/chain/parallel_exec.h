@@ -1,0 +1,110 @@
+#ifndef SHARDCHAIN_CHAIN_PARALLEL_EXEC_H_
+#define SHARDCHAIN_CHAIN_PARALLEL_EXEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "chain/ledger.h"
+#include "common/result.h"
+#include "state/statedb.h"
+#include "types/address.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+
+class ThreadPool;
+
+/// \brief Conflict-aware parallel in-block execution (DESIGN.md §13).
+///
+/// The block builder derives a per-transaction account footprint, colors
+/// the conflict graph into execution *lanes* (an order-respecting greedy
+/// layering: a transaction's lane is strictly after every earlier
+/// transaction it conflicts with), executes each lane's transactions
+/// concurrently against forked copy-on-write StateDB views, and merges
+/// the recorded account modification logs left-to-right in canonical
+/// candidate order. Inclusion decisions, transaction order, the state
+/// root, and the block bytes are bitwise identical to the serial greedy
+/// loop at every thread count — the differential suite in
+/// tests/parallel_exec_equivalence_test.cc is the gate.
+
+/// Account read/write sets of one candidate transaction, derived
+/// statically from the transaction shape and (for contract calls) the
+/// callee's code in the pre-state (contract/analyzer.h footprints).
+///
+/// `resolvable == false` means the footprint could not be bounded —
+/// contract deploys (the deployed address depends on the in-block
+/// nonce), calls whose target program is absent or undecodable in the
+/// pre-state, and any transaction touching the miner account (whose
+/// balance accretes fees from every merged transaction). Unresolvable
+/// transactions execute as serial barriers: strictly after everything
+/// before them and strictly before everything after.
+struct TxFootprint {
+  bool resolvable = false;
+  /// Accounts the transaction may read without writing, sorted and
+  /// deduplicated, disjoint from `writes`.
+  std::vector<Address> reads;
+  /// Accounts the transaction may create or mutate (writes imply
+  /// reads), sorted and deduplicated. Never contains the miner — the
+  /// per-transaction fee credit merges as an additive delta instead.
+  std::vector<Address> writes;
+};
+
+/// Derives `tx`'s footprint against `pre_state` (the block's parent
+/// post-state; contract code is immutable once deployed, so the
+/// pre-state program is the program every execution sees).
+TxFootprint DeriveFootprint(const Transaction& tx, const StateDB& pre_state,
+                            const Address& miner);
+
+/// \brief Lane assignment for one candidate list.
+struct LaneSchedule {
+  /// Per-candidate lane index. Lanes execute in index order; merging a
+  /// lane's modification log happens before the next lane runs.
+  std::vector<uint32_t> lane_of;
+  /// Per-lane candidate indices, ascending within each lane.
+  std::vector<std::vector<uint32_t>> lanes;
+  /// Per-candidate flag: 1 when the footprint was unresolvable and the
+  /// transaction runs as a width-1 serial barrier.
+  std::vector<uint8_t> serialized;
+};
+
+/// Order-respecting greedy coloring: candidate i lands on the lowest
+/// lane strictly greater than the lane of every earlier candidate j
+/// with writes_j ∩ (reads_i ∪ writes_i) ≠ ∅ or writes_i ∩ reads_j ≠ ∅
+/// (the symmetric conflict test the fuzz suite asserts). Two
+/// transactions in the same lane therefore never share a written
+/// account, so they can execute against the same merged base in any
+/// order. Unresolvable candidates get a fresh lane above everything
+/// scheduled so far and raise the floor for everything after.
+LaneSchedule ScheduleLanes(const std::vector<TxFootprint>& footprints);
+
+/// Counters the builder reports for benches and tests.
+struct ParallelExecStats {
+  size_t num_lanes = 0;
+  /// Widest lane (1 on the all-conflict degenerate case: the schedule
+  /// has degraded to serial).
+  size_t max_lane_width = 0;
+  size_t serialized_txs = 0;
+  size_t included_txs = 0;
+};
+
+/// Executes `candidates` against a copy of `pre_state` under the lane
+/// schedule, filling `included` (one flag per candidate: 1 iff the
+/// transaction executes successfully and lands within the first
+/// `max_include` successes in canonical order) and returning the
+/// resulting post-state (included transactions' effects plus their fee
+/// credits; no block reward — the caller mints that). `pool == nullptr`
+/// runs the identical lane/chunk decomposition serially.
+///
+/// Fails only on internal invariant violations (a journal entry outside
+/// the derived footprint, a snapshot bracket error) — per-transaction
+/// execution failures are expressed as `included[i] == 0`, exactly like
+/// the serial greedy loop skipping an invalid transaction.
+Result<StateDB> ExecuteCandidatesParallel(
+    const StateDB& pre_state, const std::vector<Transaction>& candidates,
+    const Address& miner, const ChainConfig& config, size_t max_include,
+    ThreadPool* pool, std::vector<uint8_t>* included, ParallelExecStats* stats);
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_CHAIN_PARALLEL_EXEC_H_

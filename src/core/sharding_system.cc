@@ -276,6 +276,9 @@ ShardingSystem::ShardState& ShardingSystem::GetOrCreateShard(ShardId shard) {
     ShardState state;
     state.ledger =
         std::make_unique<Ledger>(shard, genesis_state_, config_.chain);
+    // Conflict-aware parallel block packing (DESIGN.md §13): block
+    // bytes stay identical to serial at any thread count.
+    state.ledger->SetExecPool(pool_.get());
     it = shards_.emplace(shard, std::move(state)).first;
   }
   return it->second;
@@ -339,9 +342,11 @@ Result<Hash256> ShardingSystem::MineBlock(NodeId miner) {
   const Address coinbase = Address::FromHash(record.id);
   std::vector<Transaction> candidates =
       state.pool.TopByFee(config_.chain.max_txs_per_block);
-  Block block = state.ledger->BuildBlock(
-      coinbase, std::move(candidates),
-      static_cast<uint64_t>(state.ledger->tip_number() + 1));
+  Block block;
+  SHARDCHAIN_ASSIGN_OR_RETURN(
+      block, state.ledger->BuildBlock(
+                 coinbase, std::move(candidates),
+                 static_cast<uint64_t>(state.ledger->tip_number() + 1)));
   Result<Hash256> appended = state.ledger->Append(block);
   if (!appended.ok()) return appended.status();
   state.pool.RemoveAll(block.transactions);

@@ -1,5 +1,7 @@
 #include "state/statedb.h"
 
+#include <algorithm>
+
 #include "crypto/sha256.h"
 #include "parallel/parallel.h"
 
@@ -156,6 +158,26 @@ Status StateDB::RevertTo(size_t snapshot_id) {
   }
   marks_.resize(snapshot_id);
   return Status::OK();
+}
+
+Result<std::vector<Address>> StateDB::TouchedSince(size_t snapshot_id) const {
+  if (snapshot_id >= marks_.size()) {
+    return Status::OutOfRange("unknown snapshot id");
+  }
+  std::vector<Address> out;
+  out.reserve(journal_.size() - marks_[snapshot_id]);
+  for (size_t i = marks_[snapshot_id]; i < journal_.size(); ++i) {
+    out.push_back(journal_[i].addr);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void StateDB::ApplyAccount(const Address& addr, const Account& account) {
+  Account& slot = GetOrCreate(addr);
+  slot = account;
+  slot.MarkDigestDirty();
 }
 
 Status StateDB::Commit(size_t snapshot_id) {

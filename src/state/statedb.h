@@ -101,6 +101,17 @@ class StateDB {
   /// Outstanding (live) snapshot count — 0 when no revert point exists.
   size_t SnapshotDepth() const { return marks_.size(); }
 
+  /// Addresses written (created, mutated, or erased) since `snapshot_id`
+  /// was taken, sorted and deduplicated — the account modification log
+  /// of that journal span. Reads are never journaled, so this is exactly
+  /// the write set. Fails when the snapshot is not live.
+  Result<std::vector<Address>> TouchedSince(size_t snapshot_id) const;
+
+  /// Overwrites `addr` with `account` wholesale (creating it if absent).
+  /// The merge-commit primitive for replaying account modification logs:
+  /// journaled and dirty-marked like any write.
+  void ApplyAccount(const Address& addr, const Account& account);
+
   /// Installs a thread pool used to recompute dirty account digests in
   /// batch (nullptr = serial). Never consensus-visible: digests are
   /// bit-exact at any thread count (DESIGN.md §9).

@@ -125,8 +125,10 @@ TEST_P(LedgerPropertyTest, RandomTrafficConservesSupplyModuloRewards) {
       }
       txs.push_back(tx);
     }
-    Block block = ledger.BuildBlock(Addr(0xaa), txs,
-                                    static_cast<uint64_t>(round + 1));
+    Result<Block> built =
+        ledger.BuildBlock(Addr(0xaa), txs, static_cast<uint64_t>(round + 1));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    Block block = *std::move(built);
     // Track nonces of what actually got in.
     for (const Transaction& tx : block.transactions) {
       nonces[tx.sender] = tx.nonce + 1;
