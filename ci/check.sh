@@ -147,6 +147,15 @@ echo "==== bench_exec_parallel (serial/parallel identity gate) ===="
 (cd "$prefix-release" && ./bench/bench_exec_parallel)
 echo "artifact: $prefix-release/BENCH_exec.json"
 
+# Million-tx mempool/pipeline bench. Also a correctness gate: it aborts
+# unless the pipelined drain is byte-identical to the serial mine loop
+# at every commit-queue depth — blocks, state root, residual pool —
+# asserted pre-timing at gate scale and re-checked over the full
+# 1M-transaction backlog (DESIGN.md §14). Artifact: BENCH_pipeline.json.
+echo "==== bench_pipeline (pipelined/serial identity gate) ===="
+(cd "$prefix-release" && ./bench/bench_pipeline)
+echo "artifact: $prefix-release/BENCH_pipeline.json"
+
 print_lint_summary "$prefix-release"
 
 echo "All checks passed."

@@ -140,6 +140,16 @@ Result<Hash256> Ledger::Append(const Block& block) {
   return hash;
 }
 
+Result<Hash256> Ledger::AppendExecuted(const Block& block,
+                                       StateDB post_state) {
+  // Seed the built-block cache and let Append take its fast path: all
+  // structural validation runs, execution and root derivation do not.
+  // (Overwriting an unrelated cached BuildBlock result is fine — that
+  // cache is best-effort.)
+  last_built_.emplace(block.header.Hash(), std::move(post_state));
+  return Append(block);
+}
+
 // flowlint: deterministic-root — consensus entry point (DESIGN.md §7)
 Result<Block> Ledger::BuildBlock(const Address& miner,
                                  std::vector<Transaction> txs,

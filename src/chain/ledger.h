@@ -62,6 +62,16 @@ class Ledger {
   /// the tip. Returns the block hash.
   Result<Hash256> Append(const Block& block);
 
+  /// Trusted-producer append (chain/pipeline.h): records `block` with
+  /// `post_state` as its executed post-state, skipping re-execution and
+  /// the second StateRoot() derivation. The caller vouches that
+  /// `post_state` is exactly the result of executing the block on its
+  /// parent state and that `block.header.state_root` was derived from
+  /// it — the same trust Append already extends to BuildBlock's cached
+  /// post-state. Structural validation (parent link, number, tx root,
+  /// shard id, PoW) still runs.
+  Result<Hash256> AppendExecuted(const Block& block, StateDB post_state);
+
   /// Convenience: builds a valid block on the current tip from `txs`
   /// (truncated to max_txs_per_block), executing them to fill in the
   /// roots. Transactions that fail execution are skipped, mirroring a

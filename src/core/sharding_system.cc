@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "chain/pipeline.h"
 #include "parallel/parallel.h"
 #include "types/codec.h"
 
@@ -352,6 +353,49 @@ Result<Hash256> ShardingSystem::MineBlock(NodeId miner) {
   state.pool.RemoveAll(block.transactions);
   net_.MulticastShard(miner, shard, MsgKind::kBlockGossip);
   return appended;
+}
+
+std::vector<Status> ShardingSystem::SubmitTransactionBatch(
+    const std::vector<Transaction>& txs) {
+  std::vector<Status> out;
+  out.reserve(txs.size());
+  for (const Transaction& tx : txs) {
+    Result<ShardId> routed = SubmitTransaction(tx);
+    out.push_back(routed.ok() ? Status::OK() : routed.status());
+  }
+  return out;
+}
+
+Result<std::vector<Hash256>> ShardingSystem::MineBlocksPipelined(NodeId miner,
+                                                                 size_t count) {
+  // Same authorization gauntlet as MineBlock — one check covers the
+  // whole run, since membership cannot change inside a synchronous call.
+  if (!epoch_active_) {
+    return Status::FailedPrecondition("no active epoch");
+  }
+  if (miner >= miners_.size()) {
+    return Status::InvalidArgument("unknown miner");
+  }
+  MinerRecord& record = miners_[miner];
+  if (record.status == MinerStatus::kPending) {
+    return Status::Unauthorized("miner enters at the next epoch boundary");
+  }
+  if (record.status == MinerStatus::kDeparted) {
+    return Status::Unauthorized("miner has departed");
+  }
+  const ShardId shard = ResolveShard(record.shard);
+  SHARDCHAIN_RETURN_IF_ERROR(VerifyShardMembership(
+      randomness_, record.id, fractions_, record.shard));
+
+  ShardState& state = GetOrCreateShard(shard);
+  const Address coinbase = Address::FromHash(record.id);
+  BlockPipeline pipeline(state.ledger.get(), &state.pool);
+  PipelineResult produced;
+  SHARDCHAIN_ASSIGN_OR_RETURN(produced, pipeline.Run(coinbase, count));
+  for (size_t i = 0; i < produced.hashes.size(); ++i) {
+    net_.MulticastShard(miner, shard, MsgKind::kBlockGossip);
+  }
+  return produced.hashes;
 }
 
 Result<Hash256> ShardingSystem::ReceiveBlockBytes(const Bytes& wire,

@@ -175,12 +175,28 @@ class ShardingSystem {
   /// authenticated handoff (DESIGN.md §12).
   Result<ShardId> SubmitTransaction(const Transaction& tx);
 
+  /// Batch admission: routes and pools each transaction exactly as
+  /// SubmitTransaction would, in vector order — element-wise identical
+  /// statuses (routing, migration, and capacity-eviction races resolve
+  /// the same way). The batch entry point for backlog feeders.
+  std::vector<Status> SubmitTransactionBatch(
+      const std::vector<Transaction>& txs);
+
   /// Lets `miner` pack pending transactions of her shard into a block,
   /// append it to the shard ledger, and gossip it. Fails with
   /// Unauthorized if the miner's claimed shard does not re-derive
   /// (the Sec. III-C check every receiver also performs) or the miner
   /// is not currently serving (pending joiner / departed).
   Result<Hash256> MineBlock(NodeId miner);
+
+  /// Pipelined mining (chain/pipeline.h): packs, commits, and gossips
+  /// `count` consecutive blocks for `miner`'s shard, overlapping each
+  /// block's Merkle commit with the next block's selection/execution.
+  /// Byte-identical to calling MineBlock `count` times — same blocks,
+  /// same pool evolution, same gossip — just faster wall-clock
+  /// (tests/pipeline_equivalence_test.cc). Returns the block hashes in
+  /// height order.
+  Result<std::vector<Hash256>> MineBlocksPipelined(NodeId miner, size_t count);
 
   /// Receive-side verification a miner applies to a foreign block
   /// (Sec. III-C): the packer must really belong to the block's

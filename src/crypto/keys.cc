@@ -1,6 +1,18 @@
 #include "crypto/keys.h"
 
+#include <cassert>
+
+#include "parallel/parallel.h"
+
 namespace shardchain {
+
+namespace {
+
+/// Each Verify hashes 8 KiB of preimages; a few per chunk amortizes
+/// dispatch (same grain reasoning as kVrfGrain in vrf.cc).
+constexpr size_t kVerifyGrain = 4;
+
+}  // namespace
 
 Hash256 PublicKey::Fingerprint() const {
   Sha256 h;
@@ -51,6 +63,19 @@ bool Verify(const PublicKey& pk, const Hash256& message_digest,
     if (expected != pk.hashes[i][b]) return false;
   }
   return true;
+}
+
+std::vector<uint8_t> VerifyBatch(const std::vector<const PublicKey*>& pks,
+                                 const std::vector<const Hash256*>& digests,
+                                 const std::vector<const Signature*>& sigs,
+                                 ThreadPool* pool) {
+  assert(pks.size() == digests.size() && pks.size() == sigs.size());
+  std::vector<uint8_t> ok(pks.size(), 0);
+  ParallelFor(pool, pks.size(), kVerifyGrain,
+              [&ok, &pks, &digests, &sigs](size_t i) {
+                ok[i] = Verify(*pks[i], *digests[i], *sigs[i]) ? 1 : 0;
+              });
+  return ok;
 }
 
 }  // namespace shardchain

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "crypto/sha256.h"
+#include "parallel/thread_pool.h"
 
 namespace shardchain {
 
@@ -87,6 +89,16 @@ class KeyPair {
 /// pk.hashes[i][b].
 bool Verify(const PublicKey& pk, const Hash256& message_digest,
             const Signature& sig);
+
+/// Batch verification (the VRF batch shape, extended to plain
+/// signatures for mempool admission): ok[i] = Verify(*pks[i],
+/// *digests[i], *sigs[i]). Independent per element — one forged
+/// signature flips only its own slot. Deterministic for any pool per
+/// the §9 contract (disjoint writes, no reduction).
+std::vector<uint8_t> VerifyBatch(const std::vector<const PublicKey*>& pks,
+                                 const std::vector<const Hash256*>& digests,
+                                 const std::vector<const Signature*>& sigs,
+                                 ThreadPool* pool);
 
 /// Extracts bit `i` (0 = most significant bit of byte 0) of a digest.
 inline int DigestBit(const Hash256& d, int i) {

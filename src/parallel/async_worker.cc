@@ -1,0 +1,81 @@
+#include "parallel/async_worker.h"
+
+#include <utility>
+
+namespace shardchain {
+
+AsyncWorker::AsyncWorker(size_t max_queued)
+    : max_queued_(max_queued == 0 ? 1 : max_queued) {
+  thread_ = std::thread([this] { WorkerLoop(); });
+}
+
+AsyncWorker::~AsyncWorker() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+void AsyncWorker::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return queue_.size() < max_queued_ || first_error_ != nullptr;
+    });
+    if (first_error_ != nullptr) return;  // Poisoned: surface at WaitIdle.
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void AsyncWorker::WaitIdle() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+size_t AsyncWorker::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + (in_flight_ ? 1 : 0);
+}
+
+void AsyncWorker::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ = true;
+    }
+    space_cv_.notify_one();
+    std::exception_ptr err;
+    try {
+      if (task) task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = false;
+      if (err && !first_error_) {
+        first_error_ = err;
+        queue_.clear();  // Poison: drop tasks that would act on stale state.
+      }
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+    // Poisoning freed the whole queue; wake any blocked producers.
+    if (err) space_cv_.notify_all();
+  }
+}
+
+}  // namespace shardchain

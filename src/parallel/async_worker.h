@@ -1,0 +1,81 @@
+#ifndef SHARDCHAIN_PARALLEL_ASYNC_WORKER_H_
+#define SHARDCHAIN_PARALLEL_ASYNC_WORKER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace shardchain {
+
+/// \brief A single background thread draining a bounded FIFO task
+/// queue (speedex `async_worker.h` shape, adapted to the §9 contract).
+///
+/// This is the pipelining primitive: ThreadPool is fork-join (the
+/// caller blocks inside every region), so overlapping pipeline *stages*
+/// — e.g. committing block N's state root while block N+1 executes —
+/// needs a worker the producer does NOT join per task. Determinism is
+/// preserved structurally:
+///
+///  - exactly one consumer thread, so queued tasks run in submission
+///    order (FIFO), sequentially — the worker is a serial stage;
+///  - the producer hands each task an explicit value snapshot (tasks
+///    are std::function closures; callers follow the explicit-capture
+///    rule, see tools/parlint);
+///  - `WaitIdle()` is the join barrier: it blocks until the queue is
+///    empty and the in-flight task finished, then rethrows the first
+///    task exception, so errors cannot be silently dropped.
+///
+/// The bounded queue (`max_queued`) provides backpressure: Submit
+/// blocks while the queue is full, which caps how far the producer
+/// stage may run ahead of the consumer stage.
+class AsyncWorker {
+ public:
+  /// Spawns the worker thread. `max_queued` >= 1 bounds the number of
+  /// tasks waiting (not counting the one executing).
+  explicit AsyncWorker(size_t max_queued = 4);
+
+  /// Drains the queue (WaitIdle), then joins the thread. Pending
+  /// task exceptions are swallowed at this point — call WaitIdle()
+  /// first if you need them.
+  ~AsyncWorker();
+
+  AsyncWorker(const AsyncWorker&) = delete;
+  AsyncWorker& operator=(const AsyncWorker&) = delete;
+
+  /// Enqueues `task`; blocks while the queue holds `max_queued` tasks.
+  /// After a task has thrown, Submit drops subsequent tasks (the error
+  /// surfaces at the next WaitIdle, and running more pipeline stages on
+  /// top of a failed one would act on stale state).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception thrown by a task (if any) and clears it.
+  void WaitIdle();
+
+  /// Queue depth + in-flight task (racy snapshot; for tests/bench).
+  size_t Pending() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queued_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals the worker: task ready/stop.
+  std::condition_variable space_cv_;  ///< Signals producers: queue has room.
+  std::condition_variable idle_cv_;   ///< Signals WaitIdle: all drained.
+  std::deque<std::function<void()>> queue_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  std::exception_ptr first_error_;  // Guarded by mu_.
+
+  std::thread thread_;
+};
+
+}  // namespace shardchain
+
+#endif  // SHARDCHAIN_PARALLEL_ASYNC_WORKER_H_

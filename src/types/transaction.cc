@@ -45,4 +45,11 @@ Bytes Transaction::Encode() const {
 
 Hash256 Transaction::Id() const { return Sha256Digest(Encode()); }
 
+Hash256 Transaction::SigningDigest() const {
+  Sha256 h;
+  h.Update("shardchain.txsig.v1");
+  h.Update(Encode());
+  return h.Finalize();
+}
+
 }  // namespace shardchain

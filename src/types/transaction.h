@@ -54,6 +54,12 @@ struct Transaction {
   /// SHA-256 of Encode(); the transaction id.
   Hash256 Id() const;
 
+  /// Domain-separated digest a sender's signature covers on admission
+  /// (distinct from Id() so a signature can never be replayed as an
+  /// identifier or vice versa). Batch-verified by the mempool through
+  /// crypto VerifyBatch (DESIGN.md §14).
+  Hash256 SigningDigest() const;
+
   /// Total number of accounts touched (sender + inputs); the paper's
   /// "number of inputs" for a k-input transaction.
   size_t InputCount() const { return 1 + input_accounts.size(); }

@@ -137,6 +137,11 @@ constexpr const char* kRequiredRoots[] = {
     "DecodeHandoffRecord",
     "EncodeMigrationPlan",
     "DecodeMigrationPlan",
+    // Mempool emission and pipelined block production (DESIGN.md §14):
+    // TopByFee feeds every miner's packing decision and the pipeline
+    // must emit serial-identical block bytes.
+    "TxPool::TopByFee",
+    "BlockPipeline::Run",
 };
 
 constexpr char kRootAnnotation[] = "flowlint: deterministic-root";
