@@ -145,7 +145,9 @@ DrainOutcome DrainSerial(const Workload& w, size_t rounds, bool keep_blocks) {
   TxPool pool(kPoolCapacity, kChunkCapacity);
   DrainOutcome out;
   const auto admit_start = Clock::now();
-  pool.AddBatch(w.txs);
+  for (const Status& s : pool.AddBatch(w.txs)) {
+    if (!s.ok()) std::abort();  // Synthetic workload must admit fully.
+  }
   out.admit_sec = Seconds(admit_start, Clock::now());
   Sha256 digest;
   const auto drain_start = Clock::now();
@@ -177,7 +179,9 @@ DrainOutcome DrainPipelined(const Workload& w, size_t rounds,
   TxPool pool(kPoolCapacity, kChunkCapacity);
   DrainOutcome out;
   const auto admit_start = Clock::now();
-  pool.AddBatch(w.txs);
+  for (const Status& s : pool.AddBatch(w.txs)) {
+    if (!s.ok()) std::abort();  // Synthetic workload must admit fully.
+  }
   out.admit_sec = Seconds(admit_start, Clock::now());
   BlockPipeline pipeline(&ledger, &pool, PipelineConfig{queue_depth});
   const auto drain_start = Clock::now();

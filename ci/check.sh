@@ -3,9 +3,9 @@
 # merging.
 #
 #   1. Release build with -Werror, full ctest (includes the detlint,
-#      parlint, and flowlint static scans), then a blocking lint step
-#      that re-runs all three linters with --check-waivers and writes
-#      JSON + SARIF reports into <dir>/lint-reports/.
+#      parlint, flowlint, and codeclint static scans), then a blocking
+#      lint step that re-runs all four linters with --check-waivers and
+#      writes JSON + SARIF reports into <dir>/lint-reports/.
 #   2. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
 #      full ctest (exercises the determinism harness under sanitizers)
 #      plus the same blocking lint step.
@@ -27,13 +27,15 @@ detlint_targets=(src/core src/consensus src/crypto src/types src/contract
                  src/net src/sim src/parallel src/state src/chain src/txpool
                  bench examples tools)
 
-# Blocking lint step: all three linters over their scan sets,
+# Blocking lint step: all four linters over their scan sets,
 # stale-waiver checking on, machine-readable JSON + SARIF reports under
 # <dir>/lint-reports/ so CI can upload them as artifacts (and feed the
 # SARIF to code-scanning UIs) even on success. Exit code 2 on any
 # unsuppressed finding fails the leg (set -e). flowlint additionally
 # diffs its computed taint summaries against the checked-in
-# tools/flowlint/summaries.json (rule taint-summary-drift).
+# tools/flowlint/summaries.json (rule taint-summary-drift), and
+# codeclint its per-record member manifests against
+# tools/codeclint/fields.json (rule field-manifest-drift).
 run_lint_step() {
   local dir="$1"
   mkdir -p "$dir/lint-reports"
@@ -53,35 +55,48 @@ run_lint_step() {
     --report "$dir/lint-reports/flowlint.json" \
     --sarif "$dir/lint-reports/flowlint.sarif" \
     src
-  echo "artifacts: $dir/lint-reports/{detlint,parlint,flowlint}.{json,sarif}"
+  echo "==== lint $dir (codeclint) ===="
+  "$dir/tools/codeclint" --root . --check-waivers \
+    --manifest tools/codeclint/fields.json \
+    --report "$dir/lint-reports/codeclint.json" \
+    --sarif "$dir/lint-reports/codeclint.sarif" \
+    src
+  echo "artifacts: $dir/lint-reports/{detlint,parlint,flowlint,codeclint}.{json,sarif}"
 }
 
 # Aggregated lint summary: per-tool finding counts, stale-waiver
-# counts, and taint-summary drift status, read back from the JSON
-# reports of one leg. Pure-python JSON parse — no extra dependencies.
+# counts, and taint-summary + field-manifest drift status, read back
+# from the JSON reports of one leg. Pure-python JSON parse — no extra
+# dependencies.
 print_lint_summary() {
   local dir="$1"
   echo "==== lint summary ($dir/lint-reports) ===="
   python3 - "$dir/lint-reports" <<'EOF'
 import json, os, sys
 reports = sys.argv[1]
-drift = "in sync"
+taint_drift = "in sync"
+manifest_drift = "in sync"
 rows = []
-for tool in ("detlint", "parlint", "flowlint"):
+for tool in ("detlint", "parlint", "flowlint", "codeclint"):
     path = os.path.join(reports, tool + ".json")
     with open(path) as f:
         report = json.load(f)
     findings = report["findings"]
     stale = sum(1 for f in findings if f["rule"] == "stale-waiver")
     if any(f["rule"] == "taint-summary-drift" for f in findings):
-        drift = "DRIFT"
+        taint_drift = "DRIFT"
+    if any(f["rule"] == "field-manifest-drift" for f in findings):
+        manifest_drift = "DRIFT"
     rows.append((tool, report["files_scanned"], len(findings),
                  report["unsuppressed"], stale))
 print(f"  {'tool':<10}{'files':>7}{'findings':>10}{'unsuppressed':>14}"
       f"{'stale-waivers':>15}")
 for tool, files, total, unsup, stale in rows:
     print(f"  {tool:<10}{files:>7}{total:>10}{unsup:>14}{stale:>15}")
-print(f"  taint summaries ({'tools/flowlint/summaries.json'}): {drift}")
+print(f"  taint summaries ({'tools/flowlint/summaries.json'}): "
+      f"{taint_drift}")
+print(f"  field manifests ({'tools/codeclint/fields.json'}): "
+      f"{manifest_drift}")
 EOF
 }
 

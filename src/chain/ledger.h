@@ -60,7 +60,7 @@ class Ledger {
   ///    (fees + block reward credited to the miner).
   /// On success the block joins the tree and fork choice may advance
   /// the tip. Returns the block hash.
-  Result<Hash256> Append(const Block& block);
+  [[nodiscard]] Result<Hash256> Append(const Block& block);
 
   /// Trusted-producer append (chain/pipeline.h): records `block` with
   /// `post_state` as its executed post-state, skipping re-execution and
@@ -70,7 +70,8 @@ class Ledger {
   /// it — the same trust Append already extends to BuildBlock's cached
   /// post-state. Structural validation (parent link, number, tx root,
   /// shard id, PoW) still runs.
-  Result<Hash256> AppendExecuted(const Block& block, StateDB post_state);
+  [[nodiscard]] Result<Hash256> AppendExecuted(const Block& block,
+                                              StateDB post_state);
 
   /// Convenience: builds a valid block on the current tip from `txs`
   /// (truncated to max_txs_per_block), executing them to fill in the
@@ -89,8 +90,9 @@ class Ledger {
   /// and state root are bitwise identical either way. The executed
   /// post-state is retained so Append of the freshly built block skips
   /// re-execution and the second StateRoot() derivation.
-  Result<Block> BuildBlock(const Address& miner, std::vector<Transaction> txs,
-                           uint64_t timestamp) const;
+  [[nodiscard]] Result<Block> BuildBlock(const Address& miner,
+                                         std::vector<Transaction> txs,
+                                         uint64_t timestamp) const;
 
   /// Installs the thread pool BuildBlock uses for conflict-aware
   /// parallel candidate execution (nullptr = serial greedy loop).
@@ -123,20 +125,21 @@ class Ledger {
   /// post-state with verified handed-off contents. Callers MUST have
   /// checked the handoff proof first (core/migration.h VerifyHandoff);
   /// the ledger only applies the state change.
-  Status ImportAccount(const Address& addr, const Account& account);
+  [[nodiscard]] Status ImportAccount(const Address& addr,
+                                     const Account& account);
 
   /// Cross-shard migration send side: removes `addr` from the tip
   /// post-state after its authoritative home moved to another shard.
-  Status EvictAccount(const Address& addr);
+  [[nodiscard]] Status EvictAccount(const Address& addr);
 
   /// Executes `txs` in order against `state`: nonce check, fee charge,
   /// value transfer / contract call / deploy. Stops with an error on
   /// the first invalid transaction (states are not rolled back by this
   /// helper; callers pass a scratch copy). Fees and `block_reward` go
   /// to `miner`.
-  static Status ExecuteTransactions(const std::vector<Transaction>& txs,
-                                    const Address& miner,
-                                    const ChainConfig& config, StateDB* state);
+  [[nodiscard]] static Status ExecuteTransactions(
+      const std::vector<Transaction>& txs, const Address& miner,
+      const ChainConfig& config, StateDB* state);
 
  private:
   struct Node {
@@ -145,7 +148,8 @@ class Ledger {
     uint64_t height = 0;
   };
 
-  Status Validate(const Block& block, const Node& parent) const;
+  [[nodiscard]] Status Validate(const Block& block,
+                                const Node& parent) const;
 
   /// Post-state of the most recent BuildBlock, keyed by its header
   /// hash (which commits to the parent, tx root, and state root).

@@ -100,7 +100,7 @@ struct ParallelExecStats {
 /// the derived footprint, a snapshot bracket error) — per-transaction
 /// execution failures are expressed as `included[i] == 0`, exactly like
 /// the serial greedy loop skipping an invalid transaction.
-Result<StateDB> ExecuteCandidatesParallel(
+[[nodiscard]] Result<StateDB> ExecuteCandidatesParallel(
     const StateDB& pre_state, const std::vector<Transaction>& candidates,
     const Address& miner, const ChainConfig& config, size_t max_include,
     ThreadPool* pool, std::vector<uint8_t>* included, ParallelExecStats* stats);

@@ -69,7 +69,8 @@ class BlockPipeline {
   /// (empty blocks included, matching ShardingSystem::MineBlock's
   /// timestamp = block-number convention). Included transactions leave
   /// the pool; failed candidates stay pooled, as in the serial loop.
-  Result<PipelineResult> Run(const Address& miner, size_t count);
+  [[nodiscard]] Result<PipelineResult> Run(const Address& miner,
+                                           size_t count);
 
  private:
   Ledger* ledger_;

@@ -26,7 +26,8 @@ Bytes Serialize(const StateDB& state);
 /// Parses a snapshot and verifies its StateRoot against
 /// `expected_root` (pass Hash256::Zero() to skip verification).
 /// Corrupted or tampered snapshots are rejected.
-Result<StateDB> Deserialize(const Bytes& wire, const Hash256& expected_root);
+[[nodiscard]] Result<StateDB> Deserialize(const Bytes& wire,
+                                          const Hash256& expected_root);
 
 /// Size in bytes a shard miner must download/store for `state` — the
 /// quantity the storage analysis (analysis/storage.h) reasons about.

@@ -34,10 +34,10 @@ class LegacyTxPool {
   /// FailedPrecondition if the pool is full of higher-ranked txs (fee
   /// desc, id asc — the same total order emission uses, so the
   /// retained set is independent of arrival order).
-  Status Add(const Transaction& tx);
+  [[nodiscard]] Status Add(const Transaction& tx);
 
   /// Removes a transaction by id; returns NotFound if absent.
-  Status Remove(const Hash256& id);
+  [[nodiscard]] Status Remove(const Hash256& id);
 
   /// Removes every transaction contained in `confirmed` (called when a
   /// block is accepted). Batched: sorts the resolved fee keys and

@@ -44,25 +44,26 @@ class TxPool {
   /// FailedPrecondition if the pool is full of higher-ranked txs (fee
   /// desc, id asc — the same total order emission uses, so the
   /// retained set is independent of arrival order).
-  Status Add(const Transaction& tx);
+  [[nodiscard]] Status Add(const Transaction& tx);
 
   /// Batch admission. Statuses are element-wise identical to calling
   /// `Add` sequentially in vector order (so capacity-eviction races
   /// inside one batch resolve exactly as the legacy pool would).
-  std::vector<Status> AddBatch(const std::vector<Transaction>& txs);
+  [[nodiscard]] std::vector<Status> AddBatch(
+      const std::vector<Transaction>& txs);
 
   /// Batch admission with signature verification: `sigs[i]` must be a
   /// signature by `pks[i]` over `txs[i].SigningDigest()`. Signatures
   /// are checked through crypto VerifyBatch (parallel when `pool` is
   /// non-null); a bad signature rejects only its own transaction with
   /// Unauthorized, the rest of the batch proceeds as in `AddBatch`.
-  std::vector<Status> AddSignedBatch(const std::vector<Transaction>& txs,
-                                     const std::vector<const PublicKey*>& pks,
-                                     const std::vector<const Signature*>& sigs,
-                                     ThreadPool* pool);
+  [[nodiscard]] std::vector<Status> AddSignedBatch(
+      const std::vector<Transaction>& txs,
+      const std::vector<const PublicKey*>& pks,
+      const std::vector<const Signature*>& sigs, ThreadPool* pool);
 
   /// Removes a transaction by id; returns NotFound if absent.
-  Status Remove(const Hash256& id);
+  [[nodiscard]] Status Remove(const Hash256& id);
 
   /// Removes every transaction contained in `confirmed` (called when a
   /// block is accepted). Batch path: mark each confirmed slot dead in

@@ -1,0 +1,156 @@
+// Dynamic twin of codeclint's digest-missing-field rule: flip each
+// encoded member of Transaction and BlockHeader one at a time and
+// assert every digest that claims to commit to the record actually
+// changes — Id(), SigningDigest(), and the raw Encode() bytes for
+// transactions; Hash() and Encode() for headers. A member a digest
+// ignores is a collision an adversary controls (signature
+// malleability for the signing digest, consensus split for the header
+// hash), so every mutator below must perturb every digest.
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "types/address.h"
+#include "types/block.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+namespace {
+
+Address Addr(uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+Hash256 FilledHash(uint8_t tag) {
+  Hash256 h;
+  h.bytes.fill(tag);
+  return h;
+}
+
+// A baseline with every member nonzero/nonempty, so a mutator that
+// accidentally writes the value already present cannot mask a missing
+// field.
+Transaction BaselineTx() {
+  Transaction tx;
+  tx.sender = Addr(1);
+  tx.recipient = Addr(2);
+  tx.kind = TxKind::kContractCall;
+  tx.value = 1000;
+  tx.fee = 7;
+  tx.gas_limit = 30000;
+  tx.nonce = 5;
+  tx.payload = {0xde, 0xad, 0xbe, 0xef};
+  tx.input_accounts = {Addr(3), Addr(4)};
+  return tx;
+}
+
+BlockHeader BaselineHeader() {
+  BlockHeader h;
+  h.parent_hash = FilledHash(0x11);
+  h.number = 42;
+  h.shard_id = 3;
+  h.miner = Addr(9);
+  h.tx_root = FilledHash(0x22);
+  h.state_root = FilledHash(0x33);
+  h.difficulty = 1000;
+  h.nonce = 77;
+  h.timestamp = 123456;
+  return h;
+}
+
+using TxMutator = std::pair<const char*, void (*)(Transaction&)>;
+
+const TxMutator kTxMutators[] = {
+    {"sender", [](Transaction& t) { t.sender = Addr(0xAA); }},
+    {"recipient", [](Transaction& t) { t.recipient = Addr(0xBB); }},
+    {"kind", [](Transaction& t) { t.kind = TxKind::kContractDeploy; }},
+    {"value", [](Transaction& t) { t.value = 2000; }},
+    {"fee", [](Transaction& t) { t.fee = 8; }},
+    {"gas_limit", [](Transaction& t) { t.gas_limit = 60000; }},
+    {"nonce", [](Transaction& t) { t.nonce = 6; }},
+    {"payload", [](Transaction& t) { t.payload = {0xca, 0xfe}; }},
+    {"payload_truncated", [](Transaction& t) { t.payload.pop_back(); }},
+    {"input_accounts",
+     [](Transaction& t) { t.input_accounts = {Addr(0xCC)}; }},
+    {"input_accounts_reordered",
+     [](Transaction& t) {
+       std::swap(t.input_accounts[0], t.input_accounts[1]);
+     }},
+};
+
+TEST(CodecMutationTest, EveryTransactionFieldPerturbsAllDigests) {
+  const Transaction base = BaselineTx();
+  const Hash256 base_id = base.Id();
+  const Hash256 base_signing = base.SigningDigest();
+  const Bytes base_bytes = base.Encode();
+  for (const auto& [name, mutate] : kTxMutators) {
+    Transaction tx = BaselineTx();
+    mutate(tx);
+    EXPECT_NE(tx.Encode(), base_bytes)
+        << "Encode() ignores mutated field: " << name;
+    EXPECT_NE(tx.Id(), base_id) << "Id() ignores mutated field: " << name;
+    EXPECT_NE(tx.SigningDigest(), base_signing)
+        << "SigningDigest() ignores mutated field: " << name;
+  }
+}
+
+// The signing digest is domain-separated from the id: equal inputs
+// must still produce distinct commitments under the two roots, or a
+// signature over one is replayable as the other.
+TEST(CodecMutationTest, SigningDigestIsDomainSeparatedFromId) {
+  const Transaction base = BaselineTx();
+  EXPECT_NE(base.Id(), base.SigningDigest());
+}
+
+using HeaderMutator = std::pair<const char*, void (*)(BlockHeader&)>;
+
+const HeaderMutator kHeaderMutators[] = {
+    {"parent_hash",
+     [](BlockHeader& h) { h.parent_hash = FilledHash(0x44); }},
+    {"number", [](BlockHeader& h) { h.number = 43; }},
+    {"shard_id", [](BlockHeader& h) { h.shard_id = 4; }},
+    {"miner", [](BlockHeader& h) { h.miner = Addr(0xDD); }},
+    {"tx_root", [](BlockHeader& h) { h.tx_root = FilledHash(0x55); }},
+    {"state_root",
+     [](BlockHeader& h) { h.state_root = FilledHash(0x66); }},
+    {"difficulty", [](BlockHeader& h) { h.difficulty = 2000; }},
+    {"nonce", [](BlockHeader& h) { h.nonce = 78; }},
+    {"timestamp", [](BlockHeader& h) { h.timestamp = 123457; }},
+};
+
+TEST(CodecMutationTest, EveryHeaderFieldPerturbsEncodingAndHash) {
+  const BlockHeader base = BaselineHeader();
+  const Hash256 base_hash = base.Hash();
+  const Bytes base_bytes = base.Encode();
+  for (const auto& [name, mutate] : kHeaderMutators) {
+    BlockHeader h = BaselineHeader();
+    mutate(h);
+    EXPECT_NE(h.Encode(), base_bytes)
+        << "Encode() ignores mutated field: " << name;
+    EXPECT_NE(h.Hash(), base_hash)
+        << "Hash() ignores mutated field: " << name;
+  }
+}
+
+// Single-bit flips in the encoded stream must also perturb the
+// digests — the digest commits to the bytes, not just to field-level
+// rewrites.
+TEST(CodecMutationTest, BitFlipInEncodingChangesHeaderHash) {
+  const BlockHeader base = BaselineHeader();
+  const Bytes bytes = base.Encode();
+  ASSERT_FALSE(bytes.empty());
+  for (size_t i = 0; i < bytes.size(); i += 13) {
+    Bytes flipped = bytes;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(Sha256Digest(flipped), Sha256Digest(bytes))
+        << "byte offset " << i;
+  }
+}
+
+}  // namespace
+}  // namespace shardchain

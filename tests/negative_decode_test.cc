@@ -1,0 +1,199 @@
+// Negative-decode coverage for every wire codec: a decoder handed a
+// truncated stream (every strict prefix) or a stream with trailing
+// garbage must return an error, never a partial or silently-extended
+// struct. Partial decodes are the "imprecise processing" failure class
+// — two shards disagreeing on where a record ends disagree on
+// everything after it.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/epoch.h"
+#include "core/merging_game.h"
+#include "core/migration.h"
+#include "core/selection_game.h"
+#include "core/unification.h"
+#include "core/unification_codec.h"
+#include "state/account.h"
+#include "types/address.h"
+#include "types/block.h"
+#include "types/codec.h"
+#include "types/transaction.h"
+
+namespace shardchain {
+namespace {
+
+using namespace shardchain::codec;  // NOLINT: exercise the public codecs.
+
+Address Addr(uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+Hash256 FilledHash(uint8_t tag) {
+  Hash256 h;
+  h.bytes.fill(tag);
+  return h;
+}
+
+// Every strict prefix must fail, and one extra byte after a valid
+// encoding must fail. `decode` adapts each codec's Result<T> to a
+// pass/fail signal.
+template <typename DecodeFn>
+void ExpectRejectsMutilatedStreams(const std::string& what,
+                                   const Bytes& encoded, DecodeFn decode) {
+  ASSERT_FALSE(encoded.empty()) << what;
+  ASSERT_TRUE(decode(encoded)) << what << ": valid encoding must decode";
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    const Bytes truncated(encoded.begin(), encoded.begin() + len);
+    EXPECT_FALSE(decode(truncated))
+        << what << ": truncation to " << len << " of " << encoded.size()
+        << " bytes must fail";
+  }
+  Bytes trailing = encoded;
+  trailing.push_back(0x5a);
+  EXPECT_FALSE(decode(trailing)) << what << ": trailing garbage must fail";
+}
+
+Transaction SampleTx() {
+  Transaction tx;
+  tx.sender = Addr(1);
+  tx.recipient = Addr(2);
+  tx.kind = TxKind::kContractCall;
+  tx.value = 1000;
+  tx.fee = 7;
+  tx.gas_limit = 30000;
+  tx.nonce = 5;
+  tx.payload = {0xde, 0xad};
+  tx.input_accounts = {Addr(3)};
+  return tx;
+}
+
+BlockHeader SampleHeader() {
+  BlockHeader h;
+  h.parent_hash = FilledHash(0x11);
+  h.number = 42;
+  h.shard_id = 3;
+  h.miner = Addr(9);
+  h.tx_root = FilledHash(0x22);
+  h.state_root = FilledHash(0x33);
+  h.difficulty = 1000;
+  h.nonce = 77;
+  h.timestamp = 123456;
+  return h;
+}
+
+TEST(NegativeDecodeTest, Transaction) {
+  ExpectRejectsMutilatedStreams(
+      "Transaction", EncodeTransaction(SampleTx()),
+      [](const Bytes& b) { return DecodeTransaction(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, Header) {
+  ExpectRejectsMutilatedStreams(
+      "BlockHeader", EncodeHeader(SampleHeader()),
+      [](const Bytes& b) { return DecodeHeader(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, Block) {
+  Block block;
+  block.header = SampleHeader();
+  block.transactions = {SampleTx()};
+  ExpectRejectsMutilatedStreams(
+      "Block", EncodeBlock(block),
+      [](const Bytes& b) { return DecodeBlock(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, UnifiedParameters) {
+  UnifiedParameters params;
+  params.randomness = FilledHash(0x44);
+  params.shard_sizes = {120, 80, 40};
+  params.tx_fees = {5, 3, 2, 1};
+  params.num_miners = 7;
+  ExpectRejectsMutilatedStreams(
+      "UnifiedParameters", EncodeUnifiedParameters(params),
+      [](const Bytes& b) { return DecodeUnifiedParameters(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, SelectionPlan) {
+  SelectionResult plan;
+  plan.assignment = {{0, 2}, {1}};
+  plan.improvement_moves = 3;
+  plan.converged = true;
+  ExpectRejectsMutilatedStreams(
+      "SelectionResult", EncodeSelectionPlan(plan),
+      [](const Bytes& b) { return DecodeSelectionPlan(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, MergePlan) {
+  IterativeMergeResult plan;
+  plan.new_shards = {{0, 1}, {2, 3}};
+  plan.leftover = {4};
+  plan.total_slots = 6;
+  ExpectRejectsMutilatedStreams(
+      "IterativeMergeResult", EncodeMergePlan(plan),
+      [](const Bytes& b) { return DecodeMergePlan(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, EpochRecord) {
+  EpochRecord record;
+  record.number = 9;
+  record.seed = FilledHash(0x55);
+  record.randomness = FilledHash(0x66);
+  record.leader_index = 2;
+  record.view = 1;
+  record.fallback = false;
+  record.fractions = {0.5, 0.25, 0.25};
+  ExpectRejectsMutilatedStreams(
+      "EpochRecord", EncodeEpochRecord(record),
+      [](const Bytes& b) { return DecodeEpochRecord(b).ok(); });
+}
+
+Account SampleAccount() {
+  Account account;
+  account.balance = 5000;
+  account.nonce = 3;
+  account.code = {0x01, 0x02};
+  account.storage[{0x01}] = {0xff};
+  return account;
+}
+
+TEST(NegativeDecodeTest, AccountState) {
+  ExpectRejectsMutilatedStreams(
+      "Account", EncodeAccountState(SampleAccount()),
+      [](const Bytes& b) { return DecodeAccountState(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, HandoffRecord) {
+  HandoffRecord record;
+  record.addr = Addr(7);
+  record.source = 1;
+  record.dest = 2;
+  record.source_root = FilledHash(0x77);
+  record.account = SampleAccount();
+  record.proof.push_back({Bytes{0x10, 0x20}});
+  ExpectRejectsMutilatedStreams(
+      "HandoffRecord", EncodeHandoffRecord(record),
+      [](const Bytes& b) { return DecodeHandoffRecord(b).ok(); });
+}
+
+TEST(NegativeDecodeTest, MigrationPlan) {
+  HandoffRecord record;
+  record.addr = Addr(7);
+  record.source = 1;
+  record.dest = 2;
+  record.source_root = FilledHash(0x77);
+  record.account = SampleAccount();
+  MigrationPlan plan;
+  plan.epoch = 4;
+  plan.handoffs = {record};
+  ExpectRejectsMutilatedStreams(
+      "MigrationPlan", EncodeMigrationPlan(plan),
+      [](const Bytes& b) { return DecodeMigrationPlan(b).ok(); });
+}
+
+}  // namespace
+}  // namespace shardchain

@@ -1,0 +1,28 @@
+// codeclint fixture: golden report pin. One codec-missing-field and
+// one encode-decode-drift finding whose JSON and SARIF renderings are
+// diffed byte-for-byte against golden_report.json / golden.sarif.
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+struct Stamp {
+  uint64_t epoch = 0;
+  uint64_t slot = 0;
+  uint64_t nonce = 0;
+
+  Bytes Encode() const;
+};
+
+Bytes Stamp::Encode() const {
+  Bytes out;
+  out.push_back(static_cast<unsigned char>(epoch));
+  out.push_back(static_cast<unsigned char>(slot));
+  return out;
+}
+
+Stamp DecodeStamp(const Bytes& data) {
+  Stamp s;
+  s.epoch = data.size() > 0 ? data[0] : 0;
+  return s;
+}

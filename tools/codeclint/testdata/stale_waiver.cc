@@ -1,0 +1,29 @@
+// codeclint fixture: clean code carrying a waiver that suppresses
+// nothing. The plain scan passes; --check-waivers must fail it with
+// stale-waiver.
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+struct Voucher {
+  // codeclint:allow(codec-missing-field): stale — amount IS encoded
+  uint64_t amount = 0;
+  uint64_t serial = 0;
+
+  Bytes Encode() const;
+};
+
+Bytes Voucher::Encode() const {
+  Bytes out;
+  out.push_back(static_cast<unsigned char>(amount));
+  out.push_back(static_cast<unsigned char>(serial));
+  return out;
+}
+
+Voucher DecodeVoucher(const Bytes& data) {
+  Voucher v;
+  v.amount = data.size() > 0 ? data[0] : 0;
+  v.serial = data.size() > 1 ? data[1] : 0;
+  return v;
+}

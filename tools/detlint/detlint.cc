@@ -349,11 +349,12 @@ constexpr char kMdPreamble[] =
     "The `lint_rules_md_in_sync` ctest diffs this file against the\n"
     "generators; regenerate with:\n"
     "\n"
-    "    build/tools/detlint  --rules-md >  tools/lint_rules.md\n"
-    "    build/tools/parlint  --rules-md >> tools/lint_rules.md\n"
-    "    build/tools/flowlint --rules-md >> tools/lint_rules.md\n"
+    "    build/tools/detlint   --rules-md >  tools/lint_rules.md\n"
+    "    build/tools/parlint   --rules-md >> tools/lint_rules.md\n"
+    "    build/tools/flowlint  --rules-md >> tools/lint_rules.md\n"
+    "    build/tools/codeclint --rules-md >> tools/lint_rules.md\n"
     "\n"
-    "All three linters share the liblint driver (`tools/liblint/`):\n"
+    "All four linters share the liblint driver (`tools/liblint/`):\n"
     "inline waivers are `// <tool>:allow(<rule>[,<rule>...]): reason`\n"
     "on the offending line or the line above, and `--check-waivers`\n"
     "reports any waiver that suppresses zero findings (DESIGN.md §11).\n"

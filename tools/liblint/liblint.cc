@@ -561,6 +561,406 @@ std::vector<CallSite> ExtractCallSites(const Source& src, size_t begin,
   return out;
 }
 
+// ------------------------- Record extraction ----------------------------
+
+namespace {
+
+// A record candidate before nesting qualification and deduplication.
+struct RawRecord {
+  std::string name;
+  std::string kind;  // "struct", "class", "enum".
+  size_t name_pos = 0;
+  size_t body_open = 0;
+  size_t body_close = 0;
+};
+
+// Collects every `class/struct/enum Name ... {` with a body. The scan
+// is per-keyword, so `enum class E {` is found by both the enum and
+// the class pass, and `template <class T> struct S {` yields a bogus
+// "T" candidate whose forward scan lands on S's body — both collapse
+// in the dedup below (same body_open: prefer the enum kind, then the
+// name closest to the brace).
+std::vector<RawRecord> CollectRawRecords(const std::string& code) {
+  std::vector<RawRecord> out;
+  for (const char* kw : {"enum", "class", "struct"}) {
+    const std::string key = kw;
+    size_t pos = 0;
+    while ((pos = code.find(key, pos)) != std::string::npos) {
+      if (!TokenAt(code, pos, key)) {
+        pos += key.size();
+        continue;
+      }
+      size_t i = SkipWsForward(code, pos + key.size());
+      if (key == "enum") {
+        // `enum class E` / `enum struct E`: the scoped-enum keyword.
+        for (const char* scoped : {"class", "struct"}) {
+          if (TokenAt(code, i, scoped)) {
+            i = SkipWsForward(code, i + std::string(scoped).size());
+            break;
+          }
+        }
+      }
+      size_t name_end = i;
+      while (name_end < code.size() && IsIdentChar(code[name_end])) {
+        ++name_end;
+      }
+      if (name_end == i) {  // Anonymous record: nothing to pair with.
+        pos += key.size();
+        continue;
+      }
+      const std::string name = code.substr(i, name_end - i);
+      // Body '{' before any ';' (otherwise: forward declaration or a
+      // `struct X* p;` style mention).
+      size_t j = name_end;
+      while (j < code.size() && code[j] != '{' && code[j] != ';') ++j;
+      if (j < code.size() && code[j] == '{') {
+        const size_t close = MatchBrace(code, j);
+        if (close != std::string::npos) {
+          out.push_back({name, key, i, j, close});
+        }
+      }
+      pos = name_end;
+    }
+  }
+  // Dedup by body: prefer enums (so `enum class E` is an enum, not a
+  // class), then the candidate whose name sits closest to the brace
+  // (so `template <class T> struct S` keeps S, not T).
+  std::sort(out.begin(), out.end(), [](const RawRecord& a,
+                                       const RawRecord& b) {
+    if (a.body_open != b.body_open) return a.body_open < b.body_open;
+    const bool ae = a.kind == "enum", be = b.kind == "enum";
+    if (ae != be) return ae;
+    return a.name_pos > b.name_pos;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const RawRecord& a, const RawRecord& b) {
+                          return a.body_open == b.body_open;
+                        }),
+            out.end());
+  return out;
+}
+
+bool IsCppKeywordName(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "const",   "constexpr", "static",  "mutable", "inline",  "virtual",
+      "struct",  "class",     "enum",    "union",   "operator", "return",
+      "void",    "true",      "false",   "default", "delete",  "this",
+      "public",  "private",   "protected"};
+  return kKeywords.count(s) > 0;
+}
+
+// Parses one member-declaration statement (code[begin, end), already
+// known to contain no function parameter list, method body, or nested
+// record). Appends a field when the statement reads `specifiers type
+// name [init]`.
+void ParseFieldStatement(const std::string& code, size_t begin, size_t end,
+                         bool in_private, std::vector<RecordField>* out) {
+  size_t b = SkipWsForward(code, begin);
+  if (b >= end) return;
+  // Leading declaration specifiers; `const` stays in the type text.
+  RecordField field;
+  field.is_private = in_private;
+  while (b < end) {
+    if (TokenAt(code, b, "static")) {
+      field.is_static = true;
+      b = SkipWsForward(code, b + 6);
+    } else if (TokenAt(code, b, "mutable")) {
+      field.is_mutable = true;
+      b = SkipWsForward(code, b + 7);
+    } else if (TokenAt(code, b, "inline")) {
+      b = SkipWsForward(code, b + 6);
+    } else if (TokenAt(code, b, "constexpr")) {
+      b = SkipWsForward(code, b + 9);
+    } else {
+      break;
+    }
+  }
+  static const char* kNotFields[] = {"using",  "typedef",  "friend",
+                                     "static_assert", "template", "public",
+                                     "private", "protected", "struct",
+                                     "class",  "enum",      "union"};
+  for (const char* kw : kNotFields) {
+    if (TokenAt(code, b, kw)) return;
+  }
+  // Find the declarator stop: the first depth-0 `=`, `{`, `[`, or
+  // single `:` (bit-field), else the statement end. Template argument
+  // lists are skipped by angle tracking (safe here: comparison
+  // operators only occur in initializers, which are past the stop).
+  size_t stop = end;
+  std::string stop_kind;
+  int angle = 0;
+  for (size_t i = b; i < end; ++i) {
+    const char c = code[i];
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (angle > 0) continue;
+    if (c == '=' || c == '{' || c == '[') {
+      stop = i;
+      stop_kind = c;
+      break;
+    }
+    if (c == ':' && (i + 1 >= end || code[i + 1] != ':') &&
+        (i == 0 || code[i - 1] != ':')) {
+      stop = i;
+      stop_kind = c;
+      break;
+    }
+  }
+  // The field name is the identifier directly before the stop.
+  size_t name_end = stop;
+  while (name_end > b &&
+         std::isspace(static_cast<unsigned char>(code[name_end - 1]))) {
+    --name_end;
+  }
+  size_t name_begin = name_end;
+  while (name_begin > b && IsIdentChar(code[name_begin - 1])) --name_begin;
+  if (name_begin == name_end) return;
+  const std::string name = code.substr(name_begin, name_end - name_begin);
+  if (std::isdigit(static_cast<unsigned char>(name[0])) ||
+      IsCppKeywordName(name)) {
+    return;
+  }
+  // Type text before the name; empty means this was not a declaration
+  // (e.g. a stray expression statement).
+  size_t type_end = name_begin;
+  while (type_end > b &&
+         std::isspace(static_cast<unsigned char>(code[type_end - 1]))) {
+    --type_end;
+  }
+  if (type_end == b) return;
+  field.name = name;
+  field.name_pos = name_begin;
+  field.type = code.substr(b, type_end - b);
+  if (stop < end && (stop_kind == "=" || stop_kind == "{")) {
+    size_t init_end = end;
+    while (init_end > stop &&
+           std::isspace(static_cast<unsigned char>(code[init_end - 1]))) {
+      --init_end;
+    }
+    field.init = code.substr(stop, init_end - stop);
+  }
+  out->push_back(std::move(field));
+}
+
+// Enumerators: the body split on depth-0 commas; each item is
+// `name [= value]`.
+void ParseEnumBody(const std::string& code, const RawRecord& rec,
+                   std::vector<RecordField>* out) {
+  size_t item_begin = rec.body_open + 1;
+  int depth = 0;
+  for (size_t i = rec.body_open + 1; i <= rec.body_close; ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '{' || c == '[') ++depth;
+    if (c == ')' || c == '}' || c == ']') --depth;
+    if ((c == ',' && depth == 0) || i == rec.body_close) {
+      size_t b = SkipWsForward(code, item_begin);
+      size_t name_end = b;
+      while (name_end < i && IsIdentChar(code[name_end])) ++name_end;
+      if (name_end > b) {
+        RecordField field;
+        field.name = code.substr(b, name_end - b);
+        field.name_pos = b;
+        const size_t eq = code.find('=', name_end);
+        if (eq != std::string::npos && eq < i) {
+          size_t init_end = i;
+          while (init_end > eq && std::isspace(static_cast<unsigned char>(
+                                      code[init_end - 1]))) {
+            --init_end;
+          }
+          field.init = code.substr(eq, init_end - eq);
+        }
+        out->push_back(std::move(field));
+      }
+      item_begin = i + 1;
+    }
+  }
+}
+
+// Data members of a non-enum record: scan the body at nesting depth 1,
+// skipping nested record bodies and function definitions, splitting
+// the rest into `;`-terminated statements.
+void ParseRecordFields(const std::string& code, const RawRecord& rec,
+                       const std::vector<RawRecord>& all,
+                       std::vector<RecordField>* out) {
+  // Directly and transitively nested record extents are skipped whole;
+  // their members belong to the inner record.
+  std::vector<std::pair<size_t, size_t>> nested;
+  for (const RawRecord& r : all) {
+    if (rec.body_open < r.body_open && r.body_close < rec.body_close) {
+      nested.emplace_back(r.body_open, r.body_close);
+    }
+  }
+  bool in_private = rec.kind == "class";  // Default access.
+  size_t stmt_begin = rec.body_open + 1;
+  size_t i = rec.body_open + 1;
+  bool saw_eq = false;    // A depth-0 '=' in the current statement.
+  bool saw_paren = false;
+  int angle = 0;
+  auto reset = [&](size_t next) {
+    stmt_begin = next;
+    saw_eq = false;
+    saw_paren = false;
+    angle = 0;
+  };
+  while (i < rec.body_close) {
+    const char c = code[i];
+    bool is_nested_open = false;
+    for (const auto& [open, close] : nested) {
+      if (i == open) {
+        // Jump past the nested record body and its trailing ';'.
+        i = SkipWsForward(code, close + 1);
+        if (i < rec.body_close && code[i] == ';') ++i;
+        is_nested_open = true;
+        break;
+      }
+    }
+    if (is_nested_open) {
+      reset(i);
+      continue;
+    }
+    if (!saw_eq) {
+      if (c == '<') ++angle;
+      if (c == '>' && angle > 0) --angle;
+    }
+    if (c == '(' && !saw_eq && angle == 0) {
+      // A parameter list: this statement declares a function. Skip to
+      // its terminating ';' or past its inline body (tracking nesting
+      // so default arguments and ctor-initializers do not end it).
+      saw_paren = true;
+      const size_t close = MatchParen(code, i);
+      if (close == std::string::npos) break;
+      size_t j = close + 1;
+      while (j < rec.body_close) {
+        const char cj = code[j];
+        if (cj == '(') {
+          // Ctor-initializer item `a_(x)` or a default argument group.
+          const size_t pc = MatchParen(code, j);
+          if (pc == std::string::npos) break;
+          j = pc + 1;
+          continue;
+        }
+        if (cj == '{') {
+          // Either a brace-initialized ctor-initializer item `b_{y}`
+          // or the inline body. Disambiguate by what follows: a comma
+          // continues the initializer list, another brace is the body
+          // of an item-terminated list, anything else means this brace
+          // WAS the body.
+          const size_t bc = MatchBrace(code, j);
+          if (bc == std::string::npos) {
+            j = rec.body_close;
+            break;
+          }
+          const size_t nx = SkipWsForward(code, bc + 1);
+          if (nx < rec.body_close && code[nx] == ',') {
+            j = nx + 1;
+            continue;
+          }
+          if (nx < rec.body_close && code[nx] == '{') {
+            j = nx;
+            continue;
+          }
+          j = bc + 1;
+          if (nx < rec.body_close && code[nx] == ';') j = nx + 1;
+          break;
+        }
+        if (cj == ';') {
+          ++j;
+          break;
+        }
+        ++j;
+      }
+      i = j;
+      reset(i);
+      continue;
+    }
+    if (c == '{') {
+      // Brace initializer (or a lambda in a default member init):
+      // include the whole extent in the statement so inner `;` do not
+      // split it.
+      const size_t close = MatchBrace(code, i);
+      if (close == std::string::npos) break;
+      i = close + 1;
+      continue;
+    }
+    if (c == '=' && angle == 0) saw_eq = true;
+    if (c == ':' && !saw_eq && angle == 0 &&
+        (i + 1 >= rec.body_close || code[i + 1] != ':') &&
+        (i == 0 || code[i - 1] != ':')) {
+      // Access label? Only when the pending statement is exactly the
+      // keyword.
+      const size_t b = SkipWsForward(code, stmt_begin);
+      const std::string pending =
+          b < i ? code.substr(b, i - b) : std::string();
+      std::string trimmed = pending;
+      while (!trimmed.empty() &&
+             std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+        trimmed.pop_back();
+      }
+      if (trimmed == "public") {
+        in_private = false;
+        ++i;
+        reset(i);
+        continue;
+      }
+      if (trimmed == "private" || trimmed == "protected") {
+        in_private = true;
+        ++i;
+        reset(i);
+        continue;
+      }
+    }
+    if (c == ';') {
+      if (!saw_paren) {
+        ParseFieldStatement(code, stmt_begin, i, in_private, out);
+      }
+      ++i;
+      reset(i);
+      continue;
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+
+std::vector<RecordDef> ExtractRecords(const Source& src) {
+  const std::string& code = src.code();
+  const std::vector<RawRecord> raw = CollectRawRecords(code);
+  std::vector<RecordDef> out;
+  out.reserve(raw.size());
+  for (const RawRecord& rec : raw) {
+    RecordDef def;
+    def.kind = rec.kind;
+    def.name_pos = rec.name_pos;
+    def.body_open = rec.body_open;
+    def.body_close = rec.body_close;
+    // Qualify with enclosing records, innermost last-prepended.
+    def.name = rec.name;
+    std::vector<const RawRecord*> enclosing;
+    for (const RawRecord& outer : raw) {
+      if (outer.body_open < rec.body_open &&
+          rec.body_close < outer.body_close) {
+        enclosing.push_back(&outer);
+      }
+    }
+    std::sort(enclosing.begin(), enclosing.end(),
+              [](const RawRecord* a, const RawRecord* b) {
+                return a->body_close - a->body_open <
+                       b->body_close - b->body_open;
+              });
+    for (const RawRecord* outer : enclosing) {
+      def.name = outer->name + "::" + def.name;
+    }
+    if (rec.kind == "enum") {
+      ParseEnumBody(code, rec, &def.fields);
+    } else {
+      ParseRecordFields(code, rec, raw, &def.fields);
+    }
+    out.push_back(std::move(def));
+  }
+  return out;
+}
+
 // ------------------------------ Reports ---------------------------------
 
 std::string JsonEscape(const std::string& s) {

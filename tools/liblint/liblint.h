@@ -162,6 +162,49 @@ struct CallSite {
 std::vector<CallSite> ExtractCallSites(const Source& src, size_t begin,
                                        size_t end);
 
+// ------------------------- Record extraction ----------------------------
+//
+// The token-level struct/class/enum index the field-coverage pack
+// (codeclint) pairs with the function index: which records exist, what
+// members they declare, and where. Like ExtractFunctions this is a
+// heuristic scan over the blanked code, not a compiler front end — it
+// covers the declaration idioms this repo actually uses (plain members,
+// default member initializers, arrays, templates, nested records,
+// access specifiers) and skips what it cannot parse.
+
+// One data member of a record.
+struct RecordField {
+  std::string name;     // "gas_limit", "digest_cache_".
+  std::string type;     // Declaration text before the name, trimmed.
+  std::string init;     // Default initializer text ("= 0", "{}"), or "".
+  size_t name_pos = 0;  // Offset of the name's first character.
+  bool is_static = false;
+  bool is_mutable = false;
+  bool is_private = false;  // Under `private:`/`protected:`.
+};
+
+// A record definition: struct, class, or enum. Nested records are
+// qualified with the enclosing record name(s) ("Outer::Inner") and
+// their members are attributed to the innermost record only. Enums
+// list their enumerators as fields (type "", no initializer parsing
+// beyond the `= value` text).
+struct RecordDef {
+  std::string name;       // "Transaction", "UnifiedParameters::Inner".
+  std::string kind;       // "struct", "class", or "enum".
+  size_t name_pos = 0;    // Offset of the name's first character.
+  size_t body_open = 0;   // Offset of the body '{'.
+  size_t body_close = 0;  // Offset of the matching '}'.
+  std::vector<RecordField> fields;
+};
+
+// All record definitions in `src`, in offset order. Member functions,
+// using/typedef/friend declarations, static_assert, and nested record
+// declarations are not fields; `static` and `mutable` members are kept
+// and flagged so callers can apply per-rule policy (codeclint's
+// manifest and coverage rules both exempt statics, but keep mutables —
+// a mutable member still travels on the wire unless waived).
+std::vector<RecordDef> ExtractRecords(const Source& src);
+
 // ------------------------------ Reports ---------------------------------
 
 std::string JsonEscape(const std::string& s);

@@ -352,6 +352,139 @@ TEST(ExtractCallSitesTest, FindsCallsWithQualifiersAndTemplateArgs) {
   EXPECT_EQ(callees, expected);
 }
 
+// --------------------------- Record extraction ---------------------------
+
+TEST(ExtractRecordsTest, FindsFieldsTypesAndDefaults) {
+  Source src("t.cc",
+             "struct Transaction {\n"
+             "  Address sender;\n"
+             "  uint64_t value = 0;\n"
+             "  std::vector<uint8_t> payload;\n"
+             "  std::map<Address, Account> touched{};\n"
+             "  uint8_t bytes[32];\n"
+             "  Hash256 Id() const;\n"
+             "  bool operator==(const Transaction& o) const;\n"
+             "};\n",
+             "tool");
+  const std::vector<RecordDef> recs = ExtractRecords(src);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].name, "Transaction");
+  EXPECT_EQ(recs[0].kind, "struct");
+  ASSERT_EQ(recs[0].fields.size(), 5u);
+  EXPECT_EQ(recs[0].fields[0].name, "sender");
+  EXPECT_EQ(recs[0].fields[0].type, "Address");
+  EXPECT_EQ(recs[0].fields[1].name, "value");
+  EXPECT_EQ(recs[0].fields[1].init, "= 0");
+  EXPECT_EQ(recs[0].fields[2].name, "payload");
+  EXPECT_EQ(recs[0].fields[2].type, "std::vector<uint8_t>");
+  EXPECT_EQ(recs[0].fields[3].name, "touched");
+  EXPECT_EQ(recs[0].fields[3].type, "std::map<Address, Account>");
+  EXPECT_EQ(recs[0].fields[4].name, "bytes");
+}
+
+TEST(ExtractRecordsTest, TracksAccessStaticAndMutable) {
+  Source src("t.cc",
+             "class Account {\n"
+             " public:\n"
+             "  uint64_t balance = 0;\n"
+             "  static constexpr size_t kMax = 5;\n"
+             " private:\n"
+             "  mutable Hash256 digest_cache_;\n"
+             "  mutable bool digest_valid_ = false;\n"
+             "};\n",
+             "tool");
+  const std::vector<RecordDef> recs = ExtractRecords(src);
+  ASSERT_EQ(recs.size(), 1u);
+  ASSERT_EQ(recs[0].fields.size(), 4u);
+  EXPECT_FALSE(recs[0].fields[0].is_private);
+  EXPECT_TRUE(recs[0].fields[1].is_static);
+  EXPECT_TRUE(recs[0].fields[2].is_mutable);
+  EXPECT_TRUE(recs[0].fields[2].is_private);
+  EXPECT_TRUE(recs[0].fields[3].is_mutable);
+  EXPECT_EQ(recs[0].fields[3].init, "= false");
+}
+
+TEST(ExtractRecordsTest, QualifiesNestedRecordsAndSkipsTheirMembers) {
+  Source src("t.cc",
+             "struct Outer {\n"
+             "  struct Inner {\n"
+             "    int depth = 0;\n"
+             "  };\n"
+             "  Inner inner;\n"
+             "  int top = 1;\n"
+             "};\n",
+             "tool");
+  const std::vector<RecordDef> recs = ExtractRecords(src);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].name, "Outer");
+  ASSERT_EQ(recs[0].fields.size(), 2u);
+  EXPECT_EQ(recs[0].fields[0].name, "inner");
+  EXPECT_EQ(recs[0].fields[1].name, "top");
+  EXPECT_EQ(recs[1].name, "Outer::Inner");
+  ASSERT_EQ(recs[1].fields.size(), 1u);
+  EXPECT_EQ(recs[1].fields[0].name, "depth");
+}
+
+TEST(ExtractRecordsTest, ExtractsScopedEnumsWithEnumerators) {
+  Source src("t.cc",
+             "enum class TxKind : uint8_t {\n"
+             "  kTransfer = 0,\n"
+             "  kDeploy = 1,\n"
+             "  kCall,\n"
+             "};\n",
+             "tool");
+  const std::vector<RecordDef> recs = ExtractRecords(src);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].name, "TxKind");
+  EXPECT_EQ(recs[0].kind, "enum");
+  ASSERT_EQ(recs[0].fields.size(), 3u);
+  EXPECT_EQ(recs[0].fields[0].name, "kTransfer");
+  EXPECT_EQ(recs[0].fields[0].init, "= 0");
+  EXPECT_EQ(recs[0].fields[2].name, "kCall");
+  EXPECT_EQ(recs[0].fields[2].init, "");
+}
+
+TEST(ExtractRecordsTest, SkipsMethodsCtorsAndNonFieldDeclarations) {
+  Source src("t.cc",
+             "class Pool {\n"
+             " public:\n"
+             "  Pool(size_t n, Config c)\n"
+             "      : threads_(n), config_{std::move(c)} {\n"
+             "    Start();\n"
+             "  }\n"
+             "  ~Pool();\n"
+             "  using Map = std::map<int, int>;\n"
+             "  friend class Inspector;\n"
+             "  Status Add(const Tx& tx);\n"
+             "  int Size() const { return n_; }\n"
+             " private:\n"
+             "  size_t n_ = 0;\n"
+             "  std::function<void(int)> on_drop_;\n"
+             "};\n",
+             "tool");
+  const std::vector<RecordDef> recs = ExtractRecords(src);
+  ASSERT_EQ(recs.size(), 1u);
+  ASSERT_EQ(recs[0].fields.size(), 2u);
+  EXPECT_EQ(recs[0].fields[0].name, "n_");
+  EXPECT_EQ(recs[0].fields[1].name, "on_drop_");
+  EXPECT_EQ(recs[0].fields[1].type, "std::function<void(int)>");
+}
+
+TEST(ExtractRecordsTest, ForwardDeclarationsAndTemplatesDoNotConfuse) {
+  Source src("t.cc",
+             "struct Fwd;\n"
+             "template <class T>\n"
+             "struct Holder {\n"
+             "  T item;\n"
+             "};\n",
+             "tool");
+  const std::vector<RecordDef> recs = ExtractRecords(src);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].name, "Holder");
+  ASSERT_EQ(recs[0].fields.size(), 1u);
+  EXPECT_EQ(recs[0].fields[0].name, "item");
+}
+
 // ------------------------------ Reports ---------------------------------
 
 TEST(JsonEscapeTest, EscapesSpecials) {
